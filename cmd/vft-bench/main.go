@@ -1,0 +1,15 @@
+// Command vft-bench regenerates Table 1 of the paper: base time per
+// program and checking overhead per detector variant, with geometric
+// means; -ablation adds the §3 rule-change microbenchmarks. See
+// internal/cli for the implementation and flags.
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Bench(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,16 @@
+// Command vft-fuzz differentially fuzzes the whole detector stack on
+// random feasible traces: oracle self-agreement, Theorem 3.1 precision of
+// both specification flavors, detector first-report positions, and rule
+// histograms. Divergences are delta-minimized and printed in the vft-race
+// input format. See internal/cli for the implementation and flags.
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Fuzz(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,21 @@
+// Command vft-run executes a minilang program under a race detector: the
+// interpreter routes every shared access and synchronization operation
+// through the analysis, so concurrent programs can be written, shared and
+// checked as plain source files (the repository's analogue of running a
+// target program under RoadRunner, §7). See internal/minilang for the
+// language and internal/cli for the flags.
+//
+// Usage:
+//
+//	vft-run [-d variant] [-runs N] program.vft
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.RunProg(os.Args[1:], os.Stdout, os.Stderr))
+}

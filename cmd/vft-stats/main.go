@@ -1,0 +1,14 @@
+// Command vft-stats regenerates the §5 rule-frequency measurement and,
+// with -per-program, the per-program lock-serialization table. See
+// internal/cli for the implementation and flags.
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Stats(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,101 @@
+// Pipeline: a race-free program using every synchronization primitive the
+// runtime instruments — fork/join, locks, a volatile publication flag and
+// a cyclic barrier — verified clean by all five FastTrack-family detectors,
+// with the analysis-rule mix printed per detector.
+//
+// The program is a two-stage image pipeline: a producer stage writes tiles,
+// all stages meet at a barrier, a filter stage reads its neighbours' tiles,
+// and a final result is published through a volatile for the main thread.
+//
+// Run with:
+//
+//	go run ./examples/pipeline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	verifiedft "repro"
+	"repro/internal/spec"
+)
+
+const (
+	stages = 4
+	tiles  = 64
+	rounds = 10
+)
+
+func runPipeline(variant string) error {
+	d, err := verifiedft.New(variant, verifiedft.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	rt := verifiedft.NewRuntime(d)
+	main := rt.Main()
+
+	image := rt.NewArray(stages * tiles)
+	done := rt.NewVolatile()
+	checksum := rt.NewVar()
+	mu := rt.NewMutex()
+	bar := rt.NewBarrier(stages)
+
+	main.Parallel(stages, func(w *verifiedft.Thread, id int) {
+		for round := 0; round < rounds; round++ {
+			// Stage 1: each worker produces its own tile row.
+			for tt := 0; tt < tiles; tt++ {
+				image.Store(w, id*tiles+tt, int64(round*tt+id))
+			}
+			bar.Await(w)
+			// Stage 2: filter using the neighbour's row (cross-thread
+			// reads, ordered by the barrier). Two passes — blur then
+			// sharpen — so the second pass rides the same-epoch fast
+			// paths.
+			next := (id + 1) % stages
+			var acc int64
+			for pass := 0; pass < 2; pass++ {
+				for tt := 0; tt < tiles; tt++ {
+					acc += image.Load(w, next*tiles+tt) >> uint(pass)
+				}
+			}
+			mu.Lock(w)
+			checksum.Add(w, acc&0xff)
+			mu.Unlock(w)
+			bar.Await(w)
+		}
+		if id == 0 {
+			done.Store(w, 1) // publish completion
+		}
+	})
+
+	if done.Load(main) != 1 {
+		return fmt.Errorf("pipeline did not complete")
+	}
+	if n := len(rt.Reports()); n != 0 {
+		return fmt.Errorf("%s: %d false positives, first: %v", variant, n, rt.Reports()[0])
+	}
+
+	counts := d.RuleCounts()
+	fmt.Printf("%-10s clean; rule mix: SameEpoch=%d SharedSameEpoch=%d Exclusive=%d Share=%d Shared=%d\n",
+		variant,
+		counts[spec.ReadSameEpoch]+counts[spec.WriteSameEpoch],
+		counts[spec.ReadSharedSameEpoch],
+		counts[spec.ReadExclusive]+counts[spec.WriteExclusive],
+		counts[spec.ReadShare],
+		counts[spec.ReadShared]+counts[spec.WriteShared])
+	return nil
+}
+
+func main() {
+	fmt.Printf("barrier/volatile pipeline: %d stages x %d tiles x %d rounds\n\n",
+		stages, tiles, rounds)
+	for _, variant := range []string{
+		verifiedft.V1, verifiedft.V15, verifiedft.V2,
+		verifiedft.FTMutex, verifiedft.FTCAS,
+	} {
+		if err := runPipeline(variant); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("\nall detectors agree: no races")
+}

@@ -1,0 +1,87 @@
+// Webcache: a realistic buggy program found by the detector, then the
+// fixed version shown clean — the intro's "under-synchronization" story.
+//
+// The program is a small web-object cache: worker goroutines serve
+// requests; on a miss they fill the cache entry and update a hit/miss
+// statistics block. The statistics block is updated under the cache lock —
+// except for one "fast" statistics counter the author thought was safe to
+// bump without the lock. VerifiedFT pinpoints exactly that counter.
+//
+// Run with:
+//
+//	go run ./examples/webcache
+package main
+
+import (
+	"fmt"
+	"log"
+
+	verifiedft "repro"
+)
+
+const (
+	workers  = 4
+	requests = 200
+	entries  = 16
+)
+
+// runCache serves requests through an instrumented cache. If buggy, the
+// "fast counter" is bumped outside the lock.
+func runCache(buggy bool) []verifiedft.Report {
+	d, err := verifiedft.New(verifiedft.V2, verifiedft.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt := verifiedft.NewRuntime(d)
+	main := rt.Main()
+
+	cache := rt.NewArray(entries) // cached object per slot
+	valid := rt.NewArray(entries) // slot-filled flags
+	stats := rt.NewVar()          // total requests (the "fast counter")
+	hits := rt.NewVar()
+	mu := rt.NewMutex()
+
+	main.Parallel(workers, func(w *verifiedft.Thread, id int) {
+		for r := 0; r < requests; r++ {
+			key := (r*7 + id*13) % entries
+
+			if buggy {
+				stats.Add(w, 1) // BUG: outside the lock — races
+			}
+
+			mu.Lock(w)
+			if !buggy {
+				stats.Add(w, 1)
+			}
+			if valid.Load(w, key) == 1 {
+				hits.Add(w, 1)
+				_ = cache.Load(w, key)
+			} else {
+				cache.Store(w, key, int64(key*key))
+				valid.Store(w, key, 1)
+			}
+			mu.Unlock(w)
+		}
+	})
+	return rt.Reports()
+}
+
+func main() {
+	fmt.Println("web cache with the unlocked statistics counter:")
+	reports := runCache(true)
+	if len(reports) == 0 {
+		fmt.Println("  (scheduler got lucky — rerun; the race is real)")
+	}
+	seen := map[verifiedft.VarID]bool{}
+	for _, r := range reports {
+		if !seen[r.X] {
+			seen[r.X] = true
+			fmt.Println("  ", r)
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("fixed web cache (counter moved under the lock):")
+	reports = runCache(false)
+	fmt.Printf("  %d races\n", len(reports))
+}

@@ -1,0 +1,210 @@
+// Package arrayshadow implements adaptive array shadow-state compression
+// in the style of Wilcox, Finch, Flanagan & Freund (ASE 2015) — reference
+// [58] of the paper, which names it among the techniques VerifiedFT is
+// "compatible and complementary" with (§1). Arrays dominate shadow memory
+// in array-heavy programs: a fine-grained detector keeps one VarState per
+// element. Compression keeps a *single* VarState for the whole array while
+// the program accesses it uniformly, expanding to per-element states the
+// moment accesses diverge.
+//
+// Precision is preserved by an exactness invariant: while compressed, the
+// single shadow state equals what every element's individual state would
+// be. The invariant holds because compression is only maintained across
+// *uniform sweeps* — one thread touching elements 0..n-1 in order, with one
+// access kind, within one epoch. n identical same-epoch accesses by one
+// thread produce exactly the state one such access produces (the fast-path
+// rules are idempotent), so each sweep applies a single representative
+// access to the compressed state; its race check stands in for all n
+// element checks, again exactly. Any deviation — out-of-order index,
+// different thread, kind or epoch mid-sweep — expands the array: every
+// element is seeded with its exact state (pre-sweep for elements the
+// current sweep has not reached, post-access for those it has) and the
+// deviating access proceeds against its own element.
+//
+// While compressed, a racy sweep yields one report (on the compressed
+// shadow variable) instead of one per element; expansion restores
+// per-element reporting. The differential tests check verdict equality
+// against an uncompressed detector on randomized access patterns.
+package arrayshadow
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/epoch"
+	"repro/internal/trace"
+)
+
+// Detector is what the compression layer needs from the underlying race
+// detector: the handler interface plus state snapshot/seed and thread
+// epochs. VerifiedFT-v2 satisfies it.
+type Detector interface {
+	core.Detector
+	core.VarStater
+	core.EpochSource
+}
+
+// Array manages the shadow state for one n-element program array on behalf
+// of detector d. Element accesses go through Read/Write; the layer decides
+// whether they hit the compressed shadow or per-element shadows.
+type Array struct {
+	d Detector
+	n int
+	// cvar is the compressed shadow variable; base..base+n-1 are the
+	// per-element ids used after expansion.
+	cvar trace.Var
+	base trace.Var
+
+	expanded atomic.Bool
+
+	mu    sync.Mutex
+	sweep sweepState
+
+	expansions atomic.Uint64
+}
+
+type sweepState struct {
+	active  bool
+	t       epoch.Tid
+	e       epoch.Epoch
+	isWrite bool
+	next    int
+	pre     core.VarSnap
+}
+
+// New allocates a compressed array shadow. cvar must be a variable id
+// reserved for the array as a whole; base..base+n-1 must be reserved for
+// its elements. Neither may be used for anything else.
+//
+// For the memory savings to materialize with a dense shadow table, give
+// cvar a LOW id and the elements HIGH ids: the detector's table grows to
+// the largest id touched, and compressed mode touches only cvar — the
+// per-element states are materialized only if the array expands.
+func New(d Detector, cvar, base trace.Var, n int) *Array {
+	if n <= 0 {
+		panic(fmt.Sprintf("arrayshadow: array length %d", n))
+	}
+	if cvar >= base && cvar < base+trace.Var(n) {
+		panic("arrayshadow: compressed id overlaps element ids")
+	}
+	return &Array{d: d, n: n, cvar: cvar, base: base}
+}
+
+// Len returns the element count.
+func (a *Array) Len() int { return a.n }
+
+// Expanded reports whether the array has fallen back to per-element
+// shadows.
+func (a *Array) Expanded() bool { return a.expanded.Load() }
+
+// Expansions returns how many times Expand ran (0 or 1; counted for stats).
+func (a *Array) Expansions() uint64 { return a.expansions.Load() }
+
+// CompressedVar returns the shadow id compressed-mode reports carry.
+func (a *Array) CompressedVar() trace.Var { return a.cvar }
+
+// ElementVar returns the shadow id element i's reports carry once expanded.
+func (a *Array) ElementVar(i int) trace.Var { return a.base + trace.Var(i) }
+
+// Read handles a read of element i by thread t.
+func (a *Array) Read(t epoch.Tid, i int) { a.access(t, i, false) }
+
+// Write handles a write of element i by thread t.
+func (a *Array) Write(t epoch.Tid, i int) { a.access(t, i, true) }
+
+func (a *Array) access(t epoch.Tid, i int, isWrite bool) {
+	if i < 0 || i >= a.n {
+		panic(fmt.Sprintf("arrayshadow: index %d out of range [0,%d)", i, a.n))
+	}
+	// Expanded fast path: one atomic load, then the detector's own fast
+	// paths. The flag only ever goes false→true, so a stale false just
+	// sends us through the mutex once more.
+	if a.expanded.Load() {
+		a.dispatch(t, a.base+trace.Var(i), isWrite)
+		return
+	}
+	a.mu.Lock()
+	if a.expanded.Load() { // raced with an expander
+		a.mu.Unlock()
+		a.dispatch(t, a.base+trace.Var(i), isWrite)
+		return
+	}
+	a.compressedAccess(t, i, isWrite)
+	a.mu.Unlock()
+}
+
+func (a *Array) dispatch(t epoch.Tid, x trace.Var, isWrite bool) {
+	if isWrite {
+		a.d.Write(t, x)
+	} else {
+		a.d.Read(t, x)
+	}
+}
+
+// compressedAccess runs under a.mu with the array still compressed.
+func (a *Array) compressedAccess(t epoch.Tid, i int, isWrite bool) {
+	s := &a.sweep
+	if !s.active {
+		if i != 0 {
+			// Not a sweep start: give up compression. The compressed
+			// state is exact for every element right now.
+			a.expand(a.d.SnapshotVar(a.cvar), a.n)
+			a.dispatch(t, a.base+trace.Var(i), isWrite)
+			return
+		}
+		// Start a sweep: remember the pre-state, apply the representative
+		// access (which also performs the race check standing in for all
+		// n element checks).
+		pre := a.d.SnapshotVar(a.cvar)
+		a.dispatch(t, a.cvar, isWrite)
+		if a.n == 1 {
+			return // a one-element sweep completes immediately
+		}
+		*s = sweepState{
+			active: true, t: t, e: a.d.ThreadEpoch(t),
+			isWrite: isWrite, next: 1, pre: pre,
+		}
+		return
+	}
+
+	// Mid-sweep: uniform continuation or deviation.
+	if t == s.t && isWrite == s.isWrite && i == s.next && a.d.ThreadEpoch(t) == s.e {
+		s.next++
+		if s.next == a.n {
+			s.active = false // sweep complete; state already applied
+		}
+		return
+	}
+
+	// Deviation mid-sweep: elements [0, next) carry the post-access state
+	// (what the compressed var holds now), the rest the pre-sweep state.
+	post := a.d.SnapshotVar(a.cvar)
+	reached := s.next
+	pre := s.pre
+	s.active = false
+	a.expandSplit(post, reached, pre)
+	a.dispatch(t, a.base+trace.Var(i), isWrite)
+}
+
+// expand seeds all n elements with one exact state and flips to expanded.
+func (a *Array) expand(state core.VarSnap, n int) {
+	for j := 0; j < n; j++ {
+		a.d.SeedVar(a.base+trace.Var(j), state)
+	}
+	a.expansions.Add(1)
+	a.expanded.Store(true)
+}
+
+// expandSplit seeds elements [0,reached) with post and the rest with pre.
+func (a *Array) expandSplit(post core.VarSnap, reached int, pre core.VarSnap) {
+	for j := 0; j < reached; j++ {
+		a.d.SeedVar(a.base+trace.Var(j), post)
+	}
+	for j := reached; j < a.n; j++ {
+		a.d.SeedVar(a.base+trace.Var(j), pre)
+	}
+	a.expansions.Add(1)
+	a.expanded.Store(true)
+}

@@ -1,0 +1,271 @@
+package arrayshadow
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/epoch"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+func newV2(t testing.TB) *core.V2 {
+	t.Helper()
+	return core.NewV2(core.Config{Threads: 8, Vars: 1 << 10, Locks: 8})
+}
+
+const (
+	cvarID = trace.Var(900)
+	baseID = trace.Var(0)
+)
+
+func TestUniformSweepsStayCompressed(t *testing.T) {
+	d := newV2(t)
+	a := New(d, cvarID, baseID, 16)
+
+	// Several same-thread sweeps: write, read, read (crypt's shape).
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < 16; i++ {
+			if pass == 0 {
+				a.Write(0, i)
+			} else {
+				a.Read(0, i)
+			}
+		}
+	}
+	if a.Expanded() {
+		t.Fatal("uniform sweeps must stay compressed")
+	}
+	if len(d.Reports()) != 0 {
+		t.Fatalf("reports: %v", d.Reports())
+	}
+	// Compression's point: the detector saw ~1 access per sweep, not 16.
+	counts := d.RuleCounts()
+	var total uint64
+	for r := spec.Rule(0); r < spec.NumRules; r++ {
+		if !r.IsRace() {
+			switch r {
+			case spec.ReadSameEpoch, spec.ReadSharedSameEpoch, spec.ReadExclusive,
+				spec.ReadShare, spec.ReadShared, spec.WriteSameEpoch,
+				spec.WriteExclusive, spec.WriteShared:
+				total += counts[r]
+			}
+		}
+	}
+	if total != 3 {
+		t.Fatalf("detector saw %d accesses, want 3 (one per sweep)", total)
+	}
+}
+
+func TestOutOfOrderAccessExpands(t *testing.T) {
+	d := newV2(t)
+	a := New(d, cvarID, baseID, 8)
+	for i := 0; i < 8; i++ {
+		a.Write(0, i)
+	}
+	a.Read(0, 5) // not a sweep start
+	if !a.Expanded() {
+		t.Fatal("random access must expand")
+	}
+	if a.Expansions() != 1 {
+		t.Fatalf("expansions = %d", a.Expansions())
+	}
+	if len(d.Reports()) != 0 {
+		t.Fatalf("reports: %v", d.Reports())
+	}
+}
+
+func TestMidSweepDeviationSplitsState(t *testing.T) {
+	d := newV2(t)
+	a := New(d, cvarID, baseID, 8)
+	// Thread 0 writes a full sweep, completes; thread 1 is forked after,
+	// so its reads are ordered. It starts a read sweep but deviates at
+	// element 3.
+	for i := 0; i < 8; i++ {
+		a.Write(0, i)
+	}
+	d.Fork(0, 1)
+	// Thread 1 begins reading in order...
+	a.Read(1, 0)
+	a.Read(1, 1)
+	a.Read(1, 2)
+	// ...then jumps: deviation with reached=3.
+	a.Read(1, 6)
+	if !a.Expanded() {
+		t.Fatal("mid-sweep deviation must expand")
+	}
+	if len(d.Reports()) != 0 {
+		t.Fatalf("ordered accesses reported: %v", d.Reports())
+	}
+	// Elements 0..2 must carry thread 1's read; elements 3..7 must not.
+	// Probe via snapshots: R of [0..3) is 1@c, of [3..8) is 0-side state.
+	for j := 0; j < 3; j++ {
+		snap := d.SnapshotVar(baseID + trace.Var(j))
+		if snap.R.Tid() != 1 {
+			t.Fatalf("element %d: R = %v, want thread 1's read", j, snap.R)
+		}
+	}
+	for j := 3; j < 8; j++ {
+		if j == 6 {
+			continue // the deviating access itself read element 6
+		}
+		snap := d.SnapshotVar(baseID + trace.Var(j))
+		if !snap.R.IsShared() && snap.R.Tid() == 1 {
+			t.Fatalf("element %d: R = %v, must not carry thread 1's read", j, snap.R)
+		}
+	}
+	// And element 6 must carry it: the deviating read went to its own
+	// element shadow after the split.
+	if snap := d.SnapshotVar(baseID + 6); snap.R.Tid() != 1 {
+		t.Fatalf("element 6: R = %v, want thread 1's deviating read", snap.R)
+	}
+}
+
+func TestRacySweepReportsOnce(t *testing.T) {
+	d := newV2(t)
+	a := New(d, cvarID, baseID, 16)
+	d.Fork(0, 1)
+	for i := 0; i < 16; i++ {
+		a.Write(0, i)
+	}
+	for i := 0; i < 16; i++ {
+		a.Write(1, i) // unordered with thread 0's sweep: races
+	}
+	reports := d.Reports()
+	if len(reports) != 1 {
+		t.Fatalf("%d reports, want exactly 1 (per racy sweep, not per element): %v",
+			len(reports), reports)
+	}
+	if reports[0].X != cvarID {
+		t.Fatalf("report on %v, want the compressed shadow id %v", reports[0].X, cvarID)
+	}
+	if a.Expanded() {
+		t.Fatal("uniform racy sweeps should stay compressed")
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	d := newV2(t)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: want panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero length", func() { New(d, cvarID, baseID, 0) })
+	mustPanic("overlap", func() { New(d, baseID+3, baseID, 8) })
+	a := New(d, cvarID, baseID, 4)
+	mustPanic("index range", func() { a.Read(0, 4) })
+}
+
+// The headline property: against an uncompressed detector fed the identical
+// element-access sequence, (1) the race verdict is identical and (2) after
+// the run every element's shadow state is identical — the exactness
+// invariant, checked end to end on randomized access patterns.
+func TestDifferentialExactness(t *testing.T) {
+	const (
+		n       = 6
+		threads = 3
+		steps   = 40
+	)
+	for seed := int64(0); seed < 400; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+
+		plain := newV2(t)
+		comp := newV2(t)
+		arr := New(comp, cvarID, baseID, n)
+
+		// Forked thread set so accesses can be concurrent.
+		for u := epoch.Tid(1); u < threads; u++ {
+			plain.Fork(0, u)
+			comp.Fork(0, u)
+		}
+
+		lockHeld := -1
+		for s := 0; s < steps; s++ {
+			tt := epoch.Tid(rng.Intn(threads))
+			switch k := rng.Intn(10); {
+			case k < 3: // full sweep
+				isWrite := rng.Intn(2) == 0
+				for i := 0; i < n; i++ {
+					if isWrite {
+						plain.Write(tt, baseID+trace.Var(i))
+						arr.Write(tt, i)
+					} else {
+						plain.Read(tt, baseID+trace.Var(i))
+						arr.Read(tt, i)
+					}
+				}
+			case k < 7: // random element access
+				i := rng.Intn(n)
+				if rng.Intn(2) == 0 {
+					plain.Write(tt, baseID+trace.Var(i))
+					arr.Write(tt, i)
+				} else {
+					plain.Read(tt, baseID+trace.Var(i))
+					arr.Read(tt, i)
+				}
+			default: // synchronization: a quick lock cycle
+				if lockHeld == -1 {
+					plain.Acquire(tt, 0)
+					comp.Acquire(tt, 0)
+					plain.Release(tt, 0)
+					comp.Release(tt, 0)
+				}
+			}
+		}
+
+		plainRace := len(plain.Reports()) > 0
+		compRace := len(comp.Reports()) > 0
+		if plainRace != compRace {
+			t.Fatalf("seed %d: verdicts diverge: plain %v, compressed %v",
+				seed, plainRace, compRace)
+		}
+
+		// Exactness: every element's state matches. If still compressed,
+		// the compressed state must equal every plain element state.
+		for i := 0; i < n; i++ {
+			want := plain.SnapshotVar(baseID + trace.Var(i))
+			var got core.VarSnap
+			if arr.Expanded() {
+				got = comp.SnapshotVar(baseID + trace.Var(i))
+			} else {
+				got = comp.SnapshotVar(cvarID)
+			}
+			if !snapEqual(got, want) {
+				t.Fatalf("seed %d: element %d state diverges (expanded=%v):\n got %+v\nwant %+v",
+					seed, i, arr.Expanded(), got, want)
+			}
+		}
+	}
+}
+
+func snapEqual(a, b core.VarSnap) bool {
+	if a.W != b.W || a.R != b.R {
+		return false
+	}
+	if !a.R.IsShared() {
+		return true
+	}
+	// Compare vectors entrywise, treating missing entries as minimal.
+	max := len(a.Vec)
+	if len(b.Vec) > max {
+		max = len(b.Vec)
+	}
+	get := func(v []epoch.Epoch, i int) epoch.Epoch {
+		if i < len(v) {
+			return v[i]
+		}
+		return epoch.Min(epoch.Tid(i))
+	}
+	for i := 0; i < max; i++ {
+		if get(a.Vec, i) != get(b.Vec, i) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,543 @@
+// Package cli implements the command-line tools (vft-race, vft-bench,
+// vft-stats, vft-fuzz) as testable functions: each command is a Run
+// function over explicit streams and returns its exit code, and the
+// binaries under cmd/ are one-line wrappers. Exit codes follow the usual
+// grep-style convention for vft-race: 0 no race, 1 race found, 2 error.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"reflect"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/epoch"
+	"repro/internal/harness"
+	"repro/internal/hb"
+	"repro/internal/minilang"
+	"repro/internal/spec"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Race implements vft-race: check a trace (file argument or stdin) for
+// races.
+func Race(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vft-race", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	variant := fs.String("d", "vft-v2", "detector variant")
+	all := fs.Bool("all", false, "run every precise variant and cross-check")
+	oracle := fs.Bool("oracle", false, "also compare against the happens-before oracle")
+	explain := fs.Bool("explain", false, "explain every conflicting pair: a happens-before witness chain or RACE")
+	parties := fs.Int("parties", 2, "participant count for barrier lowering")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	in := stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintln(stderr, "vft-race:", err)
+			return 2
+		}
+		defer f.Close()
+		in = f
+	}
+
+	tr, err := trace.Decode(in)
+	if err != nil {
+		fmt.Fprintln(stderr, "vft-race:", err)
+		return 2
+	}
+	if err := trace.Validate(tr); err != nil {
+		fmt.Fprintln(stderr, "vft-race:", err)
+		return 2
+	}
+	partyMap := map[trace.Lock]int{}
+	for _, op := range tr {
+		if op.Kind == trace.Barrier {
+			partyMap[op.M] = *parties
+		}
+	}
+	low := tr.Desugar(partyMap)
+
+	variants := []string{*variant}
+	if *all {
+		variants = core.PreciseVariants()
+	}
+
+	raced := false
+	var verdicts []bool
+	for _, v := range variants {
+		d, err := core.New(v, configFor(low))
+		if err != nil {
+			fmt.Fprintln(stderr, "vft-race:", err)
+			return 2
+		}
+		reports := core.Replay(d, low)
+		verdicts = append(verdicts, len(reports) > 0)
+		if len(reports) > 0 {
+			raced = true
+		}
+		for _, r := range reports {
+			fmt.Fprintln(stdout, r)
+		}
+		if len(reports) == 0 && !*all {
+			fmt.Fprintf(stdout, "[%s] no races detected (%d operations)\n", v, len(tr))
+		}
+	}
+	if *all {
+		for i := 1; i < len(verdicts); i++ {
+			if verdicts[i] != verdicts[0] {
+				fmt.Fprintf(stderr, "vft-race: VERDICT MISMATCH between %s and %s — detector bug\n",
+					variants[0], variants[i])
+				return 2
+			}
+		}
+		if !raced {
+			fmt.Fprintf(stdout, "no races detected by any of %v (%d operations)\n", variants, len(tr))
+		}
+	}
+	if *oracle {
+		rep := hb.Analyze(low)
+		fmt.Fprintf(stdout, "oracle: %d concurrent conflicting pairs", len(rep.Races))
+		if rep.HasRace() {
+			fmt.Fprintf(stdout, " (first completes at operation #%d)", rep.FirstRaceAt())
+		}
+		fmt.Fprintln(stdout)
+		if rep.HasRace() != raced {
+			fmt.Fprintln(stderr, "vft-race: detector verdict disagrees with the oracle — precision bug")
+			return 2
+		}
+	}
+	if *explain {
+		// Witness chains are computed on the lowered trace; positions
+		// refer to it (the lowering only inserts lock operations).
+		g := hb.BuildExplainedGraph(low)
+		fmt.Fprintln(stdout)
+		fmt.Fprintln(stdout, "conflicting pairs (positions in the lowered trace):")
+		for _, v := range g.ExplainConflicts() {
+			fmt.Fprintln(stdout, g.Format(v))
+		}
+	}
+	if raced {
+		return 1
+	}
+	return 0
+}
+
+func configFor(tr trace.Trace) core.Config {
+	cfg := core.Config{Threads: 8, Vars: 64, Locks: 16}
+	for _, op := range tr {
+		if int(op.T)+1 > cfg.Threads {
+			cfg.Threads = int(op.T) + 1
+		}
+		if op.IsAccess() && int(op.X)+1 > cfg.Vars {
+			cfg.Vars = int(op.X) + 1
+		}
+		if (op.Kind == trace.Acquire || op.Kind == trace.Release) && int(op.M)+1 > cfg.Locks {
+			cfg.Locks = int(op.M) + 1
+		}
+	}
+	return cfg
+}
+
+// Bench implements vft-bench: regenerate Table 1 (+ ablations).
+func Bench(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vft-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	iters := fs.Int("iters", 10, "measured iterations per cell (the paper uses 10)")
+	warmup := fs.Int("warmup", 2, "warm-up iterations per cell")
+	quick := fs.Bool("quick", false, "use the small test sizes")
+	detectors := fs.String("detectors", "ft-mutex,ft-cas,vft-v1,vft-v1.5,vft-v2",
+		"comma-separated detector variants (append +elide for check elision)")
+	programs := fs.String("programs", "", "comma-separated program subset (default: whole suite)")
+	ablation := fs.Bool("ablation", false, "also run the §3 rule-change ablations")
+	format := fs.String("format", "text", "output format: text or csv")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *format != "text" && *format != "csv" {
+		fmt.Fprintf(stderr, "vft-bench: unknown format %q\n", *format)
+		return 2
+	}
+
+	opts := harness.Options{
+		Warmup:    *warmup,
+		Iters:     *iters,
+		Detectors: splitList(*detectors),
+		Quick:     *quick,
+	}
+	if *programs != "" {
+		opts.Programs = splitList(*programs)
+	}
+
+	table, err := harness.Run(opts)
+	if err != nil {
+		fmt.Fprintln(stderr, "vft-bench:", err)
+		return 2
+	}
+	if *format == "csv" {
+		if err := table.FormatCSV(stdout); err != nil {
+			fmt.Fprintln(stderr, "vft-bench:", err)
+			return 2
+		}
+		return 0
+	}
+	fmt.Fprintln(stdout, "Table 1 — checking overhead (x base time); cf. paper §8")
+	fmt.Fprintln(stdout)
+	if err := table.Format(stdout); err != nil {
+		fmt.Fprintln(stderr, "vft-bench:", err)
+		return 2
+	}
+
+	if *ablation {
+		fmt.Fprintln(stdout)
+		runAblations(stdout)
+	}
+	return 0
+}
+
+func splitList(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// runAblations times the two §3 rule changes at the specification level.
+func runAblations(stdout io.Writer) {
+	fmt.Fprintln(stdout, "Ablations — the §3 rule changes (VerifiedFT arm vs original FastTrack arm)")
+	fmt.Fprintln(stdout)
+	fmt.Fprintln(stdout, timeFlavors("[Write Shared] keeps R (thrash pattern)", ThrashTrace(2000)))
+	fmt.Fprintln(stdout, timeFlavors("[Join] without the Su.V(u) increment", JoinLadder(2000)))
+}
+
+func timeFlavors(name string, tr trace.Trace) harness.AblationResult {
+	const reps = 50
+	run := func(f spec.Flavor) time.Duration {
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			if res := spec.Run(f, tr); res.RaceAt != -1 {
+				panic(fmt.Sprintf("ablation trace raced: %v", res.Err))
+			}
+		}
+		return time.Since(start) / reps
+	}
+	return harness.AblationResult{
+		Name:        name,
+		Description: name,
+		ArmA:        "VerifiedFT",
+		ArmB:        "FastTrackOrig",
+		TimeA:       run(spec.VerifiedFT),
+		TimeB:       run(spec.FastTrackOrig),
+	}
+}
+
+// ThrashTrace alternates concurrent reads (keeping x Shared) with ordered
+// writes — the §3 pattern on which the original [Write Shared] reset makes
+// R oscillate between the shared and exclusive representations.
+func ThrashTrace(rounds int) trace.Trace {
+	tr := trace.Trace{trace.ForkOp(0, 1)}
+	for r := 0; r < rounds; r++ {
+		tr = append(tr,
+			trace.Rd(0, 0),
+			trace.Acq(1, 0), trace.Rd(1, 0), trace.Rel(1, 0),
+			trace.Acq(0, 0), trace.Wr(0, 0), trace.Rel(0, 0),
+			trace.Acq(1, 0), trace.Rel(1, 0),
+		)
+	}
+	trace.MustValidate(tr)
+	return tr
+}
+
+// JoinLadder forks, runs and joins a fresh thread per round.
+func JoinLadder(rounds int) trace.Trace {
+	var tr trace.Trace
+	next := epoch.Tid(1)
+	for r := 0; r < rounds; r++ {
+		u := next
+		next++
+		tr = append(tr,
+			trace.ForkOp(0, u),
+			trace.Wr(u, trace.Var(r%8)),
+			trace.JoinOp(0, u),
+			trace.Rd(0, trace.Var(r%8)),
+		)
+	}
+	trace.MustValidate(tr)
+	return tr
+}
+
+// Stats implements vft-stats: the §5 rule-frequency table.
+func Stats(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vft-stats", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quick := fs.Bool("quick", false, "use the small test sizes")
+	perProgram := fs.Bool("per-program", false, "also print the per-program serialization table")
+	memory := fs.Bool("memory", false, "also print the shadow-memory footprint table (v2 vs djit)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	s, err := stats.CollectSuite(*quick)
+	if err != nil {
+		fmt.Fprintln(stderr, "vft-stats:", err)
+		return 2
+	}
+	fmt.Fprintln(stdout, "Analysis-rule frequency across the suite (cf. paper §5)")
+	fmt.Fprintln(stdout)
+	if err := s.Format(stdout); err != nil {
+		fmt.Fprintln(stderr, "vft-stats:", err)
+		return 2
+	}
+	if *perProgram {
+		fmt.Fprintln(stdout)
+		printSerializationTable(stdout, s)
+	}
+	if *memory {
+		detectors := []string{"vft-v2", "ft-cas", "djit"}
+		rows, err := stats.CollectMemory(*quick, detectors)
+		if err != nil {
+			fmt.Fprintln(stderr, "vft-stats:", err)
+			return 2
+		}
+		fmt.Fprintln(stdout)
+		fmt.Fprintln(stdout, "Shadow-state footprint at end of run (epochs vs full vector clocks)")
+		fmt.Fprintln(stdout)
+		if err := stats.FormatMemory(stdout, rows, detectors); err != nil {
+			fmt.Fprintln(stderr, "vft-stats:", err)
+			return 2
+		}
+	}
+	return 0
+}
+
+func printSerializationTable(stdout io.Writer, s *stats.Summary) {
+	fmt.Fprintln(stdout, "Per-program share of accesses serialized through the variable lock")
+	fmt.Fprintln(stdout, "(the hardware-independent predictor of Table 1's many-core blowups;")
+	fmt.Fprintln(stdout, " on the paper's 16-core testbed, high v1/v1.5 shares on sparse and")
+	fmt.Fprintln(stdout, " sunflow are what produce the 316x/159x overheads)")
+	fmt.Fprintln(stdout)
+	variants := []string{"vft-v1", "vft-v1.5", "ft-mutex", "ft-cas", "vft-v2"}
+	fmt.Fprintf(stdout, "%-12s %10s", "Program", "Accesses")
+	for _, v := range variants {
+		fmt.Fprintf(stdout, " %9s", v)
+	}
+	fmt.Fprintln(stdout)
+	for _, w := range workloads.All() {
+		counts := s.PerProgram[w.Name]
+		var total uint64
+		for r := spec.Rule(0); r < spec.NumRules; r++ {
+			switch r {
+			case spec.ReadSameEpoch, spec.WriteSameEpoch, spec.ReadSharedSameEpoch,
+				spec.ReadExclusive, spec.ReadShare, spec.ReadShared,
+				spec.WriteExclusive, spec.WriteShared:
+				total += counts[r]
+			}
+		}
+		fmt.Fprintf(stdout, "%-12s %10d", w.Name, total)
+		for _, v := range variants {
+			fmt.Fprintf(stdout, " %8.0f%%", 100*stats.SerializedShare(counts, v))
+		}
+		fmt.Fprintln(stdout)
+	}
+}
+
+// Fuzz implements vft-fuzz: differential fuzzing of the whole stack.
+func Fuzz(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vft-fuzz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	n := fs.Int("n", 2000, "number of traces to check")
+	ops := fs.Int("ops", 60, "operations per trace")
+	threads := fs.Int("threads", 4, "maximum threads per trace")
+	seed := fs.Int64("seed", 1, "base RNG seed")
+	racy := fs.Bool("racy", false, "disable the generator's locking bias (more races)")
+	shrink := fs.Bool("shrink", true, "delta-minimize a diverging trace before printing it")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := trace.DefaultGenConfig()
+	cfg.Ops = *ops
+	cfg.Threads = *threads
+	if *racy {
+		cfg.LockedFraction = 0
+	}
+
+	races, clean := 0, 0
+	for i := 0; i < *n; i++ {
+		rng := rand.New(rand.NewSource(*seed + int64(i)))
+		tr := trace.Generate(rng, cfg)
+		if err := CheckOne(tr); err != nil {
+			if *shrink {
+				tr = Shrink(tr)
+				err = CheckOne(tr) // re-derive the message for the minimized trace
+			}
+			fmt.Fprintf(stderr, "vft-fuzz: divergence on trace %d (seed %d): %v\n\n",
+				i, *seed+int64(i), err)
+			fmt.Fprintln(stderr, "# replay with: vft-race -all -oracle <this file>")
+			trace.Encode(stderr, tr)
+			return 1
+		}
+		if hb.Analyze(tr).HasRace() {
+			races++
+		} else {
+			clean++
+		}
+	}
+	fmt.Fprintf(stdout, "vft-fuzz: %d traces checked, no divergence (%d racy, %d race-free)\n",
+		*n, races, clean)
+	return 0
+}
+
+// CheckOne runs the full differential comparison on one feasible trace.
+func CheckOne(tr trace.Trace) error {
+	// Oracle self-agreement.
+	vcRaces := hb.Analyze(tr)
+	graphRaces := hb.BuildGraph(tr).Races()
+	sortPairs(graphRaces)
+	got := append([]hb.RacePair(nil), vcRaces.Races...)
+	sortPairs(got)
+	if !reflect.DeepEqual(got, graphRaces) {
+		return fmt.Errorf("oracle algorithms disagree: VC=%v graph=%v", got, graphRaces)
+	}
+	want := vcRaces.FirstRaceAt()
+
+	// Specification precision, both flavors.
+	for _, f := range []spec.Flavor{spec.VerifiedFT, spec.FastTrackOrig} {
+		res := spec.Run(f, tr)
+		if res.RaceAt != want {
+			return fmt.Errorf("%v spec errors at %d, oracle first race at %d", f, res.RaceAt, want)
+		}
+	}
+
+	// Detector functional correctness.
+	specRes := spec.Run(spec.VerifiedFT, tr)
+	for _, name := range core.PreciseVariants() {
+		d, err := core.New(name, core.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		if got := core.FirstReportPosition(d, tr); got != want {
+			return fmt.Errorf("%s first report at %d, oracle at %d", name, got, want)
+		}
+	}
+	if want == -1 {
+		for _, name := range []string{"vft-v1", "vft-v1.5", "vft-v2", "ft-mutex", "ft-cas"} {
+			d, err := core.New(name, core.DefaultConfig())
+			if err != nil {
+				return err
+			}
+			core.Replay(d, tr)
+			if counts := d.RuleCounts(); counts != specRes.Rules {
+				return fmt.Errorf("%s rule counts diverge from spec:\n got %v\nwant %v",
+					name, counts, specRes.Rules)
+			}
+		}
+	}
+	return nil
+}
+
+// Shrink delta-minimizes a diverging trace: it repeatedly removes
+// operations (largest chunks first) while the result stays feasible and
+// still diverges, so fuzz failures arrive at a human-readable size.
+func Shrink(tr trace.Trace) trace.Trace {
+	diverges := func(t trace.Trace) bool {
+		return trace.Validate(t) == nil && CheckOne(t) != nil
+	}
+	if !diverges(tr) {
+		return tr
+	}
+	cur := append(trace.Trace(nil), tr...)
+	for chunk := len(cur) / 2; chunk >= 1; {
+		removedAny := false
+		for start := 0; start+chunk <= len(cur); start++ {
+			cand := append(append(trace.Trace(nil), cur[:start]...), cur[start+chunk:]...)
+			if diverges(cand) {
+				cur = cand
+				removedAny = true
+				start-- // the window now holds new content; retry in place
+			}
+		}
+		if !removedAny {
+			chunk /= 2
+		}
+	}
+	return cur
+}
+
+func sortPairs(ps []hb.RacePair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Second != ps[j].Second {
+			return ps[i].Second < ps[j].Second
+		}
+		return ps[i].First < ps[j].First
+	})
+}
+
+// RunProg implements vft-run: execute a minilang program under a detector.
+func RunProg(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vft-run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	variant := fs.String("d", "vft-v2", "detector variant ('none' for an uninstrumented run)")
+	runs := fs.Int("runs", 1, "number of executions (races are schedule-dependent; more runs, more schedules)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "vft-run: usage: vft-run [-d variant] [-runs N] program.vft")
+		return 2
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "vft-run:", err)
+		return 2
+	}
+
+	raced := false
+	for i := 0; i < *runs; i++ {
+		var d core.Detector
+		if *variant != "none" {
+			d, err = core.New(*variant, core.DefaultConfig())
+			if err != nil {
+				fmt.Fprintln(stderr, "vft-run:", err)
+				return 2
+			}
+		}
+		reports, err := minilang.Run(string(src), d, stdout)
+		if err != nil {
+			fmt.Fprintln(stderr, "vft-run:", err)
+			return 2
+		}
+		seen := map[trace.Var]bool{}
+		for _, r := range reports {
+			if !seen[r.X] {
+				seen[r.X] = true
+				fmt.Fprintln(stdout, r)
+			}
+		}
+		if len(reports) > 0 {
+			raced = true
+		}
+	}
+	if raced {
+		return 1
+	}
+	if *variant != "none" {
+		fmt.Fprintf(stdout, "[%s] no races detected over %d run(s)\n", *variant, *runs)
+	}
+	return 0
+}

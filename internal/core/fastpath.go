@@ -1,0 +1,78 @@
+package core
+
+import (
+	"repro/internal/epoch"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+// FastPather exposes the §7 fast-path structure: RoadRunner inlines a
+// tool's read/write fast paths directly into the instrumented target and
+// "fails over to the slow path handler" when they miss. The Try methods are
+// those inlinable fragments: they handle the access completely if and only
+// if one of the lock-free rules applies, and return false otherwise — the
+// caller must then invoke the full handler. TryX-then-X is behaviorally
+// identical to calling X directly; the split only exists so a code
+// generator (or a hand-instrumented hot loop) can inline the cheap check.
+type FastPather interface {
+	// TryReadFast handles rd(t,x) iff a lock-free read rule applies.
+	TryReadFast(t epoch.Tid, x trace.Var) bool
+	// TryWriteFast handles wr(t,x) iff [Write Same Epoch] applies.
+	TryWriteFast(t epoch.Tid, x trace.Var) bool
+}
+
+// TryReadFast implements FastPather for VerifiedFT-v2: the [Read Same
+// Epoch] and [Read Shared Same Epoch] pure blocks of Fig. 4.
+func (d *V2) TryReadFast(t epoch.Tid, x trace.Var) bool {
+	st := d.thread(t)
+	e := st.e
+	sx := d.vars.Get(int(x))
+	r := sx.loadR()
+	if r == e {
+		st.count(spec.ReadSameEpoch)
+		return true
+	}
+	if r.IsShared() && sx.getShared(t) == e {
+		st.count(spec.ReadSharedSameEpoch)
+		return true
+	}
+	return false
+}
+
+// TryWriteFast implements FastPather for VerifiedFT-v2: the [Write Same
+// Epoch] pure block of Fig. 4.
+func (d *V2) TryWriteFast(t epoch.Tid, x trace.Var) bool {
+	st := d.thread(t)
+	sx := d.vars.Get(int(x))
+	if sx.loadW() == st.e {
+		st.count(spec.WriteSameEpoch)
+		return true
+	}
+	return false
+}
+
+// TryReadFast implements FastPather for VerifiedFT-v1.5 ([Read Same Epoch]
+// only — the shared case needs the lock in v1.5).
+func (d *V15) TryReadFast(t epoch.Tid, x trace.Var) bool {
+	st := d.thread(t)
+	if d.vars.Get(int(x)).loadR() == st.e {
+		st.count(spec.ReadSameEpoch)
+		return true
+	}
+	return false
+}
+
+// TryWriteFast implements FastPather for VerifiedFT-v1.5.
+func (d *V15) TryWriteFast(t epoch.Tid, x trace.Var) bool {
+	st := d.thread(t)
+	if d.vars.Get(int(x)).loadW() == st.e {
+		st.count(spec.WriteSameEpoch)
+		return true
+	}
+	return false
+}
+
+var (
+	_ FastPather = (*V2)(nil)
+	_ FastPather = (*V15)(nil)
+)

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+func TestTryFastHitsExactlyOnFastRules(t *testing.T) {
+	d := NewV2(DefaultConfig())
+	// Fresh variable: no fast path applies.
+	if d.TryReadFast(0, 0) || d.TryWriteFast(0, 0) {
+		t.Fatal("fast path hit on a fresh variable")
+	}
+	d.Read(0, 0)
+	if !d.TryReadFast(0, 0) {
+		t.Fatal("[Read Same Epoch] fast path missed")
+	}
+	if d.TryWriteFast(0, 0) {
+		t.Fatal("write fast path hit without a prior write")
+	}
+	d.Write(0, 0)
+	if !d.TryWriteFast(0, 0) {
+		t.Fatal("[Write Same Epoch] fast path missed")
+	}
+	// Share the variable; the shared fast path must hit for both readers
+	// on v2 but not on v1.5.
+	d.Fork(0, 1)
+	d.Read(1, 0)
+	d.Read(0, 0)
+	if !d.TryReadFast(1, 0) || !d.TryReadFast(0, 0) {
+		t.Fatal("[Read Shared Same Epoch] fast path missed on v2")
+	}
+
+	d15 := NewV15(DefaultConfig())
+	d15.Fork(0, 1)
+	d15.Read(0, 0)
+	d15.Read(1, 0) // shares
+	if d15.TryReadFast(1, 0) {
+		t.Fatal("v1.5 must not have a lock-free shared fast path")
+	}
+}
+
+// TryX-then-X is behaviorally identical to X: replaying random traces
+// through the failover structure yields the same reports and rule counts
+// as the plain handlers.
+func TestTryFastFailoverEquivalence(t *testing.T) {
+	cfg := trace.DefaultGenConfig()
+	cfg.Ops = 80
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tr := trace.Generate(rng, cfg)
+
+		plain := NewV2(DefaultConfig())
+		Replay(plain, tr)
+
+		split := NewV2(DefaultConfig())
+		for _, op := range tr {
+			switch op.Kind {
+			case trace.Read:
+				if !split.TryReadFast(op.T, op.X) {
+					split.Read(op.T, op.X)
+				}
+			case trace.Write:
+				if !split.TryWriteFast(op.T, op.X) {
+					split.Write(op.T, op.X)
+				}
+			default:
+				Dispatch(split, op)
+			}
+		}
+
+		if pc, sc := plain.RuleCounts(), split.RuleCounts(); pc != sc {
+			t.Fatalf("seed %d: rule counts diverge\nplain: %v\nsplit: %v", seed, pc, sc)
+		}
+		pr, sr := plain.Reports(), split.Reports()
+		if len(pr) != len(sr) {
+			t.Fatalf("seed %d: %d vs %d reports", seed, len(pr), len(sr))
+		}
+		for i := range pr {
+			if pr[i].Rule != sr[i].Rule || pr[i].X != sr[i].X || pr[i].T != sr[i].T {
+				t.Fatalf("seed %d: report %d diverges: %v vs %v", seed, i, pr[i], sr[i])
+			}
+		}
+	}
+}
+
+func TestTryFastCountsRules(t *testing.T) {
+	d := NewV2(DefaultConfig())
+	d.Read(0, 0)
+	for i := 0; i < 5; i++ {
+		if !d.TryReadFast(0, 0) {
+			t.Fatal("miss")
+		}
+	}
+	if got := d.RuleCounts()[spec.ReadSameEpoch]; got != 5 {
+		t.Fatalf("ReadSameEpoch count = %d, want 5", got)
+	}
+}
+
+func BenchmarkTryFastVsFullHandler(b *testing.B) {
+	b.Run("TryReadFast", func(b *testing.B) {
+		d := NewV2(DefaultConfig())
+		d.Read(0, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !d.TryReadFast(0, 1) {
+				b.Fatal("miss")
+			}
+		}
+	})
+	b.Run("FullRead", func(b *testing.B) {
+		d := NewV2(DefaultConfig())
+		d.Read(0, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d.Read(0, 1)
+		}
+	})
+}

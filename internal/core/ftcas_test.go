@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/epoch"
+)
+
+func TestPack32RoundTrip(t *testing.T) {
+	cases := []struct {
+		tid epoch.Tid
+		c   uint64
+	}{
+		{0, 0}, {0, 1}, {1, 0}, {7, 42}, {MaxTid32, MaxClock32},
+	}
+	for _, tc := range cases {
+		e := epoch.Make(tc.tid, tc.c)
+		back := Unpack32(Pack32(e))
+		if back != e {
+			t.Errorf("round trip %v -> %v", e, back)
+		}
+	}
+}
+
+func TestPack32Overflow(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: want panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("tid", func() { Pack32(epoch.Make(MaxTid32+1, 0)) })
+	mustPanic("clock", func() { Pack32(epoch.Make(0, MaxClock32+1)) })
+}
+
+func TestPack32NeverCollidesWithShared(t *testing.T) {
+	f := func(tid uint8, c uint32) bool {
+		tt := epoch.Tid(tid % MaxTid32)
+		e := Pack32(epoch.Make(tt, uint64(c%MaxClock32)))
+		return e != Shared32
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackRW(t *testing.T) {
+	r := Pack32(epoch.Make(3, 9))
+	w := Pack32(epoch.Make(5, 2))
+	rw := packRW(r, w)
+	gr, gw := unpackRW(rw)
+	if gr != r || gw != w {
+		t.Fatalf("unpackRW(packRW) = (%v,%v)", gr, gw)
+	}
+	// Shared marker survives packing in the R half.
+	gr, gw = unpackRW(packRW(Shared32, w))
+	if gr != Shared32 || gw != w {
+		t.Fatal("Shared32 corrupted by packing")
+	}
+}
+
+// Pack32 preserves the same-thread order, the property the CAS fast paths
+// compare through.
+func TestPack32OrderPreserving(t *testing.T) {
+	f := func(c1, c2 uint32) bool {
+		a := epoch.Make(4, uint64(c1%MaxClock32))
+		b := epoch.Make(4, uint64(c2%MaxClock32))
+		return a.Leq(b) == (Pack32(a) <= Pack32(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

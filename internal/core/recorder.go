@@ -1,0 +1,173 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/epoch"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+// Recorder is a Detector that performs no analysis and instead records the
+// event stream as a trace. Because each handler runs inside the acting
+// thread's synchronization context (locks held, fork-before-start,
+// join-after-termination — the rtsim contract), the recorded linearization
+// is always a feasible trace equivalent to the execution observed: per-
+// thread program order is preserved by construction, and same-lock and
+// fork/join orderings are preserved because the recording happens while
+// the corresponding real ordering is in force.
+//
+// Combine with Tee to record the exact event stream an online detector
+// analyzed, then replay it offline through the specification or the
+// happens-before oracle — the bridge the online/offline differential tests
+// are built on.
+type Recorder struct {
+	mu sync.Mutex
+	tr trace.Trace
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Name implements Detector.
+func (r *Recorder) Name() string { return "recorder" }
+
+func (r *Recorder) record(op trace.Op) {
+	r.mu.Lock()
+	r.tr = append(r.tr, op)
+	r.mu.Unlock()
+}
+
+// Read implements Detector.
+func (r *Recorder) Read(t epoch.Tid, x trace.Var) { r.record(trace.Rd(t, x)) }
+
+// Write implements Detector.
+func (r *Recorder) Write(t epoch.Tid, x trace.Var) { r.record(trace.Wr(t, x)) }
+
+// Acquire implements Detector.
+func (r *Recorder) Acquire(t epoch.Tid, m trace.Lock) { r.record(trace.Acq(t, m)) }
+
+// Release implements Detector.
+func (r *Recorder) Release(t epoch.Tid, m trace.Lock) { r.record(trace.Rel(t, m)) }
+
+// Fork implements Detector.
+func (r *Recorder) Fork(t, u epoch.Tid) { r.record(trace.ForkOp(t, u)) }
+
+// Join implements Detector.
+func (r *Recorder) Join(t, u epoch.Tid) { r.record(trace.JoinOp(t, u)) }
+
+// Reports implements Detector; a recorder never reports.
+func (r *Recorder) Reports() []Report { return nil }
+
+// RuleCounts implements Detector; always zero.
+func (r *Recorder) RuleCounts() [spec.NumRules]uint64 {
+	return [spec.NumRules]uint64{}
+}
+
+// Trace returns a copy of the recorded event stream.
+func (r *Recorder) Trace() trace.Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(trace.Trace, len(r.tr))
+	copy(out, r.tr)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.tr)
+}
+
+// Tee is a Detector that fans every event out to several detectors in
+// order — e.g. an analyzing detector plus a Recorder, or two analyzing
+// variants for live cross-checking.
+type Tee struct {
+	ds []Detector
+}
+
+// NewTee combines detectors; at least one is required.
+func NewTee(ds ...Detector) *Tee {
+	if len(ds) == 0 {
+		panic("core: NewTee requires at least one detector")
+	}
+	return &Tee{ds: ds}
+}
+
+// Name implements Detector.
+func (t *Tee) Name() string {
+	name := "tee("
+	for i, d := range t.ds {
+		if i > 0 {
+			name += ","
+		}
+		name += d.Name()
+	}
+	return name + ")"
+}
+
+// Read implements Detector.
+func (t *Tee) Read(tid epoch.Tid, x trace.Var) {
+	for _, d := range t.ds {
+		d.Read(tid, x)
+	}
+}
+
+// Write implements Detector.
+func (t *Tee) Write(tid epoch.Tid, x trace.Var) {
+	for _, d := range t.ds {
+		d.Write(tid, x)
+	}
+}
+
+// Acquire implements Detector.
+func (t *Tee) Acquire(tid epoch.Tid, m trace.Lock) {
+	for _, d := range t.ds {
+		d.Acquire(tid, m)
+	}
+}
+
+// Release implements Detector.
+func (t *Tee) Release(tid epoch.Tid, m trace.Lock) {
+	for _, d := range t.ds {
+		d.Release(tid, m)
+	}
+}
+
+// Fork implements Detector.
+func (t *Tee) Fork(tid, u epoch.Tid) {
+	for _, d := range t.ds {
+		d.Fork(tid, u)
+	}
+}
+
+// Join implements Detector.
+func (t *Tee) Join(tid, u epoch.Tid) {
+	for _, d := range t.ds {
+		d.Join(tid, u)
+	}
+}
+
+// Reports implements Detector: the concatenation of all components'
+// reports, in component order.
+func (t *Tee) Reports() []Report {
+	var out []Report
+	for _, d := range t.ds {
+		out = append(out, d.Reports()...)
+	}
+	return out
+}
+
+// RuleCounts implements Detector: the sum over components (recorders
+// contribute zero).
+func (t *Tee) RuleCounts() [spec.NumRules]uint64 {
+	var out [spec.NumRules]uint64
+	for _, d := range t.ds {
+		c := d.RuleCounts()
+		for i, n := range c {
+			out[i] += n
+		}
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/epoch"
+	"repro/internal/hb"
+	"repro/internal/trace"
+)
+
+func TestRecorderSequential(t *testing.T) {
+	r := NewRecorder()
+	tr := trace.Trace{
+		trace.ForkOp(0, 1),
+		trace.Acq(0, 0), trace.Wr(0, 3), trace.Rel(0, 0),
+		trace.Rd(1, 3),
+		trace.JoinOp(0, 1),
+	}
+	Replay(r, tr)
+	if !reflect.DeepEqual(r.Trace(), tr) {
+		t.Fatalf("recorded %v, want %v", r.Trace(), tr)
+	}
+	if r.Len() != len(tr) {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if r.Reports() != nil || r.RuleCounts() != ([17]uint64{}) {
+		t.Fatal("recorder must not analyze")
+	}
+}
+
+func TestRecorderTraceIsACopy(t *testing.T) {
+	r := NewRecorder()
+	r.Read(0, 0)
+	got := r.Trace()
+	got[0] = trace.Wr(9, 9)
+	if r.Trace()[0] != trace.Rd(0, 0) {
+		t.Fatal("Trace() aliases internal storage")
+	}
+}
+
+func TestTeeFansOut(t *testing.T) {
+	a := NewRecorder()
+	b := NewRecorder()
+	v2 := newDetector(t, "vft-v2")
+	tee := NewTee(v2, a, b)
+	if tee.Name() != "tee(vft-v2,recorder,recorder)" {
+		t.Fatalf("Name = %q", tee.Name())
+	}
+	tr := trace.Trace{trace.ForkOp(0, 1), trace.Wr(0, 0), trace.Wr(1, 0)}
+	Replay(tee, tr)
+	if !reflect.DeepEqual(a.Trace(), tr) || !reflect.DeepEqual(b.Trace(), tr) {
+		t.Fatal("recorders saw different streams")
+	}
+	if len(tee.Reports()) != 1 {
+		t.Fatalf("tee reports = %v", tee.Reports())
+	}
+	counts := tee.RuleCounts()
+	if counts == ([17]uint64{}) {
+		t.Fatal("tee rule counts empty")
+	}
+}
+
+func TestTeeRequiresDetectors(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewTee()
+}
+
+// The concurrency contract: a recorder fed by real goroutines (handlers
+// running in the acting thread under the rtsim contract) must produce a
+// feasible trace whose oracle verdict matches the live detector's. This is
+// the full online→offline loop.
+func TestRecorderConcurrentFeasibility(t *testing.T) {
+	for run := 0; run < 10; run++ {
+		rec := NewRecorder()
+		v2 := newDetector(t, "vft-v2")
+		d := NewTee(v2, rec)
+
+		var locks [2]sync.Mutex
+		var wg sync.WaitGroup
+		const workers = 4
+		for w := 0; w < workers; w++ {
+			tid := epoch.Tid(w + 1)
+			d.Fork(0, tid)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 30; i++ {
+					m := trace.Lock(i % 2)
+					locks[m].Lock()
+					d.Acquire(tid, m)
+					d.Read(tid, trace.Var(m))
+					d.Write(tid, trace.Var(m))
+					d.Release(tid, m)
+					locks[m].Unlock()
+					// Private churn.
+					d.Write(tid, trace.Var(100+int(tid)))
+					d.Read(tid, trace.Var(100+int(tid)))
+				}
+			}()
+		}
+		wg.Wait()
+		for w := 0; w < workers; w++ {
+			d.Join(0, epoch.Tid(w+1))
+		}
+
+		tr := rec.Trace()
+		if err := trace.Validate(tr); err != nil {
+			t.Fatalf("recorded trace infeasible: %v", err)
+		}
+		oracleRace := hb.Analyze(tr).HasRace()
+		liveRace := len(v2.Reports()) > 0
+		if oracleRace != liveRace {
+			t.Fatalf("offline oracle %v vs live detector %v disagree", oracleRace, liveRace)
+		}
+		if oracleRace {
+			t.Fatalf("race-free program produced a racy recording")
+		}
+	}
+}
+
+// Same loop on a racy program: the recording's oracle must find a race
+// whenever it recorded one (the live detector and the offline analysis see
+// the same linearization for the conflicting pair, since racy accesses are
+// recorded in some order and remain unordered by the recorded sync ops).
+func TestRecorderConcurrentRacy(t *testing.T) {
+	rec := NewRecorder()
+	v2 := newDetector(t, "vft-v2")
+	d := NewTee(v2, rec)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		tid := epoch.Tid(w + 1)
+		d.Fork(0, tid)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				d.Write(tid, 7)
+			}
+		}()
+	}
+	wg.Wait()
+	d.Join(0, 1)
+	d.Join(0, 2)
+
+	tr := rec.Trace()
+	trace.MustValidate(tr)
+	if !hb.Analyze(tr).HasRace() {
+		t.Fatal("offline analysis of a racy recording found no race")
+	}
+	if len(v2.Reports()) == 0 {
+		t.Fatal("live detector missed the race")
+	}
+	// Replaying the recording through a fresh detector agrees too.
+	fresh := newDetector(t, "vft-v2")
+	if reports := Replay(fresh, tr); len(reports) == 0 {
+		t.Fatal("replay of the recording missed the race")
+	}
+}

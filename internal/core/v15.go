@@ -1,0 +1,248 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/epoch"
+	"repro/internal/shadow"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+// atomicVarState is the VarState representation shared by the optimized
+// detectors (v1.5, v2, FT-Mutex). Its discipline is the §5 discipline
+// translated to Go:
+//
+//	w — write-protected by mu: stores only under mu, loads anywhere. The
+//	    field is atomic (the paper's volatile) so unlocked loads are
+//	    well-defined.
+//	r — initially write-protected by mu and immutable once Shared; same
+//	    volatile treatment.
+//	v — the read vector. The slice pointer is published atomically;
+//	    entries are written only under mu, and entry t is written only by
+//	    thread t once the variable is Shared. Thread t may read entry t
+//	    without the lock *after* observing r == Shared: the atomic store
+//	    of Shared (release) and the atomic load (acquire) order the
+//	    entry writes of the Share transition before the unlocked read,
+//	    exactly the role VarState's volatile declarations play in §5.
+type atomicVarState struct {
+	mu sync.Mutex
+	w  atomic.Uint64                 // an epoch; zero value is ⊥e (0@0)
+	r  atomic.Uint64                 // an epoch or epoch.Shared
+	v  atomic.Pointer[[]epoch.Epoch] // nil until the first Share transition
+}
+
+func newAtomicVarState(int) *atomicVarState { return &atomicVarState{} }
+
+func (sx *atomicVarState) loadR() epoch.Epoch { return epoch.Epoch(sx.r.Load()) }
+func (sx *atomicVarState) loadW() epoch.Epoch { return epoch.Epoch(sx.w.Load()) }
+
+// getShared reads the read-vector entry for thread t. Callers must either
+// hold mu or be thread t itself having observed r == Shared (the v2
+// fast-path case).
+func (sx *atomicVarState) getShared(t epoch.Tid) epoch.Epoch {
+	p := sx.v.Load()
+	if p == nil || int(t) >= len(*p) {
+		return epoch.Min(t)
+	}
+	return (*p)[t]
+}
+
+// setShared writes the read-vector entry for thread t; mu must be held.
+// Growth copies and republishes the slice (Fig. 3's ensureCapacity); the
+// atomic pointer store makes the copied entries visible to unlocked
+// fast-path readers that load the new pointer.
+func (sx *atomicVarState) setShared(t epoch.Tid, e epoch.Epoch) {
+	var arr []epoch.Epoch
+	if p := sx.v.Load(); p != nil {
+		arr = *p
+	}
+	if int(t) < len(arr) {
+		arr[t] = e
+		return
+	}
+	n := len(arr) * 2
+	if n <= int(t) {
+		n = int(t) + 1
+	}
+	grown := make([]epoch.Epoch, n)
+	copy(grown, arr)
+	for i := len(arr); i < n; i++ {
+		grown[i] = epoch.Min(epoch.Tid(i))
+	}
+	grown[t] = e
+	sx.v.Store(&grown)
+}
+
+// sharedLeq reports Sx.V ⊑ St.V; mu must be held.
+func (sx *atomicVarState) sharedLeq(st *ThreadState) bool {
+	p := sx.v.Load()
+	if p == nil {
+		return true
+	}
+	for _, e := range *p {
+		if !st.vc.EpochLeq(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// sharedEvidence returns the first vector entry not covered by st's clock;
+// mu must be held.
+func (sx *atomicVarState) sharedEvidence(st *ThreadState) epoch.Epoch {
+	p := sx.v.Load()
+	if p == nil {
+		return epoch.Min(0)
+	}
+	for _, e := range *p {
+		if !st.vc.EpochLeq(e) {
+			return e
+		}
+	}
+	return epoch.Min(0)
+}
+
+// readSlow is the read handler's critical section for the atomic
+// representation — the body of Fig. 4's synchronized block (lines 136-151).
+// mu must be held.
+func (sx *atomicVarState) readSlow(st *ThreadState, e epoch.Epoch, sink *reportSink, x trace.Var) spec.Rule {
+	// Re-check the fast-path cases: the state may have changed between
+	// the unlocked pure block and lock acquisition.
+	r := sx.loadR()
+	if r == e {
+		return spec.ReadSameEpoch
+	}
+	if r.IsShared() && sx.getShared(st.T) == e {
+		return spec.ReadSharedSameEpoch
+	}
+	rule := spec.RuleNone
+	// [Write-Read Race]
+	if w := sx.loadW(); !st.vc.EpochLeq(w) {
+		sink.add(Report{Rule: spec.WriteReadRace, T: st.T, X: x, Prev: w})
+		rule = spec.WriteReadRace
+	}
+	switch {
+	case !r.IsShared() && st.vc.EpochLeq(r):
+		// [Read Exclusive]
+		sx.r.Store(uint64(e))
+		if rule == spec.RuleNone {
+			rule = spec.ReadExclusive
+		}
+	case !r.IsShared():
+		// [Read Share]: populate the vector first, then publish Shared —
+		// the release/acquire pair that makes the v2 fast path sound.
+		sx.setShared(r.Tid(), r)
+		sx.setShared(st.T, e)
+		sx.r.Store(uint64(epoch.Shared))
+		if rule == spec.RuleNone {
+			rule = spec.ReadShare
+		}
+	default:
+		// [Read Shared]
+		sx.setShared(st.T, e)
+		if rule == spec.RuleNone {
+			rule = spec.ReadShared
+		}
+	}
+	return rule
+}
+
+// writeSlow is the write handler's critical section for the atomic
+// representation — the body of Fig. 4's synchronized block (lines 161-172).
+// mu must be held.
+func (sx *atomicVarState) writeSlow(st *ThreadState, e epoch.Epoch, sink *reportSink, x trace.Var) spec.Rule {
+	w := sx.loadW()
+	if w == e {
+		return spec.WriteSameEpoch
+	}
+	rule := spec.RuleNone
+	// [Write-Write Race]
+	if !st.vc.EpochLeq(w) {
+		sink.add(Report{Rule: spec.WriteWriteRace, T: st.T, X: x, Prev: w})
+		rule = spec.WriteWriteRace
+	}
+	r := sx.loadR()
+	if !r.IsShared() {
+		// [Read-Write Race]
+		if !st.vc.EpochLeq(r) {
+			sink.add(Report{Rule: spec.ReadWriteRace, T: st.T, X: x, Prev: r})
+			if rule == spec.RuleNone {
+				rule = spec.ReadWriteRace
+			}
+		} else if rule == spec.RuleNone {
+			rule = spec.WriteExclusive
+		}
+	} else {
+		// [Shared-Write Race]
+		if !sx.sharedLeq(st) {
+			sink.add(Report{Rule: spec.SharedWriteRace, T: st.T, X: x, Prev: sx.sharedEvidence(st)})
+			if rule == spec.RuleNone {
+				rule = spec.SharedWriteRace
+			}
+		} else if rule == spec.RuleNone {
+			rule = spec.WriteShared
+		}
+	}
+	// [Write Exclusive] / [Write Shared] update (also the repair action
+	// after a race, so checking continues).
+	sx.w.Store(uint64(e))
+	return rule
+}
+
+// V15 is VerifiedFT-v1.5 (§8, Table 1): v1 with lock-free [Read Same Epoch]
+// and [Write Same Epoch] pure blocks, but — unlike v2 — no lock-free
+// [Read Shared Same Epoch]. The paper includes it to show that optimizing
+// the read-shared case is what rescues benchmarks like sparse and sunflow.
+type V15 struct {
+	syncBase
+	vars *shadow.Table[atomicVarState]
+}
+
+// NewV15 returns a VerifiedFT-v1.5 detector.
+func NewV15(cfg Config) *V15 {
+	return &V15{
+		syncBase: newSyncBase("vft-v1.5", cfg, false),
+		vars:     shadow.NewTable(cfg.Vars, newAtomicVarState),
+	}
+}
+
+// Name implements Detector.
+func (d *V15) Name() string { return "vft-v1.5" }
+
+// Read handles rd(t,x): lock-free [Read Same Epoch] pure block, then the
+// locked slow path.
+func (d *V15) Read(t epoch.Tid, x trace.Var) {
+	st := d.thread(t)
+	e := st.e
+	sx := d.vars.Get(int(x))
+
+	// pure { if (sx.R == e) return } — no lock.
+	if sx.loadR() == e {
+		st.count(spec.ReadSameEpoch)
+		return
+	}
+	sx.mu.Lock()
+	rule := sx.readSlow(st, e, &d.sink, x)
+	sx.mu.Unlock()
+	st.count(rule)
+}
+
+// Write handles wr(t,x): lock-free [Write Same Epoch] pure block, then the
+// locked slow path.
+func (d *V15) Write(t epoch.Tid, x trace.Var) {
+	st := d.thread(t)
+	e := st.e
+	sx := d.vars.Get(int(x))
+
+	// pure { if (sx.W == e) return } — no lock.
+	if sx.loadW() == e {
+		st.count(spec.WriteSameEpoch)
+		return
+	}
+	sx.mu.Lock()
+	rule := sx.writeSlow(st, e, &d.sink, x)
+	sx.mu.Unlock()
+	st.count(rule)
+}

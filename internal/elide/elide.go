@@ -1,0 +1,169 @@
+// Package elide implements dynamic redundant-check elimination in the
+// spirit of RedCard [22] and the check-redundancy work the paper cites
+// (§1, §9): a filter in front of a FastTrack-family detector that skips
+// event-handler invocations whose outcome is provably identical to a check
+// already performed — lowering checking overhead without touching the
+// detector itself, exactly the "compatible and complementary" layering the
+// paper describes (systems like BigFoot reach ~2.5x on top of VerifiedFT-v2
+// this way, §8).
+//
+// The filter is a per-thread direct-mapped cache of (variable, epoch,
+// wrote) triples. Soundness and precision rest on two facts about the
+// analysis state:
+//
+//  1. While thread t stays in epoch e, no other thread u can order itself
+//     after e (e ⪯ C_u would require t to have released since entering e,
+//     which would have changed t's epoch). Hence once t has read x in
+//     epoch e, the variable's read state keeps recording that read (as
+//     R = e or V[t] = e, surviving even a Share transition), and a repeat
+//     read handler is a guaranteed no-op: skipping it changes nothing.
+//  2. Once t has written x in epoch e, W = e persists for the rest of the
+//     epoch (no other thread can pass the W ⪯ C_u check to overwrite it),
+//     so a repeat write handler is a guaranteed [Write Same Epoch] no-op.
+//     A read after a write-only access is also skippable: the handler
+//     would update R, but omitting that update only leaves R smaller —
+//     any future access unordered with t's elided read is also unordered
+//     with t's recorded write in the same epoch and is reported through
+//     the W check, so no race is missed and no false positive created.
+//
+// A write is NOT elidable after only a read (the W := e update matters),
+// which is why cache entries carry the wrote bit.
+package elide
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/epoch"
+	"repro/internal/shadow"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+// cacheSize is the per-thread direct-mapped cache size; a power of two.
+const cacheSize = 512
+
+type entry struct {
+	x     trace.Var
+	e     epoch.Epoch
+	wrote bool
+	valid bool
+}
+
+// threadCache is goroutine-confined, like the detector's ThreadState.
+type threadCache struct {
+	slots  [cacheSize]entry
+	hits   uint64
+	misses uint64
+}
+
+// Elider wraps a vector-clock detector with the redundancy filter. It
+// implements core.Detector and is safe under the same concurrency contract
+// as the detector it wraps.
+type Elider struct {
+	inner  core.Detector
+	epochs core.EpochSource
+	caches *shadow.Table[threadCache]
+}
+
+// New wraps inner, which must expose thread epochs (every vector-clock
+// detector in internal/core does; Eraser does not).
+func New(inner core.Detector) (*Elider, error) {
+	src, ok := inner.(core.EpochSource)
+	if !ok {
+		return nil, fmt.Errorf("elide: detector %s does not expose thread epochs", inner.Name())
+	}
+	return &Elider{
+		inner:  inner,
+		epochs: src,
+		caches: shadow.NewTable(16, func(int) *threadCache { return &threadCache{} }),
+	}, nil
+}
+
+// Name implements core.Detector.
+func (el *Elider) Name() string { return el.inner.Name() + "+elide" }
+
+// Inner returns the wrapped detector.
+func (el *Elider) Inner() core.Detector { return el.inner }
+
+// Read implements core.Detector, skipping reads already covered this epoch.
+func (el *Elider) Read(t epoch.Tid, x trace.Var) {
+	c := el.caches.Get(int(t))
+	slot := &c.slots[uint32(x)&(cacheSize-1)]
+	e := el.epochs.ThreadEpoch(t)
+	if slot.valid && slot.x == x && slot.e == e {
+		c.hits++
+		return // already read or written this epoch: guaranteed no-op
+	}
+	c.misses++
+	el.inner.Read(t, x)
+	// Record the read. The hit test above already covers "same variable,
+	// same epoch", so reaching here means the slot held something else:
+	// evict it. The wrote bit starts false — a read does not license
+	// eliding a later write.
+	slot.x, slot.e, slot.wrote, slot.valid = x, e, false, true
+}
+
+// Write implements core.Detector, skipping repeat same-epoch writes.
+func (el *Elider) Write(t epoch.Tid, x trace.Var) {
+	c := el.caches.Get(int(t))
+	slot := &c.slots[uint32(x)&(cacheSize-1)]
+	e := el.epochs.ThreadEpoch(t)
+	if slot.valid && slot.x == x && slot.e == e && slot.wrote {
+		c.hits++
+		return // W = e already: guaranteed [Write Same Epoch] no-op
+	}
+	c.misses++
+	el.inner.Write(t, x)
+	slot.x, slot.e, slot.wrote, slot.valid = x, e, true, true
+}
+
+// Acquire implements core.Detector. Synchronization operations pass
+// through; epoch changes they cause invalidate cache entries by key.
+func (el *Elider) Acquire(t epoch.Tid, m trace.Lock) { el.inner.Acquire(t, m) }
+
+// Release implements core.Detector.
+func (el *Elider) Release(t epoch.Tid, m trace.Lock) { el.inner.Release(t, m) }
+
+// Fork implements core.Detector.
+func (el *Elider) Fork(t, u epoch.Tid) { el.inner.Fork(t, u) }
+
+// Join implements core.Detector.
+func (el *Elider) Join(t, u epoch.Tid) { el.inner.Join(t, u) }
+
+// Reports implements core.Detector.
+func (el *Elider) Reports() []core.Report { return el.inner.Reports() }
+
+// RuleCounts implements core.Detector. Elided checks fired no rule; the
+// counts reflect what the inner detector actually executed.
+func (el *Elider) RuleCounts() [spec.NumRules]uint64 { return el.inner.RuleCounts() }
+
+// ThreadEpoch implements core.EpochSource, so eliders can stack.
+func (el *Elider) ThreadEpoch(t epoch.Tid) epoch.Epoch {
+	return el.epochs.ThreadEpoch(t)
+}
+
+// Stats reports total cache hits (elided checks) and misses (forwarded
+// checks) across all threads. Call at quiescence.
+func (el *Elider) Stats() (hits, misses uint64) {
+	for _, c := range el.caches.Snapshot() {
+		hits += c.hits
+		misses += c.misses
+	}
+	return
+}
+
+// ElisionRate returns the fraction of accesses skipped, in [0,1].
+func (el *Elider) ElisionRate() float64 {
+	h, m := el.Stats()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// assert interface compliance at compile time.
+var (
+	_ core.Detector    = (*Elider)(nil)
+	_ core.EpochSource = (*Elider)(nil)
+)

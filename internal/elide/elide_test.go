@@ -1,0 +1,234 @@
+package elide
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/epoch"
+	"repro/internal/rtsim"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func newElider(t testing.TB) (*Elider, core.Detector) {
+	t.Helper()
+	inner, err := core.New("vft-v2", core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	el, err := New(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return el, inner
+}
+
+func TestNewRejectsNonEpochDetector(t *testing.T) {
+	eraser, err := core.New("eraser", core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(eraser); err == nil {
+		t.Fatal("eraser has no epochs; New must refuse")
+	}
+}
+
+func TestNameAndInner(t *testing.T) {
+	el, inner := newElider(t)
+	if el.Name() != "vft-v2+elide" {
+		t.Fatalf("Name = %q", el.Name())
+	}
+	if el.Inner() != inner {
+		t.Fatal("Inner mismatch")
+	}
+}
+
+func TestRepeatReadsElided(t *testing.T) {
+	el, _ := newElider(t)
+	el.Read(0, 1)
+	el.Read(0, 1)
+	el.Read(0, 1)
+	h, m := el.Stats()
+	if h != 2 || m != 1 {
+		t.Fatalf("hits=%d misses=%d, want 2/1", h, m)
+	}
+}
+
+func TestWriteAfterReadNotElided(t *testing.T) {
+	el, _ := newElider(t)
+	el.Read(0, 1)
+	el.Write(0, 1) // must reach the detector: W update matters
+	el.Write(0, 1) // now elidable
+	el.Read(0, 1)  // covered by the write entry
+	h, m := el.Stats()
+	if m != 2 {
+		t.Fatalf("misses = %d, want 2 (first read, first write)", m)
+	}
+	if h != 2 {
+		t.Fatalf("hits = %d, want 2", h)
+	}
+}
+
+func TestEpochChangeInvalidates(t *testing.T) {
+	el, _ := newElider(t)
+	el.Read(0, 1)
+	el.Acquire(0, 0)
+	el.Release(0, 0) // epoch bump
+	el.Read(0, 1)    // fresh epoch: must reach the detector
+	_, m := el.Stats()
+	if m != 2 {
+		t.Fatalf("misses = %d, want 2", m)
+	}
+}
+
+func TestCacheCollisionEvicts(t *testing.T) {
+	el, _ := newElider(t)
+	el.Read(0, 1)
+	el.Read(0, 1+cacheSize) // same slot, different variable
+	el.Read(0, 1)           // evicted: miss again — conservative, correct
+	h, m := el.Stats()
+	if h != 0 || m != 3 {
+		t.Fatalf("hits=%d misses=%d, want 0/3", h, m)
+	}
+}
+
+// Precision: on random feasible traces, the elided detector finds races at
+// exactly the same first position and on exactly the same variables as the
+// plain one, and every report it emits is one the plain detector also
+// emits. The report *multisets* can legitimately differ: eliding a
+// read-after-write skips the R := E_t refresh, so a later racing write may
+// be evidenced once (through W) where the plain detector reports the same
+// racing access twice (through W and through R) — the races found are the
+// same, the duplicate evidence is not.
+func TestElisionPreservesVerdicts(t *testing.T) {
+	cfg := trace.DefaultGenConfig()
+	cfg.Ops = 80
+	for seed := int64(0); seed < 300; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tr := trace.Generate(rng, cfg)
+
+		plain, err := core.New("vft-v2", core.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		plainFirst := core.FirstReportPosition(plain, tr)
+
+		el, _ := newElider(t)
+		elFirst := core.FirstReportPosition(el, tr)
+
+		if plainFirst != elFirst {
+			t.Fatalf("seed %d: plain first report at %d, elided at %d\ntrace: %v",
+				seed, plainFirst, elFirst, tr)
+		}
+		pr, er := plain.Reports(), el.Reports()
+		if !reflect.DeepEqual(reportedVars(pr), reportedVars(er)) {
+			t.Fatalf("seed %d: racy variable sets diverge\nplain:  %v\nelided: %v", seed, pr, er)
+		}
+		plainSet := map[core.Report]bool{}
+		for _, r := range pr {
+			plainSet[stripMeta(r)] = true
+		}
+		for _, r := range er {
+			if !plainSet[stripMeta(r)] {
+				t.Fatalf("seed %d: elided emitted a report the plain detector did not: %v\nplain: %v",
+					seed, r, pr)
+			}
+		}
+	}
+}
+
+func reportedVars(rs []core.Report) map[trace.Var]bool {
+	out := map[trace.Var]bool{}
+	for _, r := range rs {
+		out[r.X] = true
+	}
+	return out
+}
+
+func stripMeta(r core.Report) core.Report {
+	r.Seq = 0
+	r.Detector = ""
+	return r
+}
+
+// The elider composes with every vector-clock detector.
+func TestElisionOverEveryVariant(t *testing.T) {
+	tr := trace.Trace{
+		trace.ForkOp(0, 1),
+		trace.Wr(0, 0), trace.Wr(0, 0), // second is elided
+		trace.Rd(1, 0), // races
+	}
+	for _, name := range core.PreciseVariants() {
+		inner, err := core.New(name, core.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		el, err := New(inner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		core.Replay(el, tr)
+		if len(el.Reports()) == 0 {
+			t.Errorf("%s+elide missed the race", name)
+		}
+		if h, _ := el.Stats(); h != 1 {
+			t.Errorf("%s+elide: hits = %d, want 1", name, h)
+		}
+	}
+}
+
+// Concurrent use under -race: per-thread caches are goroutine-confined.
+func TestElisionConcurrent(t *testing.T) {
+	el, _ := newElider(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		tid := epoch.Tid(w + 1)
+		el.Fork(0, tid)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			priv := trace.Var(100 + int(tid))
+			for i := 0; i < 200; i++ {
+				el.Write(tid, priv)
+				el.Read(tid, priv)
+			}
+		}()
+	}
+	wg.Wait()
+	for w := 0; w < 4; w++ {
+		el.Join(0, epoch.Tid(w+1))
+	}
+	if len(el.Reports()) != 0 {
+		t.Fatalf("false positives: %v", el.Reports())
+	}
+	if rate := el.ElisionRate(); rate < 0.9 {
+		t.Errorf("elision rate %.2f on pure same-epoch churn, want > 0.9", rate)
+	}
+}
+
+// On the workload suite, elision removes a large share of handler calls and
+// never changes the (race-free) verdict — the E10 extension claim.
+func TestElisionOnWorkloads(t *testing.T) {
+	for _, name := range []string{"crypt", "montecarlo", "sparse", "tomcat"} {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		el, _ := newElider(t)
+		rt := rtsim.New(el)
+		w.Run(rt, w.TestSize)
+		if len(rt.Reports()) != 0 {
+			t.Fatalf("%s+elide: false positives: %v", name, rt.Reports()[0])
+		}
+		rate := el.ElisionRate()
+		t.Logf("%s: elision rate %.1f%%", name, rate*100)
+		if name == "crypt" || name == "montecarlo" {
+			if rate < 0.5 {
+				t.Errorf("%s: elision rate %.2f, want > 0.5 on same-epoch-heavy kernels", name, rate)
+			}
+		}
+	}
+}

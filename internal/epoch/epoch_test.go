@@ -1,0 +1,181 @@
+package epoch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeRoundTrip(t *testing.T) {
+	cases := []struct {
+		tid Tid
+		c   uint64
+	}{
+		{0, 0},
+		{0, 1},
+		{1, 0},
+		{7, 42},
+		{MaxTid, MaxClock},
+		{255, 1 << 30},
+	}
+	for _, tc := range cases {
+		e := Make(tc.tid, tc.c)
+		if e.Tid() != tc.tid {
+			t.Errorf("Make(%d,%d).Tid() = %d", tc.tid, tc.c, e.Tid())
+		}
+		if e.Clock() != tc.c {
+			t.Errorf("Make(%d,%d).Clock() = %d", tc.tid, tc.c, e.Clock())
+		}
+	}
+}
+
+func TestMakeOutOfRangePanics(t *testing.T) {
+	mustPanic(t, "tid", func() { Make(MaxTid+1, 0) })
+	mustPanic(t, "clock", func() { Make(0, MaxClock+1) })
+}
+
+func TestSharedIsNotAnEpoch(t *testing.T) {
+	if !Shared.IsShared() {
+		t.Fatal("Shared.IsShared() = false")
+	}
+	// No Make result may collide with Shared.
+	if Make(MaxTid, MaxClock) == Shared {
+		t.Fatal("Make(MaxTid, MaxClock) collides with Shared")
+	}
+	if Make(0, 0).IsShared() {
+		t.Fatal("zero epoch reported as Shared")
+	}
+}
+
+func TestLeqSameThread(t *testing.T) {
+	a := Make(3, 5)
+	b := Make(3, 9)
+	if !a.Leq(b) {
+		t.Error("3@5 <= 3@9 should hold")
+	}
+	if b.Leq(a) {
+		t.Error("3@9 <= 3@5 should not hold")
+	}
+	if !a.Leq(a) {
+		t.Error("Leq not reflexive")
+	}
+}
+
+func TestLeqCrossThreadPanics(t *testing.T) {
+	mustPanic(t, "cross-thread Leq", func() { Make(1, 0).Leq(Make(2, 0)) })
+	mustPanic(t, "cross-thread Max", func() { Make(1, 0).Max(Make(2, 0)) })
+}
+
+func TestMax(t *testing.T) {
+	a := Make(4, 10)
+	b := Make(4, 3)
+	if got := a.Max(b); got != a {
+		t.Errorf("Max = %v, want %v", got, a)
+	}
+	if got := b.Max(a); got != a {
+		t.Errorf("Max = %v, want %v", got, a)
+	}
+	if got := a.Max(a); got != a {
+		t.Errorf("Max not idempotent: %v", got)
+	}
+}
+
+func TestInc(t *testing.T) {
+	e := Make(2, 7)
+	inc := e.Inc()
+	if inc.Tid() != 2 || inc.Clock() != 8 {
+		t.Errorf("Inc(2@7) = %v, want 2@8", inc)
+	}
+	if !e.Leq(inc) || inc.Leq(e) {
+		t.Error("e < Inc(e) violated")
+	}
+}
+
+func TestIncOverflowPanics(t *testing.T) {
+	mustPanic(t, "overflow", func() { Make(0, MaxClock).Inc() })
+}
+
+func TestMin(t *testing.T) {
+	for _, tid := range []Tid{0, 1, 99} {
+		m := Min(tid)
+		if m.Tid() != tid || m.Clock() != 0 {
+			t.Errorf("Min(%d) = %v", tid, m)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := Make(1, 4).String(); s != "1@4" {
+		t.Errorf("String = %q, want 1@4", s)
+	}
+	if s := Shared.String(); s != "SHARED" {
+		t.Errorf("Shared.String = %q", s)
+	}
+}
+
+// Property: for any same-thread epochs, Max is the Leq-least upper bound.
+func TestQuickMaxIsLub(t *testing.T) {
+	f := func(tid uint16, c1, c2 uint32) bool {
+		tt := Tid(tid % MaxTid)
+		a, b := Make(tt, uint64(c1)), Make(tt, uint64(c2))
+		m := a.Max(b)
+		return a.Leq(m) && b.Leq(m) && (m == a || m == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Leq is a total order on epochs of one thread (antisymmetric,
+// transitive, total).
+func TestQuickLeqTotalOrder(t *testing.T) {
+	f := func(c1, c2, c3 uint32) bool {
+		a, b, c := Make(5, uint64(c1)), Make(5, uint64(c2)), Make(5, uint64(c3))
+		total := a.Leq(b) || b.Leq(a)
+		antisym := !(a.Leq(b) && b.Leq(a)) || a == b
+		trans := !(a.Leq(b) && b.Leq(c)) || a.Leq(c)
+		return total && antisym && trans
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: packing preserves lexicographic identity — two epochs are equal
+// iff their components are.
+func TestQuickPackingInjective(t *testing.T) {
+	f := func(t1, t2 uint16, c1, c2 uint32) bool {
+		e1 := Make(Tid(t1%MaxTid), uint64(c1))
+		e2 := Make(Tid(t2%MaxTid), uint64(c2))
+		same := e1.Tid() == e2.Tid() && e1.Clock() == e2.Clock()
+		return (e1 == e2) == same
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomizedIncChains(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		tid := Tid(rng.Intn(100))
+		e := Min(tid)
+		steps := rng.Intn(50)
+		for j := 0; j < steps; j++ {
+			e = e.Inc()
+		}
+		if e.Clock() != uint64(steps) || e.Tid() != tid {
+			t.Fatalf("after %d incs: %v", steps, e)
+		}
+	}
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

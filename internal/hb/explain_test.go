@@ -1,0 +1,180 @@
+package hb
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestWitnessLockChain(t *testing.T) {
+	tr := trace.Trace{
+		trace.ForkOp(0, 1), // 0
+		trace.Wr(0, 0),     // 1
+		trace.Acq(0, 0),    // 2
+		trace.Rel(0, 0),    // 3
+		trace.Acq(1, 0),    // 4
+		trace.Rd(1, 0),     // 5
+		trace.Rel(1, 0),    // 6
+	}
+	g := BuildExplainedGraph(tr)
+	chain := g.Witness(1, 5)
+	if chain == nil {
+		t.Fatal("ordered pair has no witness")
+	}
+	validateChain(t, g, chain, 1, 5)
+	// The chain must pass through the lock handoff.
+	hasLockEdge := false
+	for _, e := range chain {
+		if e.Kind == LockOrder && e.M == 0 {
+			hasLockEdge = true
+		}
+	}
+	if !hasLockEdge {
+		t.Fatalf("witness skips the lock order: %v", chain)
+	}
+}
+
+func TestWitnessForkJoin(t *testing.T) {
+	tr := trace.Trace{
+		trace.Wr(0, 0),     // 0
+		trace.ForkOp(0, 1), // 1
+		trace.Rd(1, 0),     // 2
+		trace.JoinOp(0, 1), // 3
+		trace.Wr(0, 0),     // 4
+	}
+	g := BuildExplainedGraph(tr)
+	// Write before fork happens before child's read, via a fork edge.
+	chain := g.Witness(0, 2)
+	validateChain(t, g, chain, 0, 2)
+	seenFork := false
+	for _, e := range chain {
+		if e.Kind == ForkOrder {
+			seenFork = true
+		}
+	}
+	if !seenFork {
+		t.Fatalf("no fork edge in %v", chain)
+	}
+	// Child's read happens before the post-join write, via a join edge.
+	chain = g.Witness(2, 4)
+	validateChain(t, g, chain, 2, 4)
+	seenJoin := false
+	for _, e := range chain {
+		if e.Kind == JoinOrder {
+			seenJoin = true
+		}
+	}
+	if !seenJoin {
+		t.Fatalf("no join edge in %v", chain)
+	}
+}
+
+func TestWitnessNilForUnorderedPair(t *testing.T) {
+	tr := trace.Trace{
+		trace.ForkOp(0, 1),
+		trace.Wr(0, 0),
+		trace.Wr(1, 0),
+	}
+	g := BuildExplainedGraph(tr)
+	if chain := g.Witness(1, 2); chain != nil {
+		t.Fatalf("racy pair got a witness: %v", chain)
+	}
+}
+
+// Every verdict agrees with the oracle, and every returned chain is a
+// genuine edge path, on random feasible traces.
+func TestExplainConflictsAgreesWithOracle(t *testing.T) {
+	cfg := trace.DefaultGenConfig()
+	cfg.Ops = 40
+	for seed := int64(0); seed < 100; seed++ {
+		tr := trace.Generate(rand.New(rand.NewSource(seed)), cfg)
+		g := BuildExplainedGraph(tr)
+		races := map[RacePair]bool{}
+		for _, r := range Analyze(tr).Races {
+			races[r] = true
+		}
+		nRaces := 0
+		for _, v := range g.ExplainConflicts() {
+			isRace := races[RacePair{v.First, v.Second}]
+			if v.Ordered == isRace {
+				t.Fatalf("seed %d: pair (%d,%d) ordered=%v but oracle race=%v",
+					seed, v.First, v.Second, v.Ordered, isRace)
+			}
+			if v.Ordered {
+				validateChain(t, g, v.Chain, v.First, v.Second)
+			} else {
+				nRaces++
+			}
+		}
+		if nRaces != len(races) {
+			t.Fatalf("seed %d: explain found %d races, oracle %d", seed, nRaces, len(races))
+		}
+	}
+}
+
+// validateChain checks a witness is a contiguous path of genuine edges.
+func validateChain(t *testing.T, g *ExplainedGraph, chain []Edge, from, to int) {
+	t.Helper()
+	if len(chain) == 0 {
+		t.Fatal("empty chain")
+	}
+	if chain[0].From != from || chain[len(chain)-1].To != to {
+		t.Fatalf("chain endpoints %d..%d, want %d..%d",
+			chain[0].From, chain[len(chain)-1].To, from, to)
+	}
+	for i, e := range chain {
+		if e.From >= e.To {
+			t.Fatalf("edge %v goes backwards", e)
+		}
+		if i > 0 && chain[i-1].To != e.From {
+			t.Fatalf("chain discontinuous at %d: %v then %v", i, chain[i-1], e)
+		}
+		// The edge must exist in the labeled adjacency.
+		found := false
+		for _, real := range g.out[e.From] {
+			if real == e {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("fabricated edge %v", e)
+		}
+	}
+}
+
+func TestFormatVerdicts(t *testing.T) {
+	tr := trace.Trace{
+		trace.ForkOp(0, 1),
+		trace.Acq(0, 0), trace.Wr(0, 0), trace.Rel(0, 0),
+		trace.Acq(1, 0), trace.Rd(1, 0), trace.Rel(1, 0),
+		trace.Wr(1, 1),
+	}
+	tr = append(tr, trace.Wr(0, 1)) // races with #7
+	g := BuildExplainedGraph(tr)
+	verdicts := g.ExplainConflicts()
+	var ordered, raced string
+	for _, v := range verdicts {
+		s := g.Format(v)
+		if v.Ordered {
+			ordered = s
+		} else {
+			raced = s
+		}
+	}
+	if !strings.Contains(ordered, "ordered") || !strings.Contains(ordered, "lock order on m0") {
+		t.Errorf("ordered format: %s", ordered)
+	}
+	if !strings.Contains(raced, "RACE") {
+		t.Errorf("race format: %s", raced)
+	}
+}
+
+func TestEdgeKindStrings(t *testing.T) {
+	if ProgramOrder.String() != "program order" || LockOrder.String() != "lock order" ||
+		ForkOrder.String() != "fork" || JoinOrder.String() != "join" {
+		t.Error("EdgeKind strings wrong")
+	}
+}

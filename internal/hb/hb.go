@@ -1,0 +1,245 @@
+// Package hb computes the happens-before relation of §2 over a trace and
+// decides, independently of any detector, whether the trace contains a data
+// race. It is the gold standard the precision theorem (Theorem 3.1) is
+// tested against: the Fig. 2 specification must report an error if and only
+// if this oracle finds two concurrent conflicting accesses.
+//
+// Two independent algorithms are provided and cross-checked in the tests:
+//
+//   - a vector-clock forward pass (O(n·threads)), the classic
+//     Mattern/DJIT+ construction; and
+//   - an explicit order-graph with transitive closure (O(n²) reachability),
+//     which follows the §2 definition nearly literally and therefore serves
+//     as the semantic reference for the faster pass.
+package hb
+
+import (
+	"fmt"
+
+	"repro/internal/epoch"
+	"repro/internal/trace"
+	"repro/internal/vc"
+)
+
+// RacePair identifies two conflicting, concurrent accesses by their indices
+// in the trace (First < Second).
+type RacePair struct {
+	First, Second int
+}
+
+func (r RacePair) String() string {
+	return fmt.Sprintf("race(#%d,#%d)", r.First, r.Second)
+}
+
+// Report is the oracle's verdict on a trace.
+type Report struct {
+	Trace trace.Trace
+	// Races lists every concurrent conflicting pair in lexicographic order
+	// of (Second, First): grouped by the access that completes the race,
+	// which is where an online detector can first observe it.
+	Races []RacePair
+}
+
+// HasRace reports whether any race was found.
+func (r *Report) HasRace() bool { return len(r.Races) > 0 }
+
+// FirstRaceAt returns the trace index of the earliest access that completes
+// a race — the position at which the Fig. 2 specification transitions to
+// Error — or -1 if the trace is race-free.
+func (r *Report) FirstRaceAt() int {
+	if len(r.Races) == 0 {
+		return -1
+	}
+	return r.Races[0].Second
+}
+
+// access is the bookkeeping for one memory access in the VC pass.
+type access struct {
+	index int
+	op    trace.Op
+	ep    epoch.Epoch // the acting thread's epoch at the access
+}
+
+// Analyze runs the vector-clock pass over a feasible core-language trace.
+// Extended operations must be lowered with Desugar first; Analyze panics on
+// them so misuse cannot silently produce wrong verdicts.
+func Analyze(tr trace.Trace) *Report {
+	threads := map[epoch.Tid]*vc.VC{}
+	locks := map[trace.Lock]*vc.VC{}
+	clockOf := func(t epoch.Tid) *vc.VC {
+		c, ok := threads[t]
+		if !ok {
+			// Initial state S0 gives every thread clock inc_t(⊥V): its own
+			// entry is t@1 so fresh threads are never confused with the
+			// minimal epoch.
+			c = vc.New()
+			c.Inc(t)
+			threads[t] = c
+		}
+		return c
+	}
+
+	// Per-variable access history. Keeping every access is O(n²) worst
+	// case, but the oracle exists for test traces, where clarity wins.
+	history := map[trace.Var][]access{}
+
+	rep := &Report{Trace: tr}
+	for i, op := range tr {
+		ct := clockOf(op.T)
+		switch op.Kind {
+		case trace.Read, trace.Write:
+			ep := ct.Get(op.T)
+			for _, prev := range history[op.X] {
+				if !prev.op.Conflicts(op) {
+					continue
+				}
+				// prev happens before op iff prev's epoch ⪯ op's clock.
+				if !ct.EpochLeq(prev.ep) {
+					rep.Races = append(rep.Races, RacePair{prev.index, i})
+				}
+			}
+			history[op.X] = append(history[op.X], access{i, op, ep})
+		case trace.Acquire:
+			if lm, ok := locks[op.M]; ok {
+				ct.Join(lm)
+			}
+		case trace.Release:
+			lm, ok := locks[op.M]
+			if !ok {
+				lm = vc.New()
+				locks[op.M] = lm
+			}
+			lm.Assign(ct)
+			ct.Inc(op.T)
+		case trace.Fork:
+			cu := clockOf(op.U)
+			cu.Join(ct)
+			ct.Inc(op.T)
+		case trace.Join:
+			ct.Join(clockOf(op.U))
+		default:
+			panic(fmt.Sprintf("hb: Analyze on extended op %v (Desugar first)", op))
+		}
+	}
+	return rep
+}
+
+// Graph is the explicit happens-before order graph of a trace: node i is
+// operation i, and Reach(i,j) decides i <α j.
+type Graph struct {
+	tr    trace.Trace
+	reach []bitset // reach[i] has bit j set iff i <α j
+}
+
+// BuildGraph constructs the order graph per the §2 definition: edges for
+// program order, for any two operations on the same lock, and for
+// fork/join edges to/from the child thread's operations; then takes the
+// transitive closure.
+func BuildGraph(tr trace.Trace) *Graph {
+	n := len(tr)
+	adj := make([]bitset, n)
+	for i := range adj {
+		adj[i] = newBitset(n)
+	}
+	lastOfThread := map[epoch.Tid]int{}
+	lockOps := map[trace.Lock][]int{}
+
+	for i, op := range tr {
+		if p, ok := lastOfThread[op.T]; ok {
+			adj[p].set(i) // program order
+		}
+		lastOfThread[op.T] = i
+
+		switch op.Kind {
+		case trace.Acquire, trace.Release:
+			// §2 orders *any* two operations on the same lock; chaining
+			// consecutive ones yields the same closure.
+			ops := lockOps[op.M]
+			if len(ops) > 0 {
+				adj[ops[len(ops)-1]].set(i)
+			}
+			lockOps[op.M] = append(ops, i)
+		case trace.Fork:
+			// fork(t,u) precedes every later operation of u; the edge to
+			// u's first op suffices (program order chains the rest). The
+			// child's first op necessarily comes later, so just record the
+			// fork as the child's "last op" for the program-order chain.
+			if _, ok := lastOfThread[op.U]; !ok {
+				lastOfThread[op.U] = i
+			}
+		case trace.Join:
+			// every operation of u precedes join(t,u); the edge from u's
+			// last op suffices.
+			if p, ok := lastOfThread[op.U]; ok {
+				adj[p].set(i)
+			}
+		default:
+			if !op.Kind.IsCore() {
+				panic(fmt.Sprintf("hb: BuildGraph on extended op %v", op))
+			}
+		}
+	}
+
+	// Transitive closure, processing nodes in reverse: reach(i) = adj(i) ∪
+	// union of reach(j) for j in adj(i). Edges always go forward in trace
+	// order, so one reverse pass completes the closure.
+	reach := make([]bitset, n)
+	for i := n - 1; i >= 0; i-- {
+		r := adj[i].clone()
+		for j := i + 1; j < n; j++ {
+			if adj[i].get(j) {
+				r.or(reach[j])
+			}
+		}
+		reach[i] = r
+	}
+	return &Graph{tr: tr, reach: reach}
+}
+
+// HappensBefore reports i <α j (strictly).
+func (g *Graph) HappensBefore(i, j int) bool {
+	if i == j {
+		return false
+	}
+	if i > j {
+		return false // edges only go forward in a linearized trace
+	}
+	return g.reach[i].get(j)
+}
+
+// Races enumerates all concurrent conflicting pairs via the closure.
+func (g *Graph) Races() []RacePair {
+	var out []RacePair
+	for j, b := range g.tr {
+		if !b.IsAccess() {
+			continue
+		}
+		for i := 0; i < j; i++ {
+			a := g.tr[i]
+			if a.Conflicts(b) && !g.HappensBefore(i, j) {
+				out = append(out, RacePair{i, j})
+			}
+		}
+	}
+	return out
+}
+
+// bitset is a simple fixed-size bitset.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (i % 64) }
+func (b bitset) get(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+
+func (b bitset) clone() bitset {
+	out := make(bitset, len(b))
+	copy(out, b)
+	return out
+}
+
+func (b bitset) or(other bitset) {
+	for i := range other {
+		b[i] |= other[i]
+	}
+}

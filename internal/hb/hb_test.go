@@ -1,0 +1,260 @@
+package hb
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestSimpleWriteWriteRace(t *testing.T) {
+	tr := trace.Trace{
+		trace.ForkOp(0, 1),
+		trace.Wr(0, 0),
+		trace.Wr(1, 0),
+	}
+	rep := Analyze(tr)
+	if !rep.HasRace() {
+		t.Fatal("expected race")
+	}
+	want := []RacePair{{1, 2}}
+	if !reflect.DeepEqual(rep.Races, want) {
+		t.Fatalf("Races = %v, want %v", rep.Races, want)
+	}
+	if rep.FirstRaceAt() != 2 {
+		t.Fatalf("FirstRaceAt = %d", rep.FirstRaceAt())
+	}
+}
+
+func TestLockProtectedIsRaceFree(t *testing.T) {
+	tr := trace.Trace{
+		trace.ForkOp(0, 1),
+		trace.Acq(0, 0), trace.Wr(0, 0), trace.Rel(0, 0),
+		trace.Acq(1, 0), trace.Wr(1, 0), trace.Rel(1, 0),
+	}
+	if rep := Analyze(tr); rep.HasRace() {
+		t.Fatalf("unexpected races: %v", rep.Races)
+	}
+}
+
+func TestForkOrdersChildAfterParent(t *testing.T) {
+	tr := trace.Trace{
+		trace.Wr(0, 0),
+		trace.ForkOp(0, 1),
+		trace.Rd(1, 0),
+	}
+	if rep := Analyze(tr); rep.HasRace() {
+		t.Fatalf("fork edge missed: %v", rep.Races)
+	}
+	// Parent access AFTER the fork does race with the child.
+	tr = trace.Trace{
+		trace.ForkOp(0, 1),
+		trace.Wr(0, 0),
+		trace.Rd(1, 0),
+	}
+	if rep := Analyze(tr); !rep.HasRace() {
+		t.Fatal("expected parent/child race after fork")
+	}
+}
+
+func TestJoinOrdersChildBeforeParent(t *testing.T) {
+	tr := trace.Trace{
+		trace.ForkOp(0, 1),
+		trace.Wr(1, 0),
+		trace.JoinOp(0, 1),
+		trace.Rd(0, 0),
+	}
+	if rep := Analyze(tr); rep.HasRace() {
+		t.Fatalf("join edge missed: %v", rep.Races)
+	}
+}
+
+func TestReadReadNeverRaces(t *testing.T) {
+	tr := trace.Trace{
+		trace.ForkOp(0, 1),
+		trace.Rd(0, 0),
+		trace.Rd(1, 0),
+	}
+	if rep := Analyze(tr); rep.HasRace() {
+		t.Fatal("read-read reported as race")
+	}
+}
+
+// The Fig. 1 trace: A writes x and releases m; B acquires m and reads x
+// (race-free: ordered by the lock); A reads x (concurrent with B's read but
+// reads don't conflict); A writes x — this write races with B's read.
+func TestFigure1Race(t *testing.T) {
+	const (
+		A, B = 0, 1
+		x    = trace.Var(0)
+		m    = trace.Lock(0)
+	)
+	tr := trace.Trace{
+		trace.ForkOp(A, B),
+		trace.Acq(A, m),
+		trace.Wr(A, x), // x = 0
+		trace.Rel(A, m),
+		trace.Acq(B, m),
+		trace.Rd(B, x), // s = x
+		trace.Rel(B, m),
+		trace.Rd(A, x), // t = x (concurrent with B's read — no conflict)
+		trace.Wr(A, x), // x = 1 — races with B's read
+	}
+	trace.MustValidate(tr)
+	rep := Analyze(tr)
+	if !rep.HasRace() {
+		t.Fatal("Fig. 1 race missed")
+	}
+	if rep.FirstRaceAt() != 8 {
+		t.Fatalf("race completes at #%d, want 8 (the final write)", rep.FirstRaceAt())
+	}
+	for _, r := range rep.Races {
+		if r.Second != 8 {
+			t.Fatalf("unexpected race %v", r)
+		}
+	}
+}
+
+func TestTransitiveOrderThroughTwoLocks(t *testing.T) {
+	// 0 writes x, releases m0; 1 acquires m0, releases m1; 2 acquires m1,
+	// reads x. Ordered only transitively through two different locks.
+	tr := trace.Trace{
+		trace.ForkOp(0, 1),
+		trace.ForkOp(0, 2),
+		trace.Wr(0, 0),
+		trace.Acq(0, 0), trace.Rel(0, 0),
+		trace.Acq(1, 0), trace.Acq(1, 1), trace.Rel(1, 1), trace.Rel(1, 0),
+		trace.Acq(2, 1), trace.Rd(2, 0), trace.Rel(2, 1),
+	}
+	trace.MustValidate(tr)
+	if rep := Analyze(tr); rep.HasRace() {
+		t.Fatalf("transitive order missed: %v", rep.Races)
+	}
+}
+
+func TestGraphHappensBeforeBasics(t *testing.T) {
+	tr := trace.Trace{
+		trace.Wr(0, 0),     // 0
+		trace.ForkOp(0, 1), // 1
+		trace.Rd(1, 0),     // 2
+		trace.JoinOp(0, 1), // 3
+		trace.Wr(0, 0),     // 4
+	}
+	g := BuildGraph(tr)
+	for _, tc := range []struct {
+		i, j int
+		want bool
+	}{
+		{0, 1, true},  // program order
+		{0, 2, true},  // via fork
+		{1, 2, true},  // fork edge
+		{2, 3, true},  // join edge
+		{2, 4, true},  // transitive through join
+		{2, 2, false}, // irreflexive
+		{4, 2, false}, // no backward order
+	} {
+		if got := g.HappensBefore(tc.i, tc.j); got != tc.want {
+			t.Errorf("HappensBefore(%d,%d) = %v, want %v", tc.i, tc.j, got, tc.want)
+		}
+	}
+	if races := g.Races(); len(races) != 0 {
+		t.Fatalf("unexpected graph races: %v", races)
+	}
+}
+
+func TestGraphLockEdges(t *testing.T) {
+	tr := trace.Trace{
+		trace.ForkOp(0, 1), // 0
+		trace.Acq(0, 0),    // 1
+		trace.Wr(0, 0),     // 2
+		trace.Rel(0, 0),    // 3
+		trace.Acq(1, 0),    // 4
+		trace.Rd(1, 0),     // 5
+		trace.Rel(1, 0),    // 6
+	}
+	g := BuildGraph(tr)
+	if !g.HappensBefore(2, 5) {
+		t.Fatal("lock-ordered accesses not ordered in graph")
+	}
+	if races := g.Races(); len(races) != 0 {
+		t.Fatalf("unexpected races: %v", races)
+	}
+}
+
+// The two algorithms must agree on every randomly generated feasible trace.
+func TestVCPassAgreesWithGraphClosure(t *testing.T) {
+	cfg := trace.DefaultGenConfig()
+	cfg.Ops = 50
+	for seed := int64(0); seed < 300; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tr := trace.Generate(rng, cfg)
+		vcRaces := Analyze(tr).Races
+		graphRaces := BuildGraph(tr).Races()
+		sortPairs(vcRaces)
+		sortPairs(graphRaces)
+		if !reflect.DeepEqual(vcRaces, graphRaces) {
+			t.Fatalf("seed %d: VC pass %v vs graph %v\ntrace: %v",
+				seed, vcRaces, graphRaces, tr)
+		}
+	}
+}
+
+func sortPairs(ps []RacePair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Second != ps[j].Second {
+			return ps[i].Second < ps[j].Second
+		}
+		return ps[i].First < ps[j].First
+	})
+}
+
+func TestAnalyzePanicsOnExtendedOps(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on extended op")
+		}
+	}()
+	Analyze(trace.Trace{trace.VRd(0, 0)})
+}
+
+func TestDesugaredVolatileOrders(t *testing.T) {
+	// Writer publishes via volatile; reader checks the flag then reads the
+	// data. Race-free after desugaring.
+	tr := trace.Trace{
+		trace.ForkOp(0, 1),
+		trace.Wr(0, 0),  // data
+		trace.VWr(0, 9), // flag
+		trace.VRd(1, 9),
+		trace.Rd(1, 0),
+	}
+	low := tr.Desugar(nil)
+	if rep := Analyze(low); rep.HasRace() {
+		t.Fatalf("volatile ordering missed: %v", rep.Races)
+	}
+}
+
+func TestDesugaredBarrierOrders(t *testing.T) {
+	tr := trace.Trace{
+		trace.ForkOp(0, 1),
+		trace.Wr(0, 0),
+		trace.BarrierOp(0, 0),
+		trace.BarrierOp(1, 0),
+		trace.Rd(1, 0),
+	}
+	low := tr.Desugar(map[trace.Lock]int{0: 2})
+	if rep := Analyze(low); rep.HasRace() {
+		t.Fatalf("barrier ordering missed: %v", rep.Races)
+	}
+}
+
+func BenchmarkAnalyze(b *testing.B) {
+	cfg := trace.DefaultGenConfig()
+	cfg.Ops = 1000
+	tr := trace.Generate(rand.New(rand.NewSource(1)), cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Analyze(tr)
+	}
+}

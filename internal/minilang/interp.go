@@ -1,0 +1,351 @@
+package minilang
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/rtsim"
+)
+
+// Run parses and executes src with its events delivered to detector d (nil
+// for an uninstrumented run); prints go to out. It returns the detector's
+// reports and the first runtime error, if any (runtime errors in spawned
+// threads abort the program after all threads are joined).
+func Run(src string, d core.Detector, out io.Writer) ([]core.Report, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Exec(prog, d, out)
+}
+
+// Exec executes a parsed program.
+func Exec(prog *Program, d core.Detector, out io.Writer) ([]core.Report, error) {
+	rt := rtsim.New(d)
+	env, err := buildEnv(prog, rt, out)
+	if err != nil {
+		return nil, err
+	}
+	th := &threadCtx{env: env, thread: rt.Main(), locals: map[string]int64{}}
+	execErr := th.block(prog.Body)
+	// Join every still-outstanding thread so the program quiesces even on
+	// error paths.
+	th.joinAll()
+	if execErr == nil {
+		execErr = env.firstError()
+	}
+	return rt.Reports(), execErr
+}
+
+// env is the program-wide environment: declared entities and error
+// collection.
+type env struct {
+	rt        *rtsim.Runtime
+	out       io.Writer
+	shared    map[string]*rtsim.Var
+	volatiles map[string]*rtsim.Volatile
+	locks     map[string]*rtsim.Mutex
+	barriers  map[string]*rtsim.Barrier
+
+	mu   sync.Mutex
+	errs []error
+}
+
+func buildEnv(prog *Program, rt *rtsim.Runtime, out io.Writer) (*env, error) {
+	e := &env{
+		rt: rt, out: out,
+		shared:    map[string]*rtsim.Var{},
+		volatiles: map[string]*rtsim.Volatile{},
+		locks:     map[string]*rtsim.Mutex{},
+		barriers:  map[string]*rtsim.Barrier{},
+	}
+	seen := map[string]string{}
+	declare := func(name, kind string) error {
+		if prev, ok := seen[name]; ok {
+			return fmt.Errorf("minilang: %s %q redeclared (previously a %s)", kind, name, prev)
+		}
+		seen[name] = kind
+		return nil
+	}
+	// Deterministic id assignment: sorted within each declaration class.
+	sorted := func(names []string) []string {
+		out := append([]string(nil), names...)
+		sort.Strings(out)
+		return out
+	}
+	for _, n := range sorted(prog.Shared) {
+		if err := declare(n, "shared"); err != nil {
+			return nil, err
+		}
+		e.shared[n] = rt.NewVar()
+	}
+	for _, n := range sorted(prog.Volatiles) {
+		if err := declare(n, "volatile"); err != nil {
+			return nil, err
+		}
+		e.volatiles[n] = rt.NewVolatile()
+	}
+	for _, n := range sorted(prog.Locks) {
+		if err := declare(n, "lock"); err != nil {
+			return nil, err
+		}
+		e.locks[n] = rt.NewMutex()
+	}
+	for _, b := range prog.Barriers {
+		if err := declare(b.Name, "barrier"); err != nil {
+			return nil, err
+		}
+		e.barriers[b.Name] = rt.NewBarrier(b.Parties)
+	}
+	return e, nil
+}
+
+func (e *env) report(err error) {
+	e.mu.Lock()
+	e.errs = append(e.errs, err)
+	e.mu.Unlock()
+}
+
+func (e *env) firstError() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.errs) > 0 {
+		return e.errs[0]
+	}
+	return nil
+}
+
+// threadCtx is one executing thread: its rtsim identity, locals and
+// outstanding children.
+type threadCtx struct {
+	env      *env
+	thread   *rtsim.Thread
+	locals   map[string]int64
+	children []*rtsim.Thread
+}
+
+func (t *threadCtx) errf(line int, format string, args ...any) error {
+	return fmt.Errorf("minilang: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (t *threadCtx) joinAll() {
+	for _, c := range t.children {
+		t.thread.Join(c)
+	}
+	t.children = nil
+}
+
+func (t *threadCtx) block(stmts []Stmt) error {
+	for _, s := range stmts {
+		if err := t.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *threadCtx) stmt(s Stmt) error {
+	switch s := s.(type) {
+	case *LocalStmt:
+		t.locals[s.Name] = 0
+		return nil
+	case *AssignStmt:
+		v, err := t.eval(s.Expr)
+		if err != nil {
+			return err
+		}
+		return t.assign(s.Name, v, s.Line)
+	case *AcquireStmt:
+		m, ok := t.env.locks[s.Lock]
+		if !ok {
+			return t.errf(s.Line, "undeclared lock %q", s.Lock)
+		}
+		m.Lock(t.thread)
+		return nil
+	case *ReleaseStmt:
+		m, ok := t.env.locks[s.Lock]
+		if !ok {
+			return t.errf(s.Line, "undeclared lock %q", s.Lock)
+		}
+		m.Unlock(t.thread)
+		return nil
+	case *AwaitStmt:
+		b, ok := t.env.barriers[s.Barrier]
+		if !ok {
+			return t.errf(s.Line, "undeclared barrier %q", s.Barrier)
+		}
+		b.Await(t.thread)
+		return nil
+	case *SpawnStmt:
+		// Children copy the parent's locals at spawn time: locals are
+		// never shared between threads (that is what shared is for).
+		snapshot := make(map[string]int64, len(t.locals))
+		for k, v := range t.locals {
+			snapshot[k] = v
+		}
+		child := t.thread.Go(func(w *rtsim.Thread) {
+			ct := &threadCtx{env: t.env, thread: w, locals: snapshot}
+			if err := ct.block(s.Body); err != nil {
+				t.env.report(err)
+			}
+			ct.joinAll()
+		})
+		t.children = append(t.children, child)
+		return nil
+	case *WaitStmt:
+		t.joinAll()
+		return nil
+	case *PrintStmt:
+		v, err := t.eval(s.Expr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(t.env.out, v)
+		return nil
+	case *IfStmt:
+		c, err := t.eval(s.Cond)
+		if err != nil {
+			return err
+		}
+		if c != 0 {
+			return t.block(s.Then)
+		}
+		return t.block(s.Else)
+	case *WhileStmt:
+		for {
+			c, err := t.eval(s.Cond)
+			if err != nil {
+				return err
+			}
+			if c == 0 {
+				return nil
+			}
+			if err := t.block(s.Body); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("minilang: unknown statement %T", s)
+	}
+}
+
+// assign resolves a name (locals shadow shared and volatiles) and stores.
+func (t *threadCtx) assign(name string, v int64, line int) error {
+	if _, ok := t.locals[name]; ok {
+		t.locals[name] = v
+		return nil
+	}
+	if x, ok := t.env.shared[name]; ok {
+		x.Store(t.thread, v)
+		return nil
+	}
+	if vol, ok := t.env.volatiles[name]; ok {
+		vol.Store(t.thread, v)
+		return nil
+	}
+	return t.errf(line, "assignment to undeclared variable %q", name)
+}
+
+func (t *threadCtx) eval(e Expr) (int64, error) {
+	switch e := e.(type) {
+	case *NumExpr:
+		return e.Value, nil
+	case *VarExpr:
+		if v, ok := t.locals[e.Name]; ok {
+			return v, nil
+		}
+		if x, ok := t.env.shared[e.Name]; ok {
+			return x.Load(t.thread), nil
+		}
+		if vol, ok := t.env.volatiles[e.Name]; ok {
+			return vol.Load(t.thread), nil
+		}
+		return 0, t.errf(e.Line, "undeclared variable %q", e.Name)
+	case *UnExpr:
+		v, err := t.eval(e.E)
+		if err != nil {
+			return 0, err
+		}
+		if e.Op == "-" {
+			return -v, nil
+		}
+		if v == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	case *BinExpr:
+		l, err := t.eval(e.L)
+		if err != nil {
+			return 0, err
+		}
+		// Short-circuit the logical operators.
+		switch e.Op {
+		case "&&":
+			if l == 0 {
+				return 0, nil
+			}
+			r, err := t.eval(e.R)
+			if err != nil {
+				return 0, err
+			}
+			return boolToInt(r != 0), nil
+		case "||":
+			if l != 0 {
+				return 1, nil
+			}
+			r, err := t.eval(e.R)
+			if err != nil {
+				return 0, err
+			}
+			return boolToInt(r != 0), nil
+		}
+		r, err := t.eval(e.R)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case "+":
+			return l + r, nil
+		case "-":
+			return l - r, nil
+		case "*":
+			return l * r, nil
+		case "/":
+			if r == 0 {
+				return 0, fmt.Errorf("minilang: division by zero")
+			}
+			return l / r, nil
+		case "%":
+			if r == 0 {
+				return 0, fmt.Errorf("minilang: modulo by zero")
+			}
+			return l % r, nil
+		case "==":
+			return boolToInt(l == r), nil
+		case "!=":
+			return boolToInt(l != r), nil
+		case "<":
+			return boolToInt(l < r), nil
+		case "<=":
+			return boolToInt(l <= r), nil
+		case ">":
+			return boolToInt(l > r), nil
+		case ">=":
+			return boolToInt(l >= r), nil
+		default:
+			return 0, fmt.Errorf("minilang: unknown operator %q", e.Op)
+		}
+	default:
+		return 0, fmt.Errorf("minilang: unknown expression %T", e)
+	}
+}
+
+func boolToInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

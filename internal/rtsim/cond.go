@@ -1,0 +1,84 @@
+package rtsim
+
+import (
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// Cond is an instrumented condition variable associated with a Mutex,
+// covering the wait/notify support of §7. The happens-before treatment is
+// the standard FastTrack one: waiting is a release of the monitor followed
+// (on wake-up) by a re-acquire — notification itself adds no edge beyond
+// the monitor's, exactly as in the Java memory model.
+type Cond struct {
+	m *Mutex
+	c *sync.Cond
+}
+
+// NewCond returns a condition variable bound to m.
+func (m *Mutex) NewCond() *Cond {
+	return &Cond{m: m, c: sync.NewCond(&m.mu)}
+}
+
+// Wait atomically releases the monitor, blocks until a Signal/Broadcast,
+// and re-acquires the monitor before returning. The caller must hold m.
+// As with sync.Cond, callers should re-check their predicate in a loop.
+func (c *Cond) Wait(t *Thread) {
+	if d := c.m.rt.d; d != nil {
+		d.Release(t.id, c.m.id)
+	}
+	c.c.Wait()
+	if d := c.m.rt.d; d != nil {
+		d.Acquire(t.id, c.m.id)
+	}
+}
+
+// Signal wakes one waiter. The caller must hold m.
+func (c *Cond) Signal(t *Thread) { c.c.Signal() }
+
+// Broadcast wakes all waiters. The caller must hold m.
+func (c *Cond) Broadcast(t *Thread) { c.c.Broadcast() }
+
+// Once models the class/static-initializer ordering of §7: the paper's
+// implementation "captures the happens-before orderings between the static
+// initializers and uses of a static variable or class". The first Do runs
+// the initializer and publishes its clock; every later Do absorbs it before
+// returning, so initializer writes never race with reader accesses.
+type Once struct {
+	rt   *Runtime
+	id   trace.Lock
+	mu   sync.Mutex
+	done bool
+}
+
+// NewOnce allocates an initializer guard.
+func (rt *Runtime) NewOnce() *Once {
+	return &Once{rt: rt, id: trace.Lock(rt.nextLock.Add(1) - 1)}
+}
+
+// Do runs f exactly once across all callers; every caller returns ordered
+// after the initializer's effects.
+func (o *Once) Do(t *Thread, f func(*Thread)) {
+	d := o.rt.d
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if !o.done {
+		o.done = true
+		if d != nil {
+			// The initializer runs inside the guard's shadow critical
+			// section so its clock is published by the release below.
+			d.Acquire(t.id, o.id)
+		}
+		f(t)
+		if d != nil {
+			d.Release(t.id, o.id)
+		}
+		return
+	}
+	if d != nil {
+		// Absorb the initializer's (and previous users') clock.
+		d.Acquire(t.id, o.id)
+		d.Release(t.id, o.id)
+	}
+}

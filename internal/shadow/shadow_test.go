@@ -1,0 +1,120 @@
+package shadow
+
+import (
+	"sync"
+	"testing"
+)
+
+type payload struct {
+	id int
+}
+
+func newTable(capacity int) *Table[payload] {
+	return NewTable(capacity, func(id int) *payload { return &payload{id: id} })
+}
+
+func TestGetCreatesEntries(t *testing.T) {
+	tb := newTable(0)
+	p := tb.Get(5)
+	if p == nil || p.id != 5 {
+		t.Fatalf("Get(5) = %+v", p)
+	}
+	if tb.Len() < 6 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	// All intermediate entries exist and carry their own ids.
+	for i := 0; i < 6; i++ {
+		if got := tb.Get(i); got.id != i {
+			t.Fatalf("Get(%d).id = %d", i, got.id)
+		}
+	}
+}
+
+func TestPointerStability(t *testing.T) {
+	tb := newTable(1)
+	p0 := tb.Get(0)
+	tb.Get(1000) // force several growths
+	if tb.Get(0) != p0 {
+		t.Fatal("entry pointer changed across growth")
+	}
+}
+
+func TestPreSizedCapacity(t *testing.T) {
+	tb := newTable(8)
+	if tb.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", tb.Len())
+	}
+	if tb.Get(3).id != 3 {
+		t.Fatal("pre-sized entry wrong")
+	}
+}
+
+func TestNegativeIDPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	newTable(0).Get(-1)
+}
+
+func TestNilInitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewTable[payload](0, nil)
+}
+
+func TestSnapshotSeesEntries(t *testing.T) {
+	tb := newTable(3)
+	s := tb.Snapshot()
+	if len(s) != 3 || s[2].id != 2 {
+		t.Fatalf("Snapshot = %v", s)
+	}
+}
+
+// Concurrent Gets on overlapping id ranges must return one stable object per
+// id. Run with -race.
+func TestConcurrentGetUniqueness(t *testing.T) {
+	tb := newTable(0)
+	const goroutines = 8
+	const ids = 512
+	results := make([][]*payload, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		results[g] = make([]*payload, ids)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < ids; i++ {
+				results[g][i] = tb.Get(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < ids; i++ {
+		first := results[0][i]
+		if first.id != i {
+			t.Fatalf("id %d payload has id %d", i, first.id)
+		}
+		for g := 1; g < goroutines; g++ {
+			if results[g][i] != first {
+				t.Fatalf("id %d resolved to different objects across goroutines", i)
+			}
+		}
+	}
+}
+
+func BenchmarkGetHot(b *testing.B) {
+	tb := newTable(64)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			tb.Get(i & 63)
+			i++
+		}
+	})
+}

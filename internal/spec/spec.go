@@ -1,0 +1,373 @@
+// Package spec implements the VerifiedFT high-level analysis specification —
+// the state transition system of Fig. 2 of the paper — as a pure, sequential
+// interpreter. It is the functional-correctness reference every concurrent
+// detector in internal/core is tested against, and it also implements the
+// *original* FastTrack rules (PLDI 2009) so the paper's three rule changes
+// (§3, "Comparison to the FastTrack Specification") can be measured as
+// ablations.
+//
+// The specification stops at the first error, exactly as S ⇒a Error does;
+// the production detectors keep checking (§7), and the equivalence tests
+// compare first-error positions.
+package spec
+
+import (
+	"fmt"
+
+	"repro/internal/epoch"
+	"repro/internal/trace"
+	"repro/internal/vc"
+)
+
+// Rule identifies which analysis rule of Fig. 2 fired for an operation.
+type Rule uint8
+
+const (
+	// RuleNone is returned when the analysis has already stopped.
+	RuleNone Rule = iota
+
+	// Read rules.
+	ReadSameEpoch
+	ReadSharedSameEpoch
+	ReadExclusive
+	ReadShare
+	ReadShared
+	WriteReadRace
+
+	// Write rules.
+	WriteSameEpoch
+	WriteExclusive
+	WriteShared
+	WriteWriteRace
+	ReadWriteRace
+	SharedWriteRace
+
+	// Synchronization rules.
+	RuleAcquire
+	RuleRelease
+	RuleFork
+	RuleJoin
+
+	// NumRules bounds the enum for histogram arrays.
+	NumRules
+)
+
+var ruleNames = [...]string{
+	RuleNone:            "None",
+	ReadSameEpoch:       "Read Same Epoch",
+	ReadSharedSameEpoch: "Read Shared Same Epoch",
+	ReadExclusive:       "Read Exclusive",
+	ReadShare:           "Read Share",
+	ReadShared:          "Read Shared",
+	WriteReadRace:       "Write-Read Race",
+	WriteSameEpoch:      "Write Same Epoch",
+	WriteExclusive:      "Write Exclusive",
+	WriteShared:         "Write Shared",
+	WriteWriteRace:      "Write-Write Race",
+	ReadWriteRace:       "Read-Write Race",
+	SharedWriteRace:     "Shared-Write Race",
+	RuleAcquire:         "Acquire",
+	RuleRelease:         "Release",
+	RuleFork:            "Fork",
+	RuleJoin:            "Join",
+}
+
+// String returns the paper's bracketed rule name, e.g. "Read Same Epoch".
+func (r Rule) String() string {
+	if int(r) < len(ruleNames) {
+		return ruleNames[r]
+	}
+	return fmt.Sprintf("Rule(%d)", uint8(r))
+}
+
+// IsRace reports whether the rule is one of the four race rules.
+func (r Rule) IsRace() bool {
+	switch r {
+	case WriteReadRace, WriteWriteRace, ReadWriteRace, SharedWriteRace:
+		return true
+	}
+	return false
+}
+
+// RaceError is the S ⇒a Error transition: the operation that completed a
+// race and which race rule detected it.
+type RaceError struct {
+	Op   trace.Op
+	Rule Rule
+	// Prev is the conflicting prior-access evidence: the recorded epoch
+	// (last write for Write-Read/Write-Write, last read for Read-Write)
+	// or, for Shared-Write, one unordered entry of the read vector.
+	Prev epoch.Epoch
+}
+
+func (e *RaceError) Error() string {
+	return fmt.Sprintf("race: [%v] at %v (prior access %v)", e.Rule, e.Op, e.Prev)
+}
+
+// Flavor selects between the VerifiedFT rules and the original FastTrack
+// rules, which differ in exactly the three ways §3 lists.
+type Flavor uint8
+
+const (
+	// VerifiedFT uses Fig. 2 as printed: it has [Read Shared Same Epoch],
+	// its [Write Shared] leaves R = Shared, and its [Join] does not
+	// increment the joined thread's own entry.
+	VerifiedFT Flavor = iota
+	// FastTrackOrig uses the PLDI 2009 rules: no [Read Shared Same
+	// Epoch], [Write Shared] resets R to ⊥e (forgetting the read vector),
+	// and [Join] increments Su.V(u).
+	FastTrackOrig
+)
+
+func (f Flavor) String() string {
+	if f == VerifiedFT {
+		return "VerifiedFT"
+	}
+	return "FastTrackOrig"
+}
+
+// VarState is Fig. 2's per-variable record {V, R, W}.
+type VarState struct {
+	V *vc.VC
+	R epoch.Epoch // epoch.Shared once the variable is read-shared
+	W epoch.Epoch
+}
+
+// State is the analysis state S: a ThreadState (vector clock) per thread, a
+// LockState (vector clock) per lock, and a VarState per variable, all
+// allocated lazily at their initial values from §3's S0.
+type State struct {
+	flavor  Flavor
+	threads map[epoch.Tid]*vc.VC
+	locks   map[trace.Lock]*vc.VC
+	vars    map[trace.Var]*VarState
+
+	err   *RaceError
+	rules [NumRules]uint64
+}
+
+// NewState returns the initial analysis state S0 for the given flavor.
+func NewState(flavor Flavor) *State {
+	return &State{
+		flavor:  flavor,
+		threads: map[epoch.Tid]*vc.VC{},
+		locks:   map[trace.Lock]*vc.VC{},
+		vars:    map[trace.Var]*VarState{},
+	}
+}
+
+// Thread returns St.V, creating inc_t(⊥V) on first use per S0.
+func (s *State) Thread(t epoch.Tid) *vc.VC {
+	c, ok := s.threads[t]
+	if !ok {
+		c = vc.New()
+		c.Inc(t)
+		s.threads[t] = c
+	}
+	return c
+}
+
+// Lock returns Sm.V, creating ⊥V on first use.
+func (s *State) Lock(m trace.Lock) *vc.VC {
+	c, ok := s.locks[m]
+	if !ok {
+		c = vc.New()
+		s.locks[m] = c
+	}
+	return c
+}
+
+// Var returns Sx, creating {⊥V, ⊥e, ⊥e} on first use.
+func (s *State) Var(x trace.Var) *VarState {
+	v, ok := s.vars[x]
+	if !ok {
+		v = &VarState{V: vc.New(), R: epoch.Min(0), W: epoch.Min(0)}
+		s.vars[x] = v
+	}
+	return v
+}
+
+// Err returns the error transition taken, if any.
+func (s *State) Err() *RaceError { return s.err }
+
+// RuleCounts returns how many times each rule has fired.
+func (s *State) RuleCounts() [NumRules]uint64 { return s.rules }
+
+// Epoch returns Et = St.V(t), the current epoch of thread t.
+func (s *State) Epoch(t epoch.Tid) epoch.Epoch {
+	return s.Thread(t).Get(t)
+}
+
+// Step applies one operation: S ⇒a S'. It returns the rule that fired. If a
+// race rule fires, the state transitions to Error, the RaceError is
+// returned, and every subsequent Step returns (RuleNone, same error) — the
+// specification's analysis stops once Error is reached.
+//
+// Step must only be applied to feasible core-language traces; Desugar
+// extended operations first. Step panics on extended kinds.
+func (s *State) Step(op trace.Op) (Rule, *RaceError) {
+	if s.err != nil {
+		return RuleNone, s.err
+	}
+	var rule Rule
+	switch op.Kind {
+	case trace.Read:
+		rule = s.read(op)
+	case trace.Write:
+		rule = s.write(op)
+	case trace.Acquire:
+		// [Acquire] St.V := St.V ⊔ Sm.V
+		s.Thread(op.T).Join(s.Lock(op.M))
+		rule = RuleAcquire
+	case trace.Release:
+		// [Release] Sm.V := St.V; St.V := inc_t(St.V)
+		st := s.Thread(op.T)
+		s.Lock(op.M).Assign(st)
+		st.Inc(op.T)
+		rule = RuleRelease
+	case trace.Fork:
+		// [Fork] Su.V := Su.V ⊔ St.V; St.V := inc_t(St.V)
+		st := s.Thread(op.T)
+		s.Thread(op.U).Join(st)
+		st.Inc(op.T)
+		rule = RuleFork
+	case trace.Join:
+		// [Join] St.V := Su.V ⊔ St.V. The original FastTrack rule also
+		// increments Su.V(u); VerifiedFT drops that unnecessary update.
+		su := s.Thread(op.U)
+		s.Thread(op.T).Join(su)
+		if s.flavor == FastTrackOrig {
+			su.Inc(op.U)
+		}
+		rule = RuleJoin
+	default:
+		panic(fmt.Sprintf("spec: Step on extended op %v (Desugar first)", op))
+	}
+	s.rules[rule]++
+	if rule.IsRace() {
+		return rule, s.err
+	}
+	return rule, nil
+}
+
+// read implements the six read rules of Fig. 2, tried in the order the
+// idealized implementation uses (same-epoch cases first).
+func (s *State) read(op trace.Op) Rule {
+	t := op.T
+	st := s.Thread(t)
+	e := st.Get(t)
+	sx := s.Var(op.X)
+
+	// [Read Same Epoch]
+	if sx.R == e {
+		return ReadSameEpoch
+	}
+	// [Read Shared Same Epoch] — VerifiedFT only; the original FastTrack
+	// rules fall through to [Read Shared] for this case.
+	if s.flavor == VerifiedFT && sx.R.IsShared() && sx.V.Get(t) == e {
+		return ReadSharedSameEpoch
+	}
+	// [Write-Read Race]
+	if !st.EpochLeq(sx.W) {
+		s.fail(op, WriteReadRace, sx.W)
+		return WriteReadRace
+	}
+	if !sx.R.IsShared() {
+		if st.EpochLeq(sx.R) {
+			// [Read Exclusive]
+			sx.R = e
+			return ReadExclusive
+		}
+		// [Read Share] — v := ⊥V[t := Et, u := Sx.R]
+		u := sx.R.Tid()
+		v := vc.New()
+		v.Set(u, sx.R)
+		v.Set(t, e)
+		sx.V = v
+		sx.R = epoch.Shared
+		return ReadShare
+	}
+	// [Read Shared]
+	sx.V.Set(t, e)
+	return ReadShared
+}
+
+// write implements the six write rules of Fig. 2.
+func (s *State) write(op trace.Op) Rule {
+	t := op.T
+	st := s.Thread(t)
+	e := st.Get(t)
+	sx := s.Var(op.X)
+
+	// [Write Same Epoch]
+	if sx.W == e {
+		return WriteSameEpoch
+	}
+	// [Write-Write Race]
+	if !st.EpochLeq(sx.W) {
+		s.fail(op, WriteWriteRace, sx.W)
+		return WriteWriteRace
+	}
+	if !sx.R.IsShared() {
+		// [Read-Write Race]
+		if !st.EpochLeq(sx.R) {
+			s.fail(op, ReadWriteRace, sx.R)
+			return ReadWriteRace
+		}
+		// [Write Exclusive]
+		sx.W = e
+		return WriteExclusive
+	}
+	// [Shared-Write Race]
+	if !sx.V.Leq(st) {
+		s.fail(op, SharedWriteRace, firstUnordered(sx.V, st))
+		return SharedWriteRace
+	}
+	// [Write Shared]. The original FastTrack rule resets R to ⊥e,
+	// forgetting all reads before the write; VerifiedFT keeps R = Shared
+	// (§3: the reset bought nothing and causes shared/unshared thrashing).
+	sx.W = e
+	if s.flavor == FastTrackOrig {
+		sx.R = epoch.Min(0)
+		sx.V = vc.New()
+	}
+	return WriteShared
+}
+
+func (s *State) fail(op trace.Op, rule Rule, prev epoch.Epoch) {
+	s.err = &RaceError{Op: op, Rule: rule, Prev: prev}
+}
+
+// firstUnordered returns the first entry of v not covered by clock, as race
+// evidence for [Shared-Write Race].
+func firstUnordered(v, clock *vc.VC) epoch.Epoch {
+	for i := 0; i < v.Size(); i++ {
+		t := epoch.Tid(i)
+		if !clock.EpochLeq(v.Get(t)) {
+			return v.Get(t)
+		}
+	}
+	return epoch.Min(0)
+}
+
+// Result summarizes a full-trace run.
+type Result struct {
+	// RaceAt is the index of the operation on which the analysis
+	// transitioned to Error, or -1 for a race-free trace.
+	RaceAt int
+	Err    *RaceError
+	Rules  [NumRules]uint64
+	Final  *State
+}
+
+// Run replays a whole core-language trace from S0, stopping at the first
+// race as the specification prescribes.
+func Run(flavor Flavor, tr trace.Trace) Result {
+	s := NewState(flavor)
+	for i, op := range tr {
+		if _, err := s.Step(op); err != nil {
+			return Result{RaceAt: i, Err: err, Rules: s.rules, Final: s}
+		}
+	}
+	return Result{RaceAt: -1, Rules: s.rules, Final: s}
+}

@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+func TestSummaryArithmetic(t *testing.T) {
+	s := NewSummary()
+	var counts [spec.NumRules]uint64
+	counts[spec.ReadSameEpoch] = 60
+	counts[spec.WriteSameEpoch] = 14
+	counts[spec.ReadSharedSameEpoch] = 12
+	counts[spec.ReadExclusive] = 14
+	counts[spec.RuleAcquire] = 99 // not an access: excluded from the total
+	s.Add("p1", counts)
+
+	if got := s.Accesses(); got != 100 {
+		t.Fatalf("Accesses = %d, want 100", got)
+	}
+	if got := s.Percent(spec.ReadSameEpoch); got != 60 {
+		t.Fatalf("Percent(RSE) = %f", got)
+	}
+	if got := s.FastPathPercent(); got != 86 {
+		t.Fatalf("FastPathPercent = %f", got)
+	}
+}
+
+func TestAddAccumulatesAcrossPrograms(t *testing.T) {
+	s := NewSummary()
+	var a, b [spec.NumRules]uint64
+	a[spec.ReadSameEpoch] = 10
+	b[spec.ReadSameEpoch] = 30
+	b[spec.WriteExclusive] = 10
+	s.Add("a", a)
+	s.Add("b", b)
+	if got := s.Accesses(); got != 50 {
+		t.Fatalf("Accesses = %d", got)
+	}
+	if got := s.Percent(spec.ReadSameEpoch); got != 80 {
+		t.Fatalf("Percent = %f", got)
+	}
+	if len(s.PerProgram) != 2 {
+		t.Fatal("per-program counts missing")
+	}
+}
+
+func TestCollectSuiteQuick(t *testing.T) {
+	s, err := CollectSuite(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Accesses() == 0 {
+		t.Fatal("no accesses collected")
+	}
+	if len(s.PerProgram) != 19 {
+		t.Fatalf("programs = %d, want 19", len(s.PerProgram))
+	}
+	// The race rules must not appear on the race-free suite.
+	for _, r := range []spec.Rule{spec.WriteReadRace, spec.WriteWriteRace, spec.ReadWriteRace, spec.SharedWriteRace} {
+		if s.Counts[r] != 0 {
+			t.Errorf("race rule %v fired %d times on the race-free suite", r, s.Counts[r])
+		}
+	}
+}
+
+func TestFormat(t *testing.T) {
+	s := NewSummary()
+	var counts [spec.NumRules]uint64
+	counts[spec.ReadSameEpoch] = 6
+	counts[spec.WriteExclusive] = 4
+	s.Add("p", counts)
+	var buf bytes.Buffer
+	if err := s.Format(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Read Same Epoch", "60.0%", "lock-free fast paths", "~85%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSerializedShare(t *testing.T) {
+	var counts [spec.NumRules]uint64
+	counts[spec.ReadSameEpoch] = 60
+	counts[spec.WriteSameEpoch] = 14
+	counts[spec.ReadSharedSameEpoch] = 12
+	counts[spec.ReadExclusive] = 8
+	counts[spec.WriteExclusive] = 6
+
+	cases := map[string]float64{
+		"vft-v1":   1.00,
+		"djit":     1.00,
+		"vft-v1.5": 0.26, // 1 - 74/100
+		"ft-mutex": 0.26,
+		"ft-cas":   0.12, // 1 - 88/100
+		"vft-v2":   0.14, // 1 - 86/100
+	}
+	for v, want := range cases {
+		got := SerializedShare(counts, v)
+		if got < want-1e-9 || got > want+1e-9 {
+			t.Errorf("SerializedShare(%s) = %.3f, want %.3f", v, got, want)
+		}
+	}
+	var empty [spec.NumRules]uint64
+	if SerializedShare(empty, "vft-v2") != 0 {
+		t.Error("empty counts should give 0")
+	}
+}
+
+func TestCollectMemoryQuick(t *testing.T) {
+	detectors := []string{"vft-v2", "djit"}
+	rows, err := CollectMemory(true, detectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 19 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// On the whole suite, djit's footprint must exceed v2's: two vectors
+	// per variable vs mostly epochs.
+	var v2, dj uint64
+	for _, r := range rows {
+		v2 += r.Bytes["vft-v2"]
+		dj += r.Bytes["djit"]
+	}
+	if dj <= v2 {
+		t.Fatalf("djit %d bytes <= v2 %d bytes; epoch advantage missing", dj, v2)
+	}
+	var buf bytes.Buffer
+	if err := FormatMemory(&buf, rows, detectors); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "djit/vft-v2") {
+		t.Fatalf("format: %s", buf.String())
+	}
+}

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/epoch"
+)
+
+// The text format is one operation per line:
+//
+//	rd <tid> <var>        e.g.  rd 0 3
+//	wr <tid> <var>
+//	acq <tid> <lock>
+//	rel <tid> <lock>
+//	fork <tid> <tid>
+//	join <tid> <tid>
+//	vrd <tid> <var>
+//	vwr <tid> <var>
+//	barrier <tid> <barrier>
+//
+// Blank lines and lines starting with '#' are ignored. Operand prefixes
+// 'x', 'm', 'b' and 't' are accepted and stripped, so the paper-style
+// "rd t1 x3" also parses.
+
+// Encode writes tr in the text format.
+func Encode(w io.Writer, tr Trace) error {
+	bw := bufio.NewWriter(w)
+	for _, op := range tr {
+		var line string
+		switch op.Kind {
+		case Read, Write, VolatileRead, VolatileWrite:
+			line = fmt.Sprintf("%s %d %d\n", op.Kind, op.T, op.X)
+		case Acquire, Release:
+			line = fmt.Sprintf("%s %d %d\n", op.Kind, op.T, op.M)
+		case Fork, Join:
+			line = fmt.Sprintf("%s %d %d\n", op.Kind, op.T, op.U)
+		case Barrier:
+			line = fmt.Sprintf("%s %d %d\n", op.Kind, op.T, op.M)
+		default:
+			return fmt.Errorf("trace: encode: unknown kind %v", op.Kind)
+		}
+		if _, err := bw.WriteString(line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode parses the text format. It validates syntax only; run Validate for
+// feasibility.
+func Decode(r io.Reader) (Trace, error) {
+	var out Trace
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("trace: line %d: want 3 fields, got %d", lineNo, len(fields))
+		}
+		t, err := parseOperand(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: thread: %v", lineNo, err)
+		}
+		arg, err := parseOperand(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: operand: %v", lineNo, err)
+		}
+		tid := epoch.Tid(t)
+		var op Op
+		switch fields[0] {
+		case "rd":
+			op = Rd(tid, Var(arg))
+		case "wr":
+			op = Wr(tid, Var(arg))
+		case "acq":
+			op = Acq(tid, Lock(arg))
+		case "rel":
+			op = Rel(tid, Lock(arg))
+		case "fork":
+			op = ForkOp(tid, epoch.Tid(arg))
+		case "join":
+			op = JoinOp(tid, epoch.Tid(arg))
+		case "vrd":
+			op = VRd(tid, Var(arg))
+		case "vwr":
+			op = VWr(tid, Var(arg))
+		case "barrier":
+			op = BarrierOp(tid, Lock(arg))
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown operation %q", lineNo, fields[0])
+		}
+		out = append(out, op)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseOperand parses "3", "x3", "m3", "b3" or "t3" as 3.
+func parseOperand(s string) (int, error) {
+	if len(s) > 1 {
+		switch s[0] {
+		case 'x', 'm', 'b', 't':
+			s = s[1:]
+		}
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("negative operand %d", n)
+	}
+	return n, nil
+}

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/epoch"
+)
+
+// InfeasibleError describes the first violation of the feasibility
+// constraints of §2 found in a trace.
+type InfeasibleError struct {
+	Index int // position of the offending operation
+	Op    Op
+	Rule  int // which of the five §2 constraints is violated (1-5)
+	Msg   string
+}
+
+func (e *InfeasibleError) Error() string {
+	return fmt.Sprintf("trace: infeasible at #%d %v: constraint (%d): %s",
+		e.Index, e.Op, e.Rule, e.Msg)
+}
+
+// threadPhase tracks a thread through the fork/join lifecycle imposed by
+// constraints (3)-(5) of §2.
+type threadPhase uint8
+
+const (
+	phaseUnstarted threadPhase = iota // never forked; only thread 0 may act
+	phaseRunning                      // forked (or main), not yet joined
+	phaseJoined                       // some thread joined on it
+)
+
+// Validate checks the five feasibility constraints of §2 over the core
+// language (extended ops are checked for their own sanity but impose no
+// lock discipline of their own — Desugar first if full checking of the
+// lowered form is wanted):
+//
+//  1. no thread acquires a lock previously acquired but not released;
+//  2. no thread releases a lock it did not previously acquire;
+//  3. each thread is forked at most once;
+//  4. no operations of u precede fork(t,u) or follow join(t,u);
+//  5. at least one operation of u occurs between fork(t,u) and join(t',u).
+//
+// Thread 0 is the main thread: it exists without a fork, as the paper's
+// initial analysis state (which gives every thread an initial epoch)
+// presumes. Validate additionally rejects self-forks, self-joins and real
+// lock ids that collide with the pseudo-lock space, none of which §2's
+// traces can express.
+func Validate(tr Trace) error {
+	phase := map[epoch.Tid]threadPhase{0: phaseRunning}
+	acted := map[epoch.Tid]bool{} // has the thread performed any op yet?
+	holder := map[Lock]epoch.Tid{}
+	held := map[Lock]bool{}
+
+	fail := func(i int, rule int, msg string) error {
+		return &InfeasibleError{Index: i, Op: tr[i], Rule: rule, Msg: msg}
+	}
+
+	for i, op := range tr {
+		// Constraint (4), first half: the acting thread must be running.
+		switch phase[op.T] {
+		case phaseUnstarted:
+			return fail(i, 4, fmt.Sprintf("thread %d acts before being forked", op.T))
+		case phaseJoined:
+			return fail(i, 4, fmt.Sprintf("thread %d acts after being joined", op.T))
+		}
+		acted[op.T] = true
+
+		switch op.Kind {
+		case Acquire:
+			if op.M >= maxRealLock {
+				return fail(i, 1, "lock id exceeds the real-lock space")
+			}
+			if held[op.M] {
+				return fail(i, 1, fmt.Sprintf("lock m%d already held by thread %d", op.M, holder[op.M]))
+			}
+			held[op.M] = true
+			holder[op.M] = op.T
+		case Release:
+			if !held[op.M] || holder[op.M] != op.T {
+				return fail(i, 2, fmt.Sprintf("thread %d releases lock m%d it does not hold", op.T, op.M))
+			}
+			held[op.M] = false
+		case Fork:
+			if op.U == op.T {
+				return fail(i, 3, "self-fork")
+			}
+			if phase[op.U] != phaseUnstarted {
+				return fail(i, 3, fmt.Sprintf("thread %d forked more than once (or is main)", op.U))
+			}
+			phase[op.U] = phaseRunning
+			acted[op.U] = false
+		case Join:
+			if op.U == op.T {
+				return fail(i, 4, "self-join")
+			}
+			// §2 permits several threads to join the same terminated
+			// thread (constraint (4) only forbids operations *of u* after
+			// a join), so a join on an already-joined thread is legal;
+			// only joining a never-forked thread is not.
+			if phase[op.U] == phaseUnstarted {
+				return fail(i, 4, fmt.Sprintf("join on thread %d which was never forked", op.U))
+			}
+			// Constraint (5): u must have acted between fork and join.
+			if !acted[op.U] {
+				return fail(i, 5, fmt.Sprintf("no operation of thread %d between fork and join", op.U))
+			}
+			phase[op.U] = phaseJoined
+		}
+	}
+	return nil
+}
+
+// MustValidate panics if tr is infeasible; used by tests and generators
+// whose traces are feasible by construction.
+func MustValidate(tr Trace) {
+	if err := Validate(tr); err != nil {
+		panic(err)
+	}
+}

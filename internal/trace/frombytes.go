@@ -1,0 +1,123 @@
+package trace
+
+import "repro/internal/epoch"
+
+// FromBytes deterministically decodes an arbitrary byte string into a
+// feasible trace: each operation consumes a few bytes choosing the kind and
+// operands, and any choice the feasibility constraints forbid is repaired
+// to the nearest legal operation (or skipped). This gives the native Go
+// fuzzing targets (`go test -fuzz`) a total function from seeds to feasible
+// traces, so every fuzz input exercises the analysis rather than the
+// validator.
+//
+// The builder bounds the id spaces (8 threads, 16 variables, 4 locks) to
+// keep the state space dense and collisions — the interesting cases —
+// frequent.
+func FromBytes(data []byte) Trace {
+	const (
+		maxThreads = 8
+		maxVars    = 16
+		maxLocks   = 4
+	)
+	b := byteFeed{data: data}
+	var out Trace
+
+	running := []epoch.Tid{0}
+	phase := map[epoch.Tid]int{0: 1} // 0 unstarted, 1 running, 2 joined
+	acted := map[epoch.Tid]bool{0: true}
+	holder := map[Lock]epoch.Tid{}
+	held := map[epoch.Tid][]Lock{}
+	next := epoch.Tid(1)
+
+	emit := func(op Op) {
+		out = append(out, op)
+		acted[op.T] = true
+	}
+
+	for !b.empty() {
+		t := running[int(b.next())%len(running)]
+		switch b.next() % 6 {
+		case 0:
+			emit(Rd(t, Var(b.next()%maxVars)))
+		case 1:
+			emit(Wr(t, Var(b.next()%maxVars)))
+		case 2: // acquire a free lock, if any
+			m := Lock(b.next() % maxLocks)
+			if _, busy := holder[m]; busy {
+				emit(Rd(t, Var(b.next()%maxVars))) // repair
+				continue
+			}
+			holder[m] = t
+			held[t] = append(held[t], m)
+			emit(Acq(t, m))
+		case 3: // release the most recent lock this thread holds
+			hs := held[t]
+			if len(hs) == 0 {
+				emit(Wr(t, Var(b.next()%maxVars))) // repair
+				continue
+			}
+			m := hs[len(hs)-1]
+			held[t] = hs[:len(hs)-1]
+			delete(holder, m)
+			emit(Rel(t, m))
+		case 4: // fork
+			if int(next) >= maxThreads {
+				emit(Rd(t, Var(b.next()%maxVars)))
+				continue
+			}
+			u := next
+			next++
+			phase[u] = 1
+			acted[u] = false
+			running = append(running, u)
+			emit(ForkOp(t, u))
+		case 5: // join a finished-able thread
+			var cands []epoch.Tid
+			for _, u := range running {
+				if u != t && u != 0 && acted[u] && len(held[u]) == 0 {
+					cands = append(cands, u)
+				}
+			}
+			if len(cands) == 0 {
+				emit(Wr(t, Var(b.next()%maxVars)))
+				continue
+			}
+			u := cands[int(b.next())%len(cands)]
+			phase[u] = 2
+			for i, r := range running {
+				if r == u {
+					running = append(running[:i], running[i+1:]...)
+					break
+				}
+			}
+			emit(JoinOp(t, u))
+		}
+	}
+	// Drain held locks so the trace ends quiescent, in thread order for
+	// determinism.
+	for t := epoch.Tid(0); t < maxThreads; t++ {
+		hs := held[t]
+		for i := len(hs) - 1; i >= 0; i-- {
+			emit(Rel(t, hs[i]))
+		}
+	}
+	return out
+}
+
+// byteFeed doles out bytes, returning 0 once exhausted (the loop in
+// FromBytes terminates on empty()).
+type byteFeed struct {
+	data []byte
+	pos  int
+}
+
+func (b *byteFeed) empty() bool { return b.pos >= len(b.data) }
+
+func (b *byteFeed) next() int {
+	if b.pos >= len(b.data) {
+		return 0
+	}
+	v := b.data[b.pos]
+	b.pos++
+	return int(v)
+}

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzFromBytes: every byte string decodes to a feasible trace.
+func FuzzFromBytes(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 1, 1, 2, 2, 3, 3})
+	f.Add([]byte("fork-acquire-read-write-join soup"))
+	f.Add(bytes.Repeat([]byte{4, 0}, 16)) // fork storm
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr := FromBytes(data)
+		if err := Validate(tr); err != nil {
+			t.Fatalf("FromBytes produced infeasible trace: %v\n%v", err, tr)
+		}
+	})
+}
+
+// FuzzDecode: the text decoder never panics and accepts what it encodes.
+func FuzzDecode(f *testing.F) {
+	f.Add("rd 0 0\nwr 1 3\n")
+	f.Add("# comment\nfork t0 t1\nacq 1 m0\n")
+	f.Add("barrier 0 0\nvrd 0 9\n")
+	f.Add("garbage in\n\n\x00\xff")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := Decode(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Whatever decoded must round-trip.
+		var buf bytes.Buffer
+		if err := Encode(&buf, tr); err != nil {
+			t.Fatalf("Encode failed on decoded trace: %v", err)
+		}
+		back, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("re-Decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(tr, back) {
+			t.Fatalf("round trip mismatch: %v vs %v", tr, back)
+		}
+	})
+}
+
+func TestFromBytesDeterministic(t *testing.T) {
+	data := make([]byte, 200)
+	rand.New(rand.NewSource(5)).Read(data)
+	a := FromBytes(data)
+	b := FromBytes(data)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("FromBytes not deterministic")
+	}
+	if len(a) == 0 {
+		t.Fatal("no operations decoded from 200 bytes")
+	}
+}
+
+func TestFromBytesCoversAllKinds(t *testing.T) {
+	data := make([]byte, 4096)
+	rand.New(rand.NewSource(7)).Read(data)
+	tr := FromBytes(data)
+	seen := map[Kind]bool{}
+	for _, op := range tr {
+		seen[op.Kind] = true
+	}
+	for _, k := range []Kind{Read, Write, Acquire, Release, Fork, Join} {
+		if !seen[k] {
+			t.Errorf("kind %v never produced", k)
+		}
+	}
+}

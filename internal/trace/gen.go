@@ -1,0 +1,247 @@
+package trace
+
+import (
+	"math/rand"
+
+	"repro/internal/epoch"
+)
+
+// GenConfig parameterizes the random feasible-trace generator. The zero
+// value is not useful; use DefaultGenConfig as a starting point.
+type GenConfig struct {
+	Ops     int // number of operations to attempt
+	Threads int // maximum number of threads (including main)
+	Vars    int // number of variables
+	Locks   int // number of locks
+
+	// Weights bias the operation mix; they need not sum to anything.
+	ReadWeight    int
+	WriteWeight   int
+	AcquireWeight int
+	ForkWeight    int
+	JoinWeight    int
+
+	// LockedFraction is the per-mille probability that an access happens
+	// while holding a lock chosen to protect its variable; higher values
+	// produce more race-free traces. The generator does not guarantee
+	// race freedom either way — the oracle decides.
+	LockedFraction int
+}
+
+// DefaultGenConfig returns a configuration producing small, varied traces
+// with a healthy mix of racy and race-free executions.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		Ops:            60,
+		Threads:        4,
+		Vars:           4,
+		Locks:          2,
+		ReadWeight:     6,
+		WriteWeight:    3,
+		AcquireWeight:  3,
+		ForkWeight:     1,
+		JoinWeight:     1,
+		LockedFraction: 500,
+	}
+}
+
+// Generate produces a random feasible trace. The result always passes
+// Validate: the generator tracks the same lifecycle and lock state the
+// checker does and only emits legal operations. Any held locks are released
+// before returning so the trace ends quiescent.
+func Generate(rng *rand.Rand, cfg GenConfig) Trace {
+	g := &generator{rng: rng, cfg: cfg}
+	g.init()
+	for i := 0; i < cfg.Ops; i++ {
+		g.step()
+	}
+	g.drain()
+	return g.out
+}
+
+type generator struct {
+	rng *rand.Rand
+	cfg GenConfig
+	out Trace
+
+	running  []epoch.Tid          // threads currently allowed to act
+	acted    map[epoch.Tid]bool   // constraint (5) bookkeeping
+	forked   map[epoch.Tid]bool   // constraint (3)
+	holds    map[epoch.Tid][]Lock // locks held per thread, in acquire order
+	lockHeld map[Lock]bool
+	joined   []epoch.Tid // threads already joined (re-joinable per §2)
+	next     epoch.Tid   // next unforked tid
+}
+
+func (g *generator) init() {
+	g.running = []epoch.Tid{0}
+	g.acted = map[epoch.Tid]bool{0: true}
+	g.forked = map[epoch.Tid]bool{0: true}
+	g.holds = map[epoch.Tid][]Lock{}
+	g.lockHeld = map[Lock]bool{}
+	g.next = 1
+}
+
+func (g *generator) emit(op Op) {
+	g.out = append(g.out, op)
+	g.acted[op.T] = true
+}
+
+// step emits one or a few operations (an access may come wrapped in an
+// acquire/release pair).
+func (g *generator) step() {
+	t := g.running[g.rng.Intn(len(g.running))]
+	w := g.cfg
+	total := w.ReadWeight + w.WriteWeight + w.AcquireWeight + w.ForkWeight + w.JoinWeight
+	if total == 0 {
+		total, w.ReadWeight = 1, 1
+	}
+	pick := g.rng.Intn(total)
+	switch {
+	case pick < w.ReadWeight:
+		g.access(t, Read)
+	case pick < w.ReadWeight+w.WriteWeight:
+		g.access(t, Write)
+	case pick < w.ReadWeight+w.WriteWeight+w.AcquireWeight:
+		g.lockCycle(t)
+	case pick < w.ReadWeight+w.WriteWeight+w.AcquireWeight+w.ForkWeight:
+		g.fork(t)
+	default:
+		g.join(t)
+	}
+}
+
+// access emits a read or write of a random variable, possibly wrapped in
+// the lock conventionally protecting that variable (lock x%Locks), which is
+// what makes a fraction of generated conflicts race-free.
+func (g *generator) access(t epoch.Tid, k Kind) {
+	x := Var(g.rng.Intn(max(1, g.cfg.Vars)))
+	locked := g.cfg.Locks > 0 && g.rng.Intn(1000) < g.cfg.LockedFraction
+	var m Lock
+	if locked {
+		m = Lock(int(x) % g.cfg.Locks)
+		locked = !g.lockHeld[m]
+	}
+	if locked {
+		g.emit(Acq(t, m))
+		g.lockHeld[m] = true
+		g.holds[t] = append(g.holds[t], m)
+	}
+	if k == Read {
+		g.emit(Rd(t, x))
+	} else {
+		g.emit(Wr(t, x))
+	}
+	if locked {
+		g.release(t, m)
+	}
+}
+
+// lockCycle acquires a random free lock and releases it after zero or more
+// accesses, creating critical sections of varying length.
+func (g *generator) lockCycle(t epoch.Tid) {
+	if g.cfg.Locks == 0 {
+		g.access(t, Read)
+		return
+	}
+	m := Lock(g.rng.Intn(g.cfg.Locks))
+	if g.lockHeld[m] {
+		// Lock busy; do a plain access instead of blocking (the generator
+		// produces a linearized trace, so "waiting" has no meaning).
+		g.access(t, Read)
+		return
+	}
+	g.emit(Acq(t, m))
+	g.lockHeld[m] = true
+	g.holds[t] = append(g.holds[t], m)
+	for n := g.rng.Intn(3); n > 0; n-- {
+		x := Var(g.rng.Intn(max(1, g.cfg.Vars)))
+		if g.rng.Intn(2) == 0 {
+			g.emit(Rd(t, x))
+		} else {
+			g.emit(Wr(t, x))
+		}
+	}
+	g.release(t, m)
+}
+
+func (g *generator) release(t epoch.Tid, m Lock) {
+	g.emit(Rel(t, m))
+	g.lockHeld[m] = false
+	hs := g.holds[t]
+	for i, h := range hs {
+		if h == m {
+			g.holds[t] = append(hs[:i], hs[i+1:]...)
+			break
+		}
+	}
+}
+
+func (g *generator) fork(t epoch.Tid) {
+	if int(g.next) >= g.cfg.Threads {
+		g.access(t, Write)
+		return
+	}
+	u := g.next
+	g.next++
+	g.forked[u] = true
+	g.acted[u] = false
+	g.emit(ForkOp(t, u))
+	g.running = append(g.running, u)
+}
+
+// join makes t join some other running thread that has already acted
+// (constraint 5) and holds no locks (so the trace can stay feasible without
+// forced releases). Occasionally it re-joins an already-joined thread —
+// §2 allows several joiners per thread, and the detectors must handle it
+// (it is the case where the original FastTrack [Join] increment
+// complicates the synchronization discipline, §3).
+func (g *generator) join(t epoch.Tid) {
+	if len(g.joined) > 0 && g.rng.Intn(4) == 0 {
+		u := g.joined[g.rng.Intn(len(g.joined))]
+		if u != t {
+			g.emit(JoinOp(t, u))
+			return
+		}
+	}
+	var candidates []epoch.Tid
+	for _, u := range g.running {
+		if u != t && u != 0 && g.acted[u] && len(g.holds[u]) == 0 {
+			candidates = append(candidates, u)
+		}
+	}
+	if len(candidates) == 0 {
+		g.access(t, Read)
+		return
+	}
+	u := candidates[g.rng.Intn(len(candidates))]
+	g.emit(JoinOp(t, u))
+	g.joined = append(g.joined, u)
+	for i, r := range g.running {
+		if r == u {
+			g.running = append(g.running[:i], g.running[i+1:]...)
+			break
+		}
+	}
+}
+
+// drain releases every held lock so the generated trace ends quiescent.
+// Threads are visited in id order so Generate is deterministic for a given
+// seed (map iteration order would not be).
+func (g *generator) drain() {
+	for t := epoch.Tid(0); int(t) < g.cfg.Threads; t++ {
+		hs := g.holds[t]
+		for i := len(hs) - 1; i >= 0; i-- {
+			g.emit(Rel(t, hs[i]))
+			g.lockHeld[hs[i]] = false
+		}
+		g.holds[t] = nil
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

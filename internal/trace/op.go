@@ -1,0 +1,152 @@
+// Package trace implements the trace language of §2 of the VerifiedFT
+// paper: operations, execution traces, the feasibility constraints on forks,
+// joins and locking, a random feasible-trace generator for differential
+// testing, and a line-oriented text codec used by the cmd/vft-race tool.
+//
+// The core language has six operation kinds — rd, wr, acq, rel, fork, join —
+// over thread ids, variables and locks. Following §7, the extended language
+// adds volatile accesses and barriers; Desugar lowers those to core
+// operations so the Fig. 2 specification and the happens-before oracle only
+// ever see the six-kind core language.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/epoch"
+)
+
+// Kind enumerates the operation kinds of the (extended) trace language.
+type Kind uint8
+
+const (
+	// Read is rd(t,x): thread t reads variable x.
+	Read Kind = iota
+	// Write is wr(t,x): thread t writes variable x.
+	Write
+	// Acquire is acq(t,m): thread t acquires lock m.
+	Acquire
+	// Release is rel(t,m): thread t releases lock m.
+	Release
+	// Fork is fork(t,u): thread t forks thread u.
+	Fork
+	// Join is join(t,u): thread t blocks until thread u has terminated.
+	Join
+
+	// VolatileRead and VolatileWrite extend the core language with the
+	// volatile variables of §7. A volatile write releases, and a volatile
+	// read acquires, a pseudo-lock associated with the volatile location,
+	// which is exactly the Java-memory-model ordering the paper's
+	// implementation captures. Desugar performs that lowering.
+	VolatileRead
+	VolatileWrite
+
+	// Barrier extends the core language with barrier synchronization
+	// (§7). A barrier entered by k threads orders every pre-barrier
+	// operation before every post-barrier operation; Desugar lowers one
+	// Barrier op per participating thread into a release/acquire pair on
+	// a per-round pseudo-lock.
+	Barrier
+)
+
+var kindNames = [...]string{
+	Read: "rd", Write: "wr", Acquire: "acq", Release: "rel",
+	Fork: "fork", Join: "join",
+	VolatileRead: "vrd", VolatileWrite: "vwr", Barrier: "barrier",
+}
+
+// String returns the paper's mnemonic for the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// IsCore reports whether the kind belongs to the six-operation core language
+// of §2.
+func (k Kind) IsCore() bool {
+	return k <= Join
+}
+
+// Var identifies a program variable x ∈ Var.
+type Var int32
+
+// Lock identifies a lock m ∈ Lock. Pseudo-locks synthesized by Desugar for
+// volatiles and barriers use the high id space, so real and synthetic locks
+// never collide.
+type Lock int32
+
+// Op is a single operation of a trace. Exactly one of X, M, U is meaningful,
+// determined by Kind:
+//
+//	rd/wr          use X (and vrd/vwr use X as the volatile's id)
+//	acq/rel        use M
+//	fork/join      use U
+//	barrier        uses M as the barrier id
+type Op struct {
+	Kind Kind
+	T    epoch.Tid // the acting thread
+	X    Var
+	M    Lock
+	U    epoch.Tid
+}
+
+// Target operand constructors, mirroring the paper's concrete syntax.
+
+// Rd returns rd(t,x).
+func Rd(t epoch.Tid, x Var) Op { return Op{Kind: Read, T: t, X: x} }
+
+// Wr returns wr(t,x).
+func Wr(t epoch.Tid, x Var) Op { return Op{Kind: Write, T: t, X: x} }
+
+// Acq returns acq(t,m).
+func Acq(t epoch.Tid, m Lock) Op { return Op{Kind: Acquire, T: t, M: m} }
+
+// Rel returns rel(t,m).
+func Rel(t epoch.Tid, m Lock) Op { return Op{Kind: Release, T: t, M: m} }
+
+// ForkOp returns fork(t,u).
+func ForkOp(t, u epoch.Tid) Op { return Op{Kind: Fork, T: t, U: u} }
+
+// JoinOp returns join(t,u).
+func JoinOp(t, u epoch.Tid) Op { return Op{Kind: Join, T: t, U: u} }
+
+// VRd returns vrd(t,x), a volatile read.
+func VRd(t epoch.Tid, x Var) Op { return Op{Kind: VolatileRead, T: t, X: x} }
+
+// VWr returns vwr(t,x), a volatile write.
+func VWr(t epoch.Tid, x Var) Op { return Op{Kind: VolatileWrite, T: t, X: x} }
+
+// BarrierOp returns barrier(t,b).
+func BarrierOp(t epoch.Tid, b Lock) Op { return Op{Kind: Barrier, T: t, M: b} }
+
+// String renders the operation in the paper's syntax, e.g. "rd(1,x3)".
+func (o Op) String() string {
+	switch o.Kind {
+	case Read, Write, VolatileRead, VolatileWrite:
+		return fmt.Sprintf("%s(%d,x%d)", o.Kind, o.T, o.X)
+	case Acquire, Release:
+		return fmt.Sprintf("%s(%d,m%d)", o.Kind, o.T, o.M)
+	case Fork, Join:
+		return fmt.Sprintf("%s(%d,%d)", o.Kind, o.T, o.U)
+	case Barrier:
+		return fmt.Sprintf("barrier(%d,b%d)", o.T, o.M)
+	default:
+		return fmt.Sprintf("?(%d)", o.T)
+	}
+}
+
+// IsAccess reports whether the operation is a (non-volatile) memory access.
+func (o Op) IsAccess() bool {
+	return o.Kind == Read || o.Kind == Write
+}
+
+// Conflicts reports whether two accesses conflict: same variable, at least
+// one write (§2). Non-access operations never conflict.
+func (o Op) Conflicts(p Op) bool {
+	if !o.IsAccess() || !p.IsAccess() {
+		return false
+	}
+	return o.X == p.X && (o.Kind == Write || p.Kind == Write)
+}

@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"sort"
+
+	"repro/internal/epoch"
+)
+
+// Trace is a finite sequence of operations — one execution of a program
+// (§2). The zero value is the empty trace.
+type Trace []Op
+
+// Threads returns the sorted set of thread ids appearing in the trace,
+// including forked/joined targets, always including the main thread 0 for a
+// non-empty trace.
+func (tr Trace) Threads() []epoch.Tid {
+	seen := map[epoch.Tid]bool{}
+	for _, op := range tr {
+		seen[op.T] = true
+		if op.Kind == Fork || op.Kind == Join {
+			seen[op.U] = true
+		}
+	}
+	if len(tr) > 0 {
+		seen[0] = true
+	}
+	out := make([]epoch.Tid, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Vars returns the sorted set of variables accessed by the trace (volatile
+// ids are not included; they live in a separate namespace).
+func (tr Trace) Vars() []Var {
+	seen := map[Var]bool{}
+	for _, op := range tr {
+		if op.IsAccess() {
+			seen[op.X] = true
+		}
+	}
+	out := make([]Var, 0, len(seen))
+	for x := range seen {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Locks returns the sorted set of (real) locks used by the trace.
+func (tr Trace) Locks() []Lock {
+	seen := map[Lock]bool{}
+	for _, op := range tr {
+		if op.Kind == Acquire || op.Kind == Release {
+			seen[op.M] = true
+		}
+	}
+	out := make([]Lock, 0, len(seen))
+	for m := range seen {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// maxRealLock bounds source-trace lock ids; the feasibility checker
+// enforces it so Desugar's pseudo-locks (numbered densely above the real
+// ones) can never collide with a real lock.
+const maxRealLock Lock = 1 << 24
+
+// Desugar lowers the extended language to the six-kind core language:
+//
+//   - vwr(t,x) becomes acq/rel on the volatile's pseudo-lock — the write
+//     is ordered with every other volatile access of x, and the release
+//     publishes t's clock exactly as a Java volatile write does. Volatile
+//     accesses themselves are never race-checked (volatiles cannot race),
+//     so no core rd/wr is emitted for them.
+//   - vrd(t,x) becomes acq/rel on the same pseudo-lock, so a read that
+//     follows a write observes the writer's clock via the lock's VC.
+//   - barrier(t,b): participants of round r of barrier b release a
+//     round-entry pseudo-lock, and after all participants of the round have
+//     arrived, each acquires it. Desugar performs round grouping by
+//     counting arrivals per barrier given the participant count in parties.
+//
+// Pseudo-locks are numbered densely starting just above the trace's largest
+// real lock id, so the lowered trace keeps a compact lock id space (the
+// detectors index shadow tables by lock id) while never colliding with a
+// real lock. The lowering over-synchronizes volatile reads slightly (two
+// volatile reads of the same location become lock-ordered), which matches
+// what the paper's implementation does — it handles a volatile like a
+// lock-protected location — and errs toward missing no real races on
+// non-volatile data while never inventing happens-before between unrelated
+// threads.
+func (tr Trace) Desugar(parties map[Lock]int) Trace {
+	nextPseudo := Lock(0)
+	for _, op := range tr {
+		if (op.Kind == Acquire || op.Kind == Release) && op.M >= nextPseudo {
+			nextPseudo = op.M + 1
+		}
+	}
+	pseudo := map[[2]int32]Lock{} // (kindClass, id) -> dense pseudo-lock
+	lockFor := func(class, id int32) Lock {
+		key := [2]int32{class, id}
+		m, ok := pseudo[key]
+		if !ok {
+			m = nextPseudo
+			nextPseudo++
+			pseudo[key] = m
+		}
+		return m
+	}
+
+	out := make(Trace, 0, len(tr))
+	arrivals := map[Lock][]Op{} // pending ops of the current round, per barrier
+	for _, op := range tr {
+		switch op.Kind {
+		case VolatileRead, VolatileWrite:
+			m := lockFor(0, int32(op.X))
+			out = append(out, Acq(op.T, m), Rel(op.T, m))
+		case Barrier:
+			n := parties[op.M]
+			if n <= 0 {
+				n = 2
+			}
+			arrivals[op.M] = append(arrivals[op.M], op)
+			if len(arrivals[op.M]) == n {
+				// Complete round: every participant releases, then every
+				// participant acquires, a fresh round lock. Serializing
+				// through one lock creates the all-pairs ordering a barrier
+				// provides.
+				round := lockFor(1, int32(op.M))
+				for _, a := range arrivals[op.M] {
+					out = append(out, Acq(a.T, round), Rel(a.T, round))
+				}
+				for _, a := range arrivals[op.M] {
+					out = append(out, Acq(a.T, round), Rel(a.T, round))
+				}
+				arrivals[op.M] = nil
+			}
+		default:
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// ByThread splits the trace into per-thread projections preserving program
+// order; useful for tests and for the reduction checker.
+func (tr Trace) ByThread() map[epoch.Tid]Trace {
+	out := map[epoch.Tid]Trace{}
+	for _, op := range tr {
+		out[op.T] = append(out[op.T], op)
+	}
+	return out
+}

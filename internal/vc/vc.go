@@ -1,0 +1,177 @@
+// Package vc implements the grow-on-demand vector clocks of the VerifiedFT
+// analysis (§3 and Fig. 3 of the paper).
+//
+// A vector clock maps every thread id to an epoch for that thread. The
+// implementation stores a dense slice indexed by thread id and treats
+// entries beyond the slice's length as the minimal epoch t@0, exactly as the
+// VectorClock.get method in Fig. 3 does. This keeps clocks proportional to
+// the highest thread id that has actually synchronized through them rather
+// than to the total number of threads.
+//
+// The well-formedness invariant of §3 — for all t, Tid(V.Get(t)) == t — is
+// maintained by every method and checked by the test suite.
+//
+// VC values are NOT safe for concurrent use; the concurrent detectors in
+// internal/core layer their own synchronization disciplines (locks, atomic
+// publication) on top, mirroring §4 and §5 of the paper.
+package vc
+
+import (
+	"strings"
+
+	"repro/internal/epoch"
+)
+
+// VC is a vector clock. The zero value is the minimal clock ⊥V (every entry
+// reads as t@0) and is ready to use.
+type VC struct {
+	v []epoch.Epoch
+}
+
+// New returns an empty (minimal) vector clock.
+func New() *VC {
+	return &VC{}
+}
+
+// FromClocks builds a vector clock whose entry for thread i carries clock
+// values[i]. It is a convenience for tests and examples that use the paper's
+// ⟨m,n⟩ notation.
+func FromClocks(values ...uint64) *VC {
+	c := &VC{v: make([]epoch.Epoch, len(values))}
+	for i, val := range values {
+		c.v[i] = epoch.Make(epoch.Tid(i), val)
+	}
+	return c
+}
+
+// Size returns the length of the underlying representation. Entries at index
+// >= Size() are implicitly minimal.
+func (c *VC) Size() int {
+	return len(c.v)
+}
+
+// Get returns the epoch recorded for thread t, which is t@0 if t lies beyond
+// the current representation.
+func (c *VC) Get(t epoch.Tid) epoch.Epoch {
+	if int(t) < len(c.v) {
+		return c.v[t]
+	}
+	return epoch.Min(t)
+}
+
+// Set records epoch e for thread t, growing the representation if needed.
+// The epoch's own tid must equal t so the well-formedness invariant is
+// preserved.
+func (c *VC) Set(t epoch.Tid, e epoch.Epoch) {
+	if e.Tid() != t {
+		panic("vc: Set would break well-formedness: epoch tid mismatch")
+	}
+	c.ensureCapacity(int(t) + 1)
+	c.v[t] = e
+}
+
+// ensureCapacity grows the representation to at least n entries, filling new
+// slots with minimal epochs, as Fig. 3's ensureCapacity does via get.
+func (c *VC) ensureCapacity(n int) {
+	if n <= len(c.v) {
+		return
+	}
+	grown := make([]epoch.Epoch, n)
+	copy(grown, c.v)
+	for i := len(c.v); i < n; i++ {
+		grown[i] = epoch.Min(epoch.Tid(i))
+	}
+	c.v = grown
+}
+
+// Inc increments the t-component: V := inc_t(V).
+func (c *VC) Inc(t epoch.Tid) {
+	c.Set(t, c.Get(t).Inc())
+}
+
+// Leq reports the pointwise order c ⊑ other.
+func (c *VC) Leq(other *VC) bool {
+	n := len(c.v)
+	if len(other.v) > n {
+		n = len(other.v)
+	}
+	for i := 0; i < n; i++ {
+		t := epoch.Tid(i)
+		if !c.Get(t).Leq(other.Get(t)) {
+			return false
+		}
+	}
+	return true
+}
+
+// EpochLeq reports e ⪯ c, i.e. whether epoch e happens before this clock:
+// e <= c.Get(e.Tid()). It must not be called with the Shared marker.
+func (c *VC) EpochLeq(e epoch.Epoch) bool {
+	return e.Leq(c.Get(e.Tid()))
+}
+
+// Join merges other into c pointwise: c := c ⊔ other.
+func (c *VC) Join(other *VC) {
+	for i := 0; i < len(other.v); i++ {
+		t := epoch.Tid(i)
+		c.Set(t, c.Get(t).Max(other.v[i]))
+	}
+}
+
+// Assign overwrites c with other's contents: c := other (Fig. 3's copy).
+func (c *VC) Assign(other *VC) {
+	n := len(c.v)
+	if len(other.v) > n {
+		n = len(other.v)
+	}
+	for i := 0; i < n; i++ {
+		t := epoch.Tid(i)
+		c.Set(t, other.Get(t))
+	}
+}
+
+// Clone returns an independent copy of c.
+func (c *VC) Clone() *VC {
+	out := &VC{v: make([]epoch.Epoch, len(c.v))}
+	copy(out.v, c.v)
+	return out
+}
+
+// Equal reports whether two clocks agree at every index (treating implicit
+// minimal entries as equal to explicit ones).
+func (c *VC) Equal(other *VC) bool {
+	return c.Leq(other) && other.Leq(c)
+}
+
+// Snapshot returns the raw epochs up to Size; used by the concurrent
+// detectors to publish immutable copies.
+func (c *VC) Snapshot() []epoch.Epoch {
+	out := make([]epoch.Epoch, len(c.v))
+	copy(out, c.v)
+	return out
+}
+
+// FromSnapshot wraps a raw epoch slice (tid i at index i) as a VC. The slice
+// must be well-formed; ownership transfers to the VC.
+func FromSnapshot(v []epoch.Epoch) *VC {
+	for i, e := range v {
+		if e.Tid() != epoch.Tid(i) {
+			panic("vc: FromSnapshot: ill-formed entry")
+		}
+	}
+	return &VC{v: v}
+}
+
+// String renders the clock in the paper's ⟨c0,c1,...⟩ clock-list notation.
+func (c *VC) String() string {
+	var b strings.Builder
+	b.WriteByte('<')
+	for i, e := range c.v {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(e.String())
+	}
+	b.WriteByte('>')
+	return b.String()
+}

@@ -1,0 +1,431 @@
+package workloads
+
+import "repro/internal/rtsim"
+
+// The DaCapo programs, modeled at their default thread counts (§8 runs
+// DaCapo at default sizes). These are task-parallel applications rather
+// than numeric kernels: their signatures mix lock-protected shared
+// structures, read-shared configuration/corpus data, and large amounts of
+// thread-private work, which is why their Table 1 overheads sit well below
+// the JavaGrande kernels'.
+
+func init() {
+	register(Workload{
+		Name: "avrora", Suite: "dacapo", Threads: 8,
+		Pattern:   "simulated microcontroller network: private node state, lock-protected message mailboxes",
+		BenchSize: 12000, TestSize: 80,
+		Run: runAvrora,
+	})
+	register(Workload{
+		Name: "batik", Suite: "dacapo", Threads: 4,
+		Pattern:   "SVG rendering: main builds the DOM, workers rasterize disjoint tiles reading it",
+		BenchSize: 2000, TestSize: 30,
+		Run: runBatik,
+	})
+	register(Workload{
+		Name: "fop", Suite: "dacapo", Threads: 2,
+		Pattern:   "XSL-FO formatting: dominated by single-threaded layout, small shared config",
+		BenchSize: 40000, TestSize: 300,
+		Run: runFop,
+	})
+	register(Workload{
+		Name: "h2", Suite: "dacapo", Threads: 8,
+		Pattern:   "in-memory database: transactions under striped table locks, hot rows",
+		BenchSize: 10000, TestSize: 120,
+		Run: runH2,
+	})
+	register(Workload{
+		Name: "jython", Suite: "dacapo", Threads: 2,
+		Pattern:   "interpreter: per-thread frame churn, occasional locked global-dict access",
+		BenchSize: 60000, TestSize: 200,
+		Run: runJython,
+	})
+	register(Workload{
+		Name: "luindex", Suite: "dacapo", Threads: 2,
+		Pattern:   "document indexing: producer/consumer buffer under a lock, private index build",
+		BenchSize: 16000, TestSize: 100,
+		Run: runLuindex,
+	})
+	register(Workload{
+		Name: "lusearch", Suite: "dacapo", Threads: 8,
+		Pattern:   "index search: read-shared postings + private per-query state",
+		BenchSize: 10000, TestSize: 60,
+		Run: runLusearch,
+	})
+	register(Workload{
+		Name: "pmd", Suite: "dacapo", Threads: 4,
+		Pattern:   "static analysis over files: disjoint ASTs, read-shared rule/symbol tables, locked report list",
+		BenchSize: 5000, TestSize: 80,
+		Run: runPmd,
+	})
+	register(Workload{
+		Name: "sunflow", Suite: "dacapo", Threads: 8,
+		Pattern:   "global-illumination renderer: intense repeated reads of a read-shared scene per bucket — v2's other big win",
+		BenchSize: 224, TestSize: 14,
+		Run: runSunflow,
+	})
+	register(Workload{
+		Name: "tomcat", Suite: "dacapo", Threads: 8,
+		Pattern:   "servlet container: request parsing on private buffers, session table under striped locks",
+		BenchSize: 12000, TestSize: 80,
+		Run: runTomcat,
+	})
+	register(Workload{
+		Name: "xalan", Suite: "dacapo", Threads: 8,
+		Pattern:   "XSLT transforms: read-shared stylesheet templates, disjoint output documents",
+		BenchSize: 2500, TestSize: 50,
+		Run: runXalan,
+	})
+}
+
+// runAvrora: a ring of simulated nodes. Each node spins on private state
+// and posts to its neighbour's mailbox under that mailbox's lock.
+func runAvrora(rt *rtsim.Runtime, size int) {
+	const nodes = 8
+	main := rt.Main()
+	mailboxes := rt.NewArray(nodes)
+	locks := make([]*rtsim.Mutex, nodes)
+	for i := range locks {
+		locks[i] = rt.NewMutex()
+	}
+	regs := rt.NewArray(nodes * 16)
+	main.Parallel(nodes, func(w *rtsim.Thread, id int) {
+		base := id * 16
+		for cycle := 0; cycle < size; cycle++ {
+			// Private register churn: the accumulator and a rotating
+			// register both see repeated same-epoch traffic between
+			// mailbox exchanges, like an interpreter's hot registers.
+			acc := regs.Load(w, base) // r0 is the accumulator
+			r := 1 + cycle%15
+			v := regs.Load(w, base+r)
+			regs.Store(w, base+r, v*3+int64(cycle))
+			regs.Store(w, base, acc+v)
+			// Every 16 cycles, post to the neighbour's mailbox.
+			if cycle%16 == 0 {
+				dst := (id + 1) % nodes
+				locks[dst].Lock(w)
+				mailboxes.Add(w, dst, v)
+				locks[dst].Unlock(w)
+				// Drain own mailbox.
+				locks[id].Lock(w)
+				mailboxes.Load(w, id)
+				locks[id].Unlock(w)
+			}
+		}
+	})
+}
+
+// runBatik: main builds the document (exclusive writes), then workers
+// rasterize disjoint tile rows, reading the shared DOM.
+func runBatik(rt *rtsim.Runtime, size int) {
+	const workers = 4
+	main := rt.Main()
+	dom := rt.NewArray(128)
+	for i := 0; i < dom.Len(); i++ {
+		dom.Store(main, i, int64(i*i%251))
+	}
+	tiles := rt.NewArray(size * workers)
+	main.Parallel(workers, func(w *rtsim.Thread, id int) {
+		for tt := 0; tt < size; tt++ {
+			var px int64
+			for e := 0; e < 6; e++ {
+				px ^= dom.Load(w, (tt*5+e*17)%dom.Len())
+			}
+			tiles.Store(w, id*size+tt, px)
+		}
+	})
+}
+
+// runFop: almost entirely main-thread layout over a private tree, with one
+// tiny parallel pass at the end; low parallelism, low shared state.
+func runFop(rt *rtsim.Runtime, size int) {
+	main := rt.Main()
+	tree := rt.NewArray(256)
+	for pass := 0; pass < size/256+1; pass++ {
+		for i := 0; i < tree.Len(); i++ {
+			v := tree.Load(main, i)
+			tree.Store(main, i, v+int64(i+pass))
+		}
+	}
+	out := rt.NewArray(2)
+	main.Parallel(2, func(w *rtsim.Thread, id int) {
+		var sum int64
+		for i := id; i < tree.Len(); i += 2 {
+			sum += tree.Load(w, i)
+		}
+		out.Store(w, id, sum)
+	})
+}
+
+// runH2: workers run short transactions against a shared table; each
+// transaction locks one of the table's stripes and reads/writes a few rows
+// in it. Lock-dominated with hot shared rows.
+func runH2(rt *rtsim.Runtime, size int) {
+	const workers = 8
+	const stripes = 4
+	const rowsPerStripe = 32
+	main := rt.Main()
+	table := rt.NewArray(stripes * rowsPerStripe)
+	locks := make([]*rtsim.Mutex, stripes)
+	for i := range locks {
+		locks[i] = rt.NewMutex()
+	}
+	scratch := rt.NewArray(workers * 16)
+	main.Parallel(workers, func(w *rtsim.Thread, id int) {
+		sbase := id * 16
+		for txn := 0; txn < size/workers; txn++ {
+			// Plan the transaction in a private working set (several
+			// same-epoch passes, like building the row images).
+			for i := 0; i < 16; i++ {
+				scratch.Store(w, sbase+i, int64(txn*i+id))
+			}
+			var plan int64
+			for pass := 0; pass < 2; pass++ {
+				for i := 0; i < 16; i++ {
+					plan += scratch.Load(w, sbase+i)
+				}
+			}
+			// Execute against the shared table under the stripe lock.
+			s := (id + txn) % stripes
+			locks[s].Lock(w)
+			base := s * rowsPerStripe
+			a := table.Load(w, base+(txn*3)%rowsPerStripe)
+			b := table.Load(w, base+(txn*5)%rowsPerStripe)
+			c := table.Load(w, base+(txn*7)%rowsPerStripe)
+			table.Store(w, base+txn%rowsPerStripe, a+b+c+plan%7)
+			locks[s].Unlock(w)
+		}
+	})
+}
+
+// runJython: two interpreter threads run private frame/stack churn with an
+// occasional locked access to the shared module dictionary.
+func runJython(rt *rtsim.Runtime, size int) {
+	const workers = 2
+	main := rt.Main()
+	globals := rt.NewArray(64)
+	gl := rt.NewMutex()
+	frames := rt.NewArray(workers * 32)
+	main.Parallel(workers, func(w *rtsim.Thread, id int) {
+		base := id * 32
+		for pc := 0; pc < size; pc++ {
+			slot := base + pc%32
+			v := frames.Load(w, slot)
+			frames.Store(w, slot, v*5+int64(pc))
+			if pc%64 == 0 {
+				gl.Lock(w)
+				g := globals.Load(w, pc%64)
+				globals.Store(w, pc%64, g+1)
+				gl.Unlock(w)
+			}
+		}
+	})
+}
+
+// runLuindex: the producer tokenizes documents into a batch buffer; the
+// consumer builds the index from each batch. The two stages alternate
+// through a two-party barrier (the real program's bounded buffer blocks,
+// it does not spin), so the buffer ping-pongs between the threads while
+// the index stays consumer-private.
+func runLuindex(rt *rtsim.Runtime, size int) {
+	main := rt.Main()
+	const batch = 16
+	buf := rt.NewArray(batch)
+	index := rt.NewArray(256)
+	bar := rt.NewBarrier(2)
+	batches := size / batch
+	producer := main.Go(func(w *rtsim.Thread) {
+		for b := 0; b < batches; b++ {
+			for i := 0; i < batch; i++ {
+				buf.Store(w, i, int64((b*batch+i)*37+11))
+			}
+			bar.Await(w) // hand the batch to the consumer
+			bar.Await(w) // wait for it to be drained
+		}
+	})
+	for b := 0; b < batches; b++ {
+		bar.Await(main)
+		for i := 0; i < batch; i++ {
+			tok := buf.Load(main, i)
+			slot := int(uint64(tok) % uint64(index.Len()))
+			// Term frequency update plus two postings probes: repeated
+			// same-epoch index traffic within a batch.
+			v := index.Load(main, slot)
+			index.Store(main, slot, v+1)
+			index.Load(main, (slot+1)%index.Len())
+		}
+		bar.Await(main)
+	}
+	main.Join(producer)
+}
+
+// runLusearch: the postings lists are read-shared by all query threads;
+// each query probes many postings and scores into private accumulators.
+// Queries are separated by a locked stats update, so postings reads mix
+// fresh-epoch and same-epoch shared reads.
+func runLusearch(rt *rtsim.Runtime, size int) {
+	const workers = 8
+	main := rt.Main()
+	postings := rt.NewArray(512)
+	for i := 0; i < postings.Len(); i++ {
+		postings.Store(main, i, int64(i*13+5))
+	}
+	stats := rt.NewVar()
+	mu := rt.NewMutex()
+	main.Parallel(workers, func(w *rtsim.Thread, id int) {
+		for q := 0; q < size/workers; q++ {
+			var score int64
+			// Queries cluster on hot terms: each term's postings chain is
+			// walked for every document scored, so the same shared entries
+			// are re-read many times between stats updates.
+			for doc := 0; doc < 4; doc++ {
+				for term := 0; term < 6; term++ {
+					idx := (q*31 + term*47) % postings.Len()
+					score += postings.Load(w, idx) * int64(doc+1)
+				}
+			}
+			mu.Lock(w)
+			stats.Add(w, score&0xff)
+			mu.Unlock(w)
+		}
+	})
+}
+
+// runPmd: each worker analyses its own files (private AST churn), consults
+// the read-shared rule table, and appends findings under a lock.
+func runPmd(rt *rtsim.Runtime, size int) {
+	const workers = 4
+	main := rt.Main()
+	rules := rt.NewArray(96)
+	for i := 0; i < rules.Len(); i++ {
+		rules.Store(main, i, int64(i*29+3))
+	}
+	findings := rt.NewVar()
+	mu := rt.NewMutex()
+	ast := rt.NewArray(workers * 64)
+	main.Parallel(workers, func(w *rtsim.Thread, id int) {
+		base := id * 64
+		for file := 0; file < size/workers; file++ {
+			// Build a private AST.
+			for n := 0; n < 64; n++ {
+				ast.Store(w, base+n, int64(file*n+7))
+			}
+			// Check each node against a few shared rules.
+			var hits int64
+			for n := 0; n < 64; n++ {
+				v := ast.Load(w, base+n)
+				r := rules.Load(w, int(v)%rules.Len())
+				if (v^r)&1 == 0 {
+					hits++
+				}
+			}
+			if hits > 0 {
+				mu.Lock(w)
+				findings.Add(w, hits)
+				mu.Unlock(w)
+			}
+		}
+	})
+}
+
+// runSunflow: like raytracer but with a much higher ratio of shared scene
+// reads per pixel and *no* synchronization inside a bucket, so nearly all
+// scene reads after the first are [Read Shared Same Epoch] — the pattern
+// whose lock serialization gave v1 a 159x overhead in Table 1.
+func runSunflow(rt *rtsim.Runtime, size int) {
+	const workers = 8
+	main := rt.Main()
+	scene := rt.NewArray(384)
+	for i := 0; i < scene.Len(); i++ {
+		scene.Store(main, i, int64(i*41+17))
+	}
+	img := rt.NewArray(size * size)
+	main.Parallel(workers, func(w *rtsim.Thread, id int) {
+		for y := id; y < size; y += workers {
+			for x := 0; x < size; x++ {
+				var radiance int64
+				// Many bounces, each probing several shared scene entries.
+				for bounce := 0; bounce < 4; bounce++ {
+					for probe := 0; probe < 6; probe++ {
+						idx := (x*7 + y*11 + bounce*131 + probe*29) % scene.Len()
+						radiance += scene.Load(w, idx) >> uint(bounce)
+					}
+				}
+				img.Store(w, y*size+x, radiance)
+			}
+		}
+	})
+}
+
+// runTomcat: request handlers parse into private buffers and touch a
+// striped session table under its stripe lock.
+func runTomcat(rt *rtsim.Runtime, size int) {
+	const workers = 8
+	const stripes = 8
+	main := rt.Main()
+	sessions := rt.NewArray(stripes * 8)
+	locks := make([]*rtsim.Mutex, stripes)
+	for i := range locks {
+		locks[i] = rt.NewMutex()
+	}
+	bufs := rt.NewArray(workers * 32)
+	main.Parallel(workers, func(w *rtsim.Thread, id int) {
+		base := id * 32
+		for req := 0; req < size/workers; req++ {
+			// Parse request into the private buffer.
+			for i := 0; i < 32; i++ {
+				bufs.Store(w, base+i, int64(req*i+id))
+			}
+			// Header scan, routing and hashing each re-read the buffer —
+			// three same-epoch passes, as a servlet pipeline makes.
+			var h int64
+			for pass := 0; pass < 3; pass++ {
+				for i := 0; i < 32; i++ {
+					h = h*31 + bufs.Load(w, base+i)
+				}
+			}
+			// Session lookup/update under the stripe lock.
+			s := int(uint64(h) % stripes)
+			locks[s].Lock(w)
+			slot := s*8 + req%8
+			v := sessions.Load(w, slot)
+			sessions.Store(w, slot, v+1)
+			locks[s].Unlock(w)
+		}
+	})
+}
+
+// runXalan: stylesheet templates are read-shared; each worker transforms
+// its own documents, probing many templates per node, with a locked output
+// counter per document.
+func runXalan(rt *rtsim.Runtime, size int) {
+	const workers = 8
+	main := rt.Main()
+	stylesheet := rt.NewArray(192)
+	for i := 0; i < stylesheet.Len(); i++ {
+		stylesheet.Store(main, i, int64(i*53+19))
+	}
+	out := rt.NewVar()
+	mu := rt.NewMutex()
+	docs := rt.NewArray(workers * 48)
+	main.Parallel(workers, func(w *rtsim.Thread, id int) {
+		base := id * 48
+		for doc := 0; doc < size/workers; doc++ {
+			var emitted int64
+			for node := 0; node < 48; node++ {
+				docs.Store(w, base+node, int64(doc+node))
+				// A node matches against a handful of templates, and the
+				// same few templates fire all over the document — shared
+				// stylesheet entries are re-read heavily per epoch.
+				for match := 0; match < 3; match++ {
+					tmplIdx := (node%8*5 + match*17) % stylesheet.Len()
+					tmpl := stylesheet.Load(w, tmplIdx)
+					emitted += docs.Load(w, base+node) ^ tmpl
+				}
+			}
+			mu.Lock(w)
+			out.Add(w, emitted&0x7)
+			mu.Unlock(w)
+		}
+	})
+}

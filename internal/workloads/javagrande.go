@@ -1,0 +1,357 @@
+package workloads
+
+import "repro/internal/rtsim"
+
+// The JavaGrande kernels, configured as in §8: 16 worker threads, largest
+// data-size structure. Problem sizes here are scaled so one iteration runs
+// in milliseconds rather than seconds; the harness reports overheads, which
+// are size-stable.
+
+const jgThreads = 16
+
+func init() {
+	register(Workload{
+		Name: "crypt", Suite: "javagrande", Threads: jgThreads,
+		Pattern:   "IDEA en/decryption: disjoint array slices, three passes per element; same-epoch heavy",
+		BenchSize: 48000, TestSize: 400,
+		Run: runCrypt,
+	})
+	register(Workload{
+		Name: "lufact", Suite: "javagrande", Threads: jgThreads,
+		Pattern:   "LU factorization: pivot row read-shared by all workers, disjoint row updates, barrier per column",
+		BenchSize: 96, TestSize: 12,
+		Run: runLufact,
+	})
+	register(Workload{
+		Name: "moldyn", Suite: "javagrande", Threads: jgThreads,
+		Pattern:   "molecular dynamics: read-shared positions, private force accumulation, locked reduction, barrier-phased",
+		BenchSize: 512, TestSize: 48,
+		Run: runMoldyn,
+	})
+	register(Workload{
+		Name: "montecarlo", Suite: "javagrande", Threads: jgThreads,
+		Pattern:   "independent simulation tasks: thread-private churn, small locked result merge",
+		BenchSize: 24000, TestSize: 300,
+		Run: runMontecarlo,
+	})
+	register(Workload{
+		Name: "raytracer", Suite: "javagrande", Threads: jgThreads,
+		Pattern:   "ray tracing: read-shared scene, disjoint pixel rows; read-shared moderate",
+		BenchSize: 320, TestSize: 16,
+		Run: runRaytracer,
+	})
+	register(Workload{
+		Name: "series", Suite: "javagrande", Threads: jgThreads,
+		Pattern:   "Fourier coefficients: almost pure computation, one result store per term; near-zero overhead",
+		BenchSize: 1500, TestSize: 60,
+		Run: runSeries,
+	})
+	register(Workload{
+		Name: "sor", Suite: "javagrande", Threads: jgThreads,
+		Pattern:   "red-black successive over-relaxation: row-partitioned grid, neighbour-row reads, barrier per sweep",
+		BenchSize: 192, TestSize: 20,
+		Run: runSor,
+	})
+	register(Workload{
+		Name: "sparse", Suite: "javagrande", Threads: jgThreads,
+		Pattern:   "sparse mat-vec: x vector re-read by every worker every row — the read-shared-same-epoch extreme",
+		BenchSize: 12000, TestSize: 80,
+		Run: runSparse,
+	})
+}
+
+// runCrypt models the IDEA cipher kernel: the plaintext array is split into
+// disjoint per-worker slices; each worker makes an encrypt pass, a decrypt
+// pass and a verify pass over its slice. Every element is touched only by
+// its owner, so after the first access everything is [.. Same Epoch] — the
+// fast paths all detectors share.
+func runCrypt(rt *rtsim.Runtime, size int) {
+	main := rt.Main()
+	n := size / jgThreads
+	if n == 0 {
+		n = 1
+	}
+	text := rt.NewArray(n * jgThreads)
+	key := rt.NewArray(52)
+	for i := 0; i < key.Len(); i++ {
+		key.Store(main, i, int64(i*2654435761))
+	}
+	main.Parallel(jgThreads, func(w *rtsim.Thread, id int) {
+		lo := id * n
+		// Encrypt: write each element from computed key material.
+		k0 := key.Load(w, id%key.Len())
+		for i := lo; i < lo+n; i++ {
+			text.Store(w, i, int64(i)*16777619^k0)
+		}
+		// IDEA-style rounds: each element is read and rewritten once per
+		// round with no intervening synchronization, so rounds 1..k are
+		// pure [Read/Write Same Epoch] traffic — crypt's signature.
+		for round := 0; round < 6; round++ {
+			for i := lo; i < lo+n; i++ {
+				v := text.Load(w, i)
+				text.Store(w, i, v*3+k0>>uint(round%8))
+			}
+		}
+		// Verify: three read-only passes (checksum, parity, compare).
+		var sum int64
+		for pass := 0; pass < 3; pass++ {
+			for i := lo; i < lo+n; i++ {
+				sum += text.Load(w, i) >> uint(pass)
+			}
+		}
+		text.Store(w, lo, sum)
+	})
+}
+
+// runLufact models Gaussian elimination with partial structure: at column
+// k, every worker reads the shared pivot row k (read-shared across all 16
+// workers) and updates its own block of rows (exclusive); a barrier
+// separates columns. The pivot-row broadcast is what gives lufact its
+// read-shared component in Table 1.
+func runLufact(rt *rtsim.Runtime, size int) {
+	main := rt.Main()
+	n := size // n x n matrix
+	rows := rt.NewArray(n * n)
+	for i := 0; i < n*n; i++ {
+		rows.Store(main, i, int64(i%97+1))
+	}
+	bar := rt.NewBarrier(jgThreads)
+	main.Parallel(jgThreads, func(w *rtsim.Thread, id int) {
+		for k := 0; k < n-1; k++ {
+			// Eliminate this worker's rows below the pivot, reading the
+			// shared pivot row through the instrumented array for every
+			// row update — each worker re-reads the same pivot entries
+			// within one epoch, which is lufact's read-shared signature.
+			// The divisor is masked positive: this is an access-pattern
+			// model, not numerics, and the mask keeps arithmetic total.
+			diag := rows.Load(w, k*n+k)
+			for i := k + 1 + id; i < n; i += jgThreads {
+				factor := rows.Load(w, i*n+k) / ((diag & 1023) + 1)
+				for j := k; j < n; j++ {
+					p := rows.Load(w, k*n+j)
+					v := rows.Load(w, i*n+j)
+					rows.Store(w, i*n+j, v-factor*p)
+				}
+			}
+			bar.Await(w)
+		}
+	})
+}
+
+// runMoldyn models the molecular-dynamics kernel: per step, every worker
+// scans all particle positions (read-shared), accumulates forces into a
+// private array, then merges into the shared force array under a lock;
+// position update is partitioned. Barriers separate the phases.
+func runMoldyn(rt *rtsim.Runtime, size int) {
+	main := rt.Main()
+	p := size // particles
+	pos := rt.NewArray(p)
+	force := rt.NewArray(p)
+	for i := 0; i < p; i++ {
+		pos.Store(main, i, int64(i*31+7))
+	}
+	bar := rt.NewBarrier(jgThreads)
+	mu := rt.NewMutex()
+	const steps = 2
+	main.Parallel(jgThreads, func(w *rtsim.Thread, id int) {
+		local := make([]int64, p)
+		for s := 0; s < steps; s++ {
+			// Force computation: all-pairs over this worker's slice of
+			// i-particles against every j-particle (read-shared scan).
+			for i := id; i < p; i += jgThreads {
+				xi := pos.Load(w, i)
+				var f int64
+				for j := 0; j < p; j++ {
+					xj := pos.Load(w, j)
+					d := xi - xj
+					if d != 0 {
+						// Mask keeps the pseudo-distance positive so the
+						// division is total even when d*d overflows.
+						f += (1 << 10) / (d*d&1023 + 1)
+					}
+				}
+				local[i] += f
+			}
+			bar.Await(w)
+			// Reduction into the shared force array, serialized by a lock.
+			mu.Lock(w)
+			for i := id; i < p; i += jgThreads {
+				force.Add(w, i, local[i])
+			}
+			mu.Unlock(w)
+			bar.Await(w)
+			// Position update on the worker's own partition.
+			for i := id; i < p; i += jgThreads {
+				v := pos.Load(w, i)
+				pos.Store(w, i, v+force.Load(w, i)%13)
+			}
+			bar.Await(w)
+		}
+	})
+}
+
+// runMontecarlo models the Monte-Carlo pricing kernel: tasks are
+// independent; each worker runs its share on private state and merges a
+// handful of results under a lock. Dominated by thread-local accesses.
+func runMontecarlo(rt *rtsim.Runtime, size int) {
+	main := rt.Main()
+	tasks := size
+	results := rt.NewVar()
+	mu := rt.NewMutex()
+	scratch := rt.NewArray(jgThreads * 64)
+	main.Parallel(jgThreads, func(w *rtsim.Thread, id int) {
+		base := id * 64
+		var acc int64
+		for task := id; task < tasks; task += jgThreads {
+			// Private random walk on the worker's scratch block.
+			seed := int64(task*1103515245 + 12345)
+			for i := 0; i < 64; i++ {
+				seed = seed*6364136223846793005 + 1442695040888963407
+				scratch.Store(w, base+i, seed)
+			}
+			for pass := 0; pass < 3; pass++ {
+				for i := 0; i < 64; i++ {
+					acc += scratch.Load(w, base+i) >> uint(56-pass)
+				}
+			}
+		}
+		mu.Lock(w)
+		results.Add(w, acc)
+		mu.Unlock(w)
+	})
+}
+
+// runRaytracer models the ray tracer: the scene (spheres, lights, octree)
+// is built by main and then read-shared by every worker; each worker owns
+// interleaved pixel rows. Per pixel it probes a handful of scene entries —
+// a fresh epoch per row via a lock-protected progress counter, so shared
+// reads mix [Read Shared] and [Read Shared Same Epoch].
+func runRaytracer(rt *rtsim.Runtime, size int) {
+	main := rt.Main()
+	width := size
+	height := size
+	scene := rt.NewArray(128)
+	for i := 0; i < scene.Len(); i++ {
+		scene.Store(main, i, int64(i*i+3))
+	}
+	img := rt.NewArray(width * height)
+	progress := rt.NewVar()
+	mu := rt.NewMutex()
+	main.Parallel(jgThreads, func(w *rtsim.Thread, id int) {
+		for y := id; y < height; y += jgThreads {
+			for x := 0; x < width; x++ {
+				var col int64
+				// Probe several scene objects per ray.
+				for probe := 0; probe < 8; probe++ {
+					idx := (x*13 + y*7 + probe*31) % scene.Len()
+					col ^= scene.Load(w, idx) * int64(probe+1)
+				}
+				img.Store(w, y*width+x, col)
+			}
+			// Progress is batched per few rows, as the real tracer's work
+			// queue is; a lock per pixel would flush the epoch constantly.
+			if y%(4*jgThreads) == id%4 {
+				mu.Lock(w)
+				progress.Add(w, 1)
+				mu.Unlock(w)
+			}
+		}
+	})
+}
+
+// runSeries models the Fourier-series kernel: overwhelmingly pure
+// computation with one instrumented store per coefficient — Table 1 shows
+// 0.01x overhead, and this kernel reproduces that by doing thousands of
+// arithmetic steps per event.
+func runSeries(rt *rtsim.Runtime, size int) {
+	main := rt.Main()
+	coeffs := rt.NewArray(size)
+	main.Parallel(jgThreads, func(w *rtsim.Thread, id int) {
+		for k := id; k < size; k += jgThreads {
+			// Simpson-rule style integration: pure uninstrumented compute.
+			var acc int64 = 1
+			x := int64(k + 1)
+			for i := 0; i < 4000; i++ {
+				acc = acc*x%1000003 + int64(i)
+			}
+			coeffs.Store(w, k, acc)
+		}
+	})
+}
+
+// runSor models red-black SOR: the grid is row-partitioned; updating a row
+// reads the rows above and below, which belong to neighbouring workers —
+// so boundary rows become read-shared between two threads — with a barrier
+// between half-sweeps.
+func runSor(rt *rtsim.Runtime, size int) {
+	main := rt.Main()
+	n := size
+	grid := rt.NewArray(n * n)
+	for i := 0; i < n*n; i++ {
+		grid.Store(main, i, int64(i%11))
+	}
+	bar := rt.NewBarrier(jgThreads)
+	const sweeps = 2
+	main.Parallel(jgThreads, func(w *rtsim.Thread, id int) {
+		for s := 0; s < sweeps; s++ {
+			for colour := 0; colour < 2; colour++ {
+				for i := 1 + id; i < n-1; i += jgThreads {
+					for j := 1 + (i+colour)%2; j < n-1; j += 2 {
+						up := grid.Load(w, (i-1)*n+j)
+						down := grid.Load(w, (i+1)*n+j)
+						left := grid.Load(w, i*n+j-1)
+						right := grid.Load(w, i*n+j+1)
+						grid.Store(w, i*n+j, (up+down+left+right)/4)
+					}
+				}
+				bar.Await(w)
+			}
+		}
+	})
+}
+
+// runSparse models sparse matrix-vector multiplication, the program whose
+// 316x v1 overhead collapses to 25x under v2 (Table 1): the dense vector x
+// is read-shared by all 16 workers, and because each worker reads the same
+// x entries over and over *within one epoch* (several multiply sweeps with
+// no intervening synchronization), nearly every shared read hits [Read
+// Shared Same Epoch]. Without that case being lock-free (v1, v1.5), each
+// of those reads takes the variable lock and the workers serialize.
+func runSparse(rt *rtsim.Runtime, size int) {
+	main := rt.Main()
+	n := size
+	x := rt.NewArray(n)
+	for i := 0; i < n; i++ {
+		x.Store(main, i, int64(i*7+1))
+	}
+	y := rt.NewArray(n)
+	const nnzPerRow = 12
+	const sweeps = 3
+	// Column indices follow the power-law locality of real sparse
+	// matrices: most non-zeros land in a small hot band of x. All 16
+	// workers therefore hammer the same few x entries, which is exactly
+	// what serializes v1/v1.5 on those entries' locks and what v2's
+	// lock-free shared reads ride through. The band is a constant so the
+	// contention does not dilute as the problem grows.
+	hot := 48
+	if hot > n {
+		hot = n
+	}
+	main.Parallel(jgThreads, func(w *rtsim.Thread, id int) {
+		for s := 0; s < sweeps; s++ {
+			for row := id; row < n; row += jgThreads {
+				var acc int64
+				for k := 0; k < nnzPerRow; k++ {
+					col := (row*17 + k*29) % hot
+					if k == nnzPerRow-1 {
+						col = (row*13 + k) % n // one off-band entry per row
+					}
+					acc += x.Load(w, col) * int64(k+1)
+				}
+				y.Store(w, row, acc)
+			}
+			// No synchronization between sweeps: repeated x reads stay in
+			// the same epoch.
+		}
+	})
+}

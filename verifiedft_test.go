@@ -1,0 +1,201 @@
+package verifiedft_test
+
+import (
+	"testing"
+
+	verifiedft "repro"
+)
+
+func TestCheckTraceDetectsRace(t *testing.T) {
+	tr := verifiedft.Trace{
+		verifiedft.Fork(0, 1),
+		verifiedft.Write(0, 0),
+		verifiedft.Write(1, 0),
+	}
+	reports, err := verifiedft.CheckTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 {
+		t.Fatalf("reports = %v", reports)
+	}
+	if reports[0].X != 0 || reports[0].T != 1 {
+		t.Fatalf("report fields: %+v", reports[0])
+	}
+}
+
+func TestCheckTraceCleanProgram(t *testing.T) {
+	tr := verifiedft.Trace{
+		verifiedft.Fork(0, 1),
+		verifiedft.Acquire(0, 0), verifiedft.Write(0, 0), verifiedft.Release(0, 0),
+		verifiedft.Acquire(1, 0), verifiedft.Read(1, 0), verifiedft.Release(1, 0),
+		verifiedft.Join(0, 1),
+		verifiedft.Write(0, 0),
+	}
+	reports, err := verifiedft.CheckTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 0 {
+		t.Fatalf("false positives: %v", reports)
+	}
+}
+
+func TestCheckTraceRejectsInfeasible(t *testing.T) {
+	tr := verifiedft.Trace{verifiedft.Release(0, 0)}
+	if _, err := verifiedft.CheckTrace(tr); err == nil {
+		t.Fatal("infeasible trace accepted")
+	}
+}
+
+func TestCheckTraceExtendedOps(t *testing.T) {
+	// Volatile publication: race-free.
+	tr := verifiedft.Trace{
+		verifiedft.Fork(0, 1),
+		verifiedft.Write(0, 0),
+		verifiedft.VolatileWrite(0, 9),
+		verifiedft.VolatileRead(1, 9),
+		verifiedft.Read(1, 0),
+	}
+	reports, err := verifiedft.CheckTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 0 {
+		t.Fatalf("volatile publication misreported: %v", reports)
+	}
+	// Barrier ordering with explicit parties.
+	tr = verifiedft.Trace{
+		verifiedft.Fork(0, 1),
+		verifiedft.Write(0, 0),
+		verifiedft.BarrierArrive(0, 0),
+		verifiedft.BarrierArrive(1, 0),
+		verifiedft.Read(1, 0),
+	}
+	reports, err = verifiedft.CheckTrace(tr, map[verifiedft.LockID]int{0: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 0 {
+		t.Fatalf("barrier ordering misreported: %v", reports)
+	}
+}
+
+func TestCheckTraceWithEveryVariant(t *testing.T) {
+	racy := verifiedft.Trace{
+		verifiedft.Fork(0, 1),
+		verifiedft.Write(0, 0),
+		verifiedft.Read(1, 0),
+	}
+	for _, v := range verifiedft.Variants() {
+		if v == verifiedft.Eraser {
+			continue // imprecise by design
+		}
+		reports, err := verifiedft.CheckTraceWith(v, racy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(reports) == 0 {
+			t.Errorf("%s missed the race", v)
+		}
+	}
+}
+
+func TestHasRaceOracle(t *testing.T) {
+	racy := verifiedft.Trace{
+		verifiedft.Fork(0, 1),
+		verifiedft.Write(0, 0),
+		verifiedft.Write(1, 0),
+	}
+	ok, err := verifiedft.HasRace(racy)
+	if err != nil || !ok {
+		t.Fatalf("HasRace = %v, %v", ok, err)
+	}
+	clean := verifiedft.Trace{
+		verifiedft.Fork(0, 1),
+		verifiedft.Write(1, 0),
+		verifiedft.Join(0, 1),
+		verifiedft.Write(0, 0),
+	}
+	ok, err = verifiedft.HasRace(clean)
+	if err != nil || ok {
+		t.Fatalf("HasRace(clean) = %v, %v", ok, err)
+	}
+}
+
+func TestOnlineAPI(t *testing.T) {
+	d, err := verifiedft.New(verifiedft.V2, verifiedft.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := verifiedft.NewRuntime(d)
+	main := rt.Main()
+	x := rt.NewVar()
+	mu := rt.NewMutex()
+
+	child := main.Go(func(w *verifiedft.Thread) {
+		mu.Lock(w)
+		x.Add(w, 1)
+		mu.Unlock(w)
+	})
+	mu.Lock(main)
+	x.Add(main, 1)
+	mu.Unlock(main)
+	main.Join(child)
+
+	if reports := rt.Reports(); len(reports) != 0 {
+		t.Fatalf("false positives: %v", reports)
+	}
+	if got := x.Load(main); got != 2 {
+		t.Fatalf("value = %d", got)
+	}
+}
+
+func TestNewRejectsUnknownVariant(t *testing.T) {
+	if _, err := verifiedft.New("fasttrack-v9", verifiedft.Config{}); err == nil {
+		t.Fatal("unknown variant accepted")
+	}
+}
+
+func TestValidateTrace(t *testing.T) {
+	good := verifiedft.Trace{verifiedft.Write(0, 0)}
+	if err := verifiedft.ValidateTrace(good); err != nil {
+		t.Fatal(err)
+	}
+	bad := verifiedft.Trace{verifiedft.Release(0, 0)}
+	if err := verifiedft.ValidateTrace(bad); err == nil {
+		t.Fatal("infeasible trace accepted")
+	}
+}
+
+func TestCheckTraceWithErrors(t *testing.T) {
+	if _, err := verifiedft.CheckTraceWith("nope", verifiedft.Trace{verifiedft.Read(0, 0)}); err == nil {
+		t.Fatal("unknown variant accepted")
+	}
+	if _, err := verifiedft.CheckTraceWith(verifiedft.V1, verifiedft.Trace{verifiedft.Release(0, 0)}); err == nil {
+		t.Fatal("infeasible trace accepted")
+	}
+}
+
+func TestHasRaceRejectsInfeasible(t *testing.T) {
+	if _, err := verifiedft.HasRace(verifiedft.Trace{verifiedft.Release(0, 0)}); err == nil {
+		t.Fatal("infeasible trace accepted")
+	}
+}
+
+// configFor must size tables to the trace's largest ids; exercised through
+// a trace with big thread and variable ids.
+func TestCheckTraceLargeIDs(t *testing.T) {
+	tr := verifiedft.Trace{
+		verifiedft.Fork(0, 1), verifiedft.Fork(1, 2), verifiedft.Fork(2, 3),
+		verifiedft.Write(3, 500),
+		verifiedft.Read(0, 500), // races
+	}
+	reports, err := verifiedft.CheckTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 || reports[0].X != 500 {
+		t.Fatalf("reports = %v", reports)
+	}
+}
