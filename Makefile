@@ -1,0 +1,43 @@
+GO ?= go
+FUZZTIME ?= 30s
+
+.PHONY: all build test race vet bench fuzz soak coverage clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# One quick Table 1 regeneration; BENCH_table1.json lands in the repo root.
+bench:
+	$(GO) run ./cmd/vft-bench -quick -iters 3
+
+# The differential fuzzers: the sequential trace fuzzer, the controlled
+# schedule explorer, then a bounded run of each coverage-guided target.
+fuzz:
+	$(GO) run ./cmd/vft-fuzz -n 2000
+	$(GO) run ./cmd/vft-fuzz -n 200 -schedules 25
+	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzFromBytes -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/minilang -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/spec -run '^$$' -fuzz FuzzPrecision -fuzztime $(FUZZTIME)
+
+# Long-running schedule exploration (hundreds of schedules per program).
+soak:
+	VFT_SOAK=1 $(GO) test ./internal/conformance -timeout 60m -count 1 -v
+
+coverage:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -n 1
+
+clean:
+	rm -f coverage.out BENCH_table1.json

@@ -1,7 +1,10 @@
 // Command vft-bench regenerates Table 1 of the paper: base time per
 // program and checking overhead per detector variant, with geometric
-// means; -ablation adds the §3 rule-change microbenchmarks. See
-// internal/cli for the implementation and flags.
+// means; -ablation adds the §3 rule-change microbenchmarks. Alongside the
+// text table it writes a machine-readable BENCH_table1.json (program,
+// suite, base seconds, per-detector overhead, geometric means; -json
+// renames or disables it). See internal/cli for the implementation and
+// flags.
 package main
 
 import (

@@ -1,8 +1,14 @@
 // Command vft-fuzz differentially fuzzes the whole detector stack on
 // random feasible traces: oracle self-agreement, Theorem 3.1 precision of
 // both specification flavors, detector first-report positions, and rule
-// histograms. Divergences are delta-minimized and printed in the vft-race
-// input format. See internal/cli for the implementation and flags.
+// histograms. With -schedules N each trace is additionally re-executed as
+// a concurrent program under N controlled schedules per trace (PCT or
+// random-walk policy, -sched-policy), cross-checking every detector
+// against the happens-before oracle on every explored interleaving; the
+// whole run is a deterministic function of -seed, and a reported schedule
+// seed replays its interleaving exactly. Divergences are delta-minimized
+// and printed in the vft-race input format. See internal/cli and
+// internal/conformance for the implementation and flags.
 package main
 
 import (

@@ -11,16 +11,16 @@ import (
 	"io"
 	"math/rand"
 	"os"
-	"reflect"
-	"sort"
 	"strings"
 	"time"
 
+	"repro/internal/conformance"
 	"repro/internal/core"
 	"repro/internal/epoch"
 	"repro/internal/harness"
 	"repro/internal/hb"
 	"repro/internal/minilang"
+	"repro/internal/sched"
 	"repro/internal/spec"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -162,6 +162,8 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 	programs := fs.String("programs", "", "comma-separated program subset (default: whole suite)")
 	ablation := fs.Bool("ablation", false, "also run the §3 rule-change ablations")
 	format := fs.String("format", "text", "output format: text or csv")
+	jsonPath := fs.String("json", "BENCH_table1.json",
+		"also write the table as machine-readable JSON to this file ('' disables)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -184,6 +186,22 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "vft-bench:", err)
 		return 2
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "vft-bench:", err)
+			return 2
+		}
+		err = table.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "vft-bench:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "vft-bench: wrote %s\n", *jsonPath)
 	}
 	if *format == "csv" {
 		if err := table.FormatCSV(stdout); err != nil {
@@ -356,7 +374,13 @@ func printSerializationTable(stdout io.Writer, s *stats.Summary) {
 	}
 }
 
-// Fuzz implements vft-fuzz: differential fuzzing of the whole stack.
+// Fuzz implements vft-fuzz: differential fuzzing of the whole stack. The
+// sequential pass checks every generated trace as-is; with -schedules N,
+// each trace is additionally re-executed as a concurrent program under N
+// controlled schedules and every detector is cross-checked against the
+// oracle on every explored linearization (see internal/conformance). The
+// whole run, including schedule exploration, is a deterministic function of
+// -seed.
 func Fuzz(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("vft-fuzz", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -366,7 +390,14 @@ func Fuzz(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "base RNG seed")
 	racy := fs.Bool("racy", false, "disable the generator's locking bias (more races)")
 	shrink := fs.Bool("shrink", true, "delta-minimize a diverging trace before printing it")
+	schedules := fs.Int("schedules", 0, "controlled schedules to explore per trace (0: sequential check only)")
+	policy := fs.String("sched-policy", "pct",
+		fmt.Sprintf("schedule exploration policy, one of %v", sched.PolicyNames()))
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if _, err := sched.NewPolicy(*policy, 0); err != nil {
+		fmt.Fprintln(stderr, "vft-fuzz:", err)
 		return 2
 	}
 
@@ -378,8 +409,10 @@ func Fuzz(args []string, stdout, stderr io.Writer) int {
 	}
 
 	races, clean := 0, 0
+	var explored harness.ScheduleStats
 	for i := 0; i < *n; i++ {
-		rng := rand.New(rand.NewSource(*seed + int64(i)))
+		traceSeed := *seed + int64(i)
+		rng := rand.New(rand.NewSource(traceSeed))
 		tr := trace.Generate(rng, cfg)
 		if err := CheckOne(tr); err != nil {
 			if *shrink {
@@ -387,7 +420,7 @@ func Fuzz(args []string, stdout, stderr io.Writer) int {
 				err = CheckOne(tr) // re-derive the message for the minimized trace
 			}
 			fmt.Fprintf(stderr, "vft-fuzz: divergence on trace %d (seed %d): %v\n\n",
-				i, *seed+int64(i), err)
+				i, traceSeed, err)
 			fmt.Fprintln(stderr, "# replay with: vft-race -all -oracle <this file>")
 			trace.Encode(stderr, tr)
 			return 1
@@ -397,96 +430,54 @@ func Fuzz(args []string, stdout, stderr io.Writer) int {
 		} else {
 			clean++
 		}
+
+		if *schedules > 0 {
+			prog, err := conformance.FromTrace(fmt.Sprintf("trace-%d", i), tr)
+			if err != nil {
+				fmt.Fprintln(stderr, "vft-fuzz:", err)
+				return 2
+			}
+			sum, err := conformance.Explore(prog, conformance.Options{
+				Policy:    *policy,
+				Schedules: *schedules,
+				// Derived from the trace seed alone, so replaying one
+				// trace with `-n 1 -seed <traceSeed>` re-explores the
+				// identical schedules.
+				SeedBase: sched.SplitMix64(uint64(traceSeed)),
+				Shrink:   *shrink,
+			})
+			if err != nil {
+				fmt.Fprintln(stderr, "vft-fuzz:", err)
+				return 2
+			}
+			explored.Add(sum.Schedules, sum.Distinct, sum.Racy, sum.Events)
+			if len(sum.Divergences) > 0 {
+				d := sum.Divergences[0]
+				fmt.Fprintf(stderr, "vft-fuzz: schedule divergence on trace %d: %v\n\n", i, d)
+				fmt.Fprintf(stderr, "# replay this trace's exploration with: vft-fuzz -n 1 -seed %d -schedules %d -sched-policy %s\n",
+					traceSeed, *schedules, *policy)
+				fmt.Fprintf(stderr, "# schedule seed %#x; minimized linearization (vft-race -all -oracle <this file>):\n", d.Seed)
+				trace.Encode(stderr, d.Trace)
+				return 1
+			}
+		}
 	}
 	fmt.Fprintf(stdout, "vft-fuzz: %d traces checked, no divergence (%d racy, %d race-free)\n",
 		*n, races, clean)
+	if *schedules > 0 {
+		fmt.Fprintf(stdout, "vft-fuzz: %s\n", explored.Summary(*policy))
+	}
 	return 0
 }
 
 // CheckOne runs the full differential comparison on one feasible trace.
-func CheckOne(tr trace.Trace) error {
-	// Oracle self-agreement.
-	vcRaces := hb.Analyze(tr)
-	graphRaces := hb.BuildGraph(tr).Races()
-	sortPairs(graphRaces)
-	got := append([]hb.RacePair(nil), vcRaces.Races...)
-	sortPairs(got)
-	if !reflect.DeepEqual(got, graphRaces) {
-		return fmt.Errorf("oracle algorithms disagree: VC=%v graph=%v", got, graphRaces)
-	}
-	want := vcRaces.FirstRaceAt()
+// (The implementation lives in internal/conformance, which also applies it
+// per explored schedule; this wrapper keeps the historical cli API.)
+func CheckOne(tr trace.Trace) error { return conformance.CheckTrace(tr) }
 
-	// Specification precision, both flavors.
-	for _, f := range []spec.Flavor{spec.VerifiedFT, spec.FastTrackOrig} {
-		res := spec.Run(f, tr)
-		if res.RaceAt != want {
-			return fmt.Errorf("%v spec errors at %d, oracle first race at %d", f, res.RaceAt, want)
-		}
-	}
-
-	// Detector functional correctness.
-	specRes := spec.Run(spec.VerifiedFT, tr)
-	for _, name := range core.PreciseVariants() {
-		d, err := core.New(name, core.DefaultConfig())
-		if err != nil {
-			return err
-		}
-		if got := core.FirstReportPosition(d, tr); got != want {
-			return fmt.Errorf("%s first report at %d, oracle at %d", name, got, want)
-		}
-	}
-	if want == -1 {
-		for _, name := range []string{"vft-v1", "vft-v1.5", "vft-v2", "ft-mutex", "ft-cas"} {
-			d, err := core.New(name, core.DefaultConfig())
-			if err != nil {
-				return err
-			}
-			core.Replay(d, tr)
-			if counts := d.RuleCounts(); counts != specRes.Rules {
-				return fmt.Errorf("%s rule counts diverge from spec:\n got %v\nwant %v",
-					name, counts, specRes.Rules)
-			}
-		}
-	}
-	return nil
-}
-
-// Shrink delta-minimizes a diverging trace: it repeatedly removes
-// operations (largest chunks first) while the result stays feasible and
-// still diverges, so fuzz failures arrive at a human-readable size.
-func Shrink(tr trace.Trace) trace.Trace {
-	diverges := func(t trace.Trace) bool {
-		return trace.Validate(t) == nil && CheckOne(t) != nil
-	}
-	if !diverges(tr) {
-		return tr
-	}
-	cur := append(trace.Trace(nil), tr...)
-	for chunk := len(cur) / 2; chunk >= 1; {
-		removedAny := false
-		for start := 0; start+chunk <= len(cur); start++ {
-			cand := append(append(trace.Trace(nil), cur[:start]...), cur[start+chunk:]...)
-			if diverges(cand) {
-				cur = cand
-				removedAny = true
-				start-- // the window now holds new content; retry in place
-			}
-		}
-		if !removedAny {
-			chunk /= 2
-		}
-	}
-	return cur
-}
-
-func sortPairs(ps []hb.RacePair) {
-	sort.Slice(ps, func(i, j int) bool {
-		if ps[i].Second != ps[j].Second {
-			return ps[i].Second < ps[j].Second
-		}
-		return ps[i].First < ps[j].First
-	})
-}
+// Shrink delta-minimizes a diverging trace so fuzz failures arrive at a
+// human-readable size. See conformance.Shrink.
+func Shrink(tr trace.Trace) trace.Trace { return conformance.Shrink(tr) }
 
 // RunProg implements vft-run: execute a minilang program under a detector.
 func RunProg(args []string, stdout, stderr io.Writer) int {

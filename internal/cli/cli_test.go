@@ -94,7 +94,7 @@ func TestRaceBarrierParties(t *testing.T) {
 
 func TestBenchQuickSubset(t *testing.T) {
 	var out, errBuf bytes.Buffer
-	code := Bench([]string{"-quick", "-iters", "1", "-warmup", "0",
+	code := Bench([]string{"-quick", "-iters", "1", "-warmup", "0", "-json", "",
 		"-programs", "series,fop", "-detectors", "vft-v2,vft-v2+elide"}, &out, &errBuf)
 	if code != 0 {
 		t.Fatalf("exit = %d, stderr: %s", code, errBuf.String())
@@ -115,7 +115,7 @@ func TestBenchUnknownProgram(t *testing.T) {
 
 func TestBenchAblation(t *testing.T) {
 	var out, errBuf bytes.Buffer
-	code := Bench([]string{"-quick", "-iters", "1", "-warmup", "0",
+	code := Bench([]string{"-quick", "-iters", "1", "-warmup", "0", "-json", "",
 		"-programs", "series", "-detectors", "vft-v2", "-ablation"}, &out, &errBuf)
 	if code != 0 {
 		t.Fatalf("exit = %d, stderr: %s", code, errBuf.String())
@@ -211,7 +211,7 @@ func TestStatsMemory(t *testing.T) {
 
 func TestBenchCSV(t *testing.T) {
 	var out, errBuf bytes.Buffer
-	code := Bench([]string{"-quick", "-iters", "1", "-warmup", "0",
+	code := Bench([]string{"-quick", "-iters", "1", "-warmup", "0", "-json", "",
 		"-programs", "series", "-detectors", "vft-v2", "-format", "csv"}, &out, &errBuf)
 	if code != 0 {
 		t.Fatalf("exit = %d, stderr: %s", code, errBuf.String())

@@ -1,0 +1,179 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmds compiles every cmd/ binary once into a shared temp dir and
+// returns the dir. The smoke tests below run the real executables — flag
+// parsing, stream wiring and exit codes included — which the in-process
+// unit tests cannot cover.
+func buildCmds(t *testing.T) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	dir := t.TempDir()
+	cmd := exec.Command("go", "build", "-o", dir+string(os.PathSeparator), "repro/cmd/...")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build cmd/...: %v\n%s", err, out)
+	}
+	return dir
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Dir(filepath.Dir(wd)) // internal/cli -> repo root
+}
+
+// runCmd executes bin with args in workDir, feeding stdin, and returns
+// (exit code, stdout+stderr).
+func runCmd(t *testing.T, workDir, bin string, stdin string, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = workDir
+	if stdin != "" {
+		cmd.Stdin = strings.NewReader(stdin)
+	}
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("%s: %v", bin, err)
+	}
+	return code, buf.String()
+}
+
+func TestCommandSmoke(t *testing.T) {
+	bins := buildCmds(t)
+	root := repoRoot(t)
+	bin := func(name string) string { return filepath.Join(bins, name) }
+
+	racyTrace := "fork 0 1\nwr 0 0\nwr 1 0\njoin 0 1\n"
+	cleanTrace := "fork 0 1\nwr 1 0\njoin 0 1\nrd 0 0\n"
+
+	t.Run("vft-race/racy", func(t *testing.T) {
+		work := t.TempDir()
+		code, out := runCmd(t, work, bin("vft-race"), racyTrace, "-all", "-oracle")
+		if code != 1 {
+			t.Fatalf("exit %d, want 1\n%s", code, out)
+		}
+		if !strings.Contains(out, "race") {
+			t.Fatalf("no race report in output:\n%s", out)
+		}
+	})
+	t.Run("vft-race/clean", func(t *testing.T) {
+		work := t.TempDir()
+		code, out := runCmd(t, work, bin("vft-race"), cleanTrace, "-all", "-oracle")
+		if code != 0 {
+			t.Fatalf("exit %d, want 0\n%s", code, out)
+		}
+		if !strings.Contains(out, "no races detected") {
+			t.Fatalf("missing verdict line:\n%s", out)
+		}
+	})
+	t.Run("vft-race/bad-input", func(t *testing.T) {
+		work := t.TempDir()
+		code, out := runCmd(t, work, bin("vft-race"), "frobnicate 1 2\n")
+		if code != 2 {
+			t.Fatalf("exit %d, want 2\n%s", code, out)
+		}
+	})
+
+	t.Run("vft-run/racy", func(t *testing.T) {
+		work := t.TempDir()
+		code, out := runCmd(t, work, bin("vft-run"), "",
+			filepath.Join(root, "examples", "minilang", "account.vft"))
+		if code != 1 {
+			t.Fatalf("exit %d, want 1 (account.vft has a racy audit counter)\n%s", code, out)
+		}
+	})
+	t.Run("vft-run/clean", func(t *testing.T) {
+		work := t.TempDir()
+		code, out := runCmd(t, work, bin("vft-run"), "",
+			filepath.Join(root, "examples", "minilang", "philosophers.vft"))
+		if code != 0 {
+			t.Fatalf("exit %d, want 0\n%s", code, out)
+		}
+		if !strings.Contains(out, "no races detected") {
+			t.Fatalf("missing verdict line:\n%s", out)
+		}
+	})
+
+	t.Run("vft-stats", func(t *testing.T) {
+		work := t.TempDir()
+		code, out := runCmd(t, work, bin("vft-stats"), "", "-quick")
+		if code != 0 {
+			t.Fatalf("exit %d, want 0\n%s", code, out)
+		}
+		if !strings.Contains(out, "Analysis-rule frequency") {
+			t.Fatalf("missing table header:\n%s", out)
+		}
+	})
+
+	t.Run("vft-bench", func(t *testing.T) {
+		work := t.TempDir()
+		code, out := runCmd(t, work, bin("vft-bench"), "",
+			"-quick", "-iters", "1", "-warmup", "0", "-programs", "series,avrora")
+		if code != 0 {
+			t.Fatalf("exit %d, want 0\n%s", code, out)
+		}
+		if !strings.Contains(out, "Geo Mean") {
+			t.Fatalf("missing summary row:\n%s", out)
+		}
+		data, err := os.ReadFile(filepath.Join(work, "BENCH_table1.json"))
+		if err != nil {
+			t.Fatalf("BENCH_table1.json not written: %v", err)
+		}
+		var table struct {
+			Detectors []string `json:"detectors"`
+			Rows      []struct {
+				Program     string             `json:"program"`
+				BaseSeconds float64            `json:"base_seconds"`
+				Overhead    map[string]float64 `json:"overhead"`
+			} `json:"rows"`
+			GeoMean map[string]float64 `json:"geo_mean"`
+		}
+		if err := json.Unmarshal(data, &table); err != nil {
+			t.Fatalf("invalid JSON: %v", err)
+		}
+		if len(table.Rows) != 2 || len(table.Detectors) == 0 {
+			t.Fatalf("unexpected table shape: %+v", table)
+		}
+		for _, r := range table.Rows {
+			if r.BaseSeconds <= 0 || len(r.Overhead) != len(table.Detectors) {
+				t.Fatalf("malformed row: %+v", r)
+			}
+		}
+		if len(table.GeoMean) != len(table.Detectors) {
+			t.Fatalf("malformed geo_mean: %+v", table.GeoMean)
+		}
+	})
+
+	t.Run("vft-fuzz", func(t *testing.T) {
+		work := t.TempDir()
+		code, out := runCmd(t, work, bin("vft-fuzz"), "",
+			"-n", "25", "-schedules", "5", "-seed", "7")
+		if code != 0 {
+			t.Fatalf("exit %d, want 0\n%s", code, out)
+		}
+		if !strings.Contains(out, "no divergence") || !strings.Contains(out, "schedules explored") {
+			t.Fatalf("missing summary lines:\n%s", out)
+		}
+	})
+}

@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonTable is the machine-readable shape of Table 1: stable field names
+// for downstream tooling (plotting, regression tracking) regardless of how
+// the text formatting evolves.
+type jsonTable struct {
+	Detectors []string  `json:"detectors"`
+	Iters     int       `json:"iters"`
+	Warmup    int       `json:"warmup"`
+	Quick     bool      `json:"quick"`
+	Rows      []jsonRow `json:"rows"`
+	// GeoMean maps detector name to the geometric mean of its overheads —
+	// the summary line of Table 1.
+	GeoMean map[string]float64 `json:"geo_mean"`
+}
+
+type jsonRow struct {
+	Program     string             `json:"program"`
+	Suite       string             `json:"suite"`
+	BaseSeconds float64            `json:"base_seconds"`
+	Overhead    map[string]float64 `json:"overhead"`
+	// Reports carries per-detector race-report counts; 0 everywhere on a
+	// healthy run, kept in the schema so regressions are machine-visible.
+	Reports map[string]int `json:"reports"`
+}
+
+// WriteJSON renders the table as indented JSON.
+func (t *Table) WriteJSON(w io.Writer) error {
+	out := jsonTable{
+		Detectors: t.Options.Detectors,
+		Iters:     t.Options.Iters,
+		Warmup:    t.Options.Warmup,
+		Quick:     t.Options.Quick,
+		GeoMean:   t.GeoMean,
+	}
+	for _, r := range t.Rows {
+		out.Rows = append(out.Rows, jsonRow{
+			Program:     r.Program,
+			Suite:       r.Suite,
+			BaseSeconds: r.BaseTime.Seconds(),
+			Overhead:    r.Overhead,
+			Reports:     r.Reports,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

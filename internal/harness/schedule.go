@@ -1,0 +1,38 @@
+package harness
+
+import "fmt"
+
+// ScheduleStats aggregates controlled-schedule exploration counts across a
+// set of programs (the fuzz driver feeds it one conformance summary per
+// generated trace). All fields are deterministic in the exploration seed,
+// so tools printing a Summary stay byte-reproducible.
+type ScheduleStats struct {
+	// Programs counts the explored programs (for vft-fuzz: traces).
+	Programs int
+	// Schedules is the total number of explored schedules.
+	Schedules int
+	// Distinct is the total number of distinct event linearizations
+	// reached (summed per program; linearizations are never shared across
+	// programs).
+	Distinct int
+	// Racy counts explored schedules whose linearization contained a race
+	// per the happens-before oracle.
+	Racy int
+	// Events is the total number of recorded events across all schedules.
+	Events int
+}
+
+// Add folds one program's exploration counts into the totals.
+func (s *ScheduleStats) Add(schedules, distinct, racy, events int) {
+	s.Programs++
+	s.Schedules += schedules
+	s.Distinct += distinct
+	s.Racy += racy
+	s.Events += events
+}
+
+// Summary renders the one-line report the fuzz driver prints.
+func (s *ScheduleStats) Summary(policy string) string {
+	return fmt.Sprintf("%d schedules explored over %d programs (%s policy): %d distinct linearizations, %d racy, %d events",
+		s.Schedules, s.Programs, policy, s.Distinct, s.Racy, s.Events)
+}

@@ -1,0 +1,50 @@
+package minilang
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParse drives the lexer and parser with arbitrary source text. The
+// property is totality: Parse must return a value or an error, never panic
+// or hang, on any input — the CLI feeds it user-controlled files. Seeds
+// are the shipped example programs plus inputs aimed at the tokenizer's
+// and parser's edges (comments, deep nesting, unterminated constructs,
+// non-ASCII bytes).
+func FuzzParse(f *testing.F) {
+	examples, err := filepath.Glob(filepath.Join("..", "..", "examples", "minilang", "*.vft"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(examples) == 0 {
+		f.Fatal("no example programs found for the seed corpus")
+	}
+	for _, path := range examples {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	for _, seed := range []string{
+		"",
+		"shared x\nx = 1\n",
+		"shared x\nlock m\nspawn { acquire m\nx = x + 1\nrelease m\n}\n",
+		"while 1 { }",
+		"spawn { spawn { spawn { } } }",
+		"# comment only\n",
+		"shared \xff\xfe\n",
+		"if x < { }",
+		"local i\ni = ((((1))))",
+		"acquire",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err == nil && prog == nil {
+			t.Fatal("Parse returned nil program and nil error")
+		}
+	})
+}

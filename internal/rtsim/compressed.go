@@ -47,6 +47,7 @@ func (a *CompressedArray) Compressed() bool {
 
 // Load performs an instrumented read of element i.
 func (a *CompressedArray) Load(t *Thread, i int) int64 {
+	a.rt.yield(t)
 	if a.sh != nil {
 		a.sh.Read(t.id, i)
 	} else if d := a.rt.d; d != nil {
@@ -57,6 +58,7 @@ func (a *CompressedArray) Load(t *Thread, i int) int64 {
 
 // Store performs an instrumented write of element i.
 func (a *CompressedArray) Store(t *Thread, i int, val int64) {
+	a.rt.yield(t)
 	if a.sh != nil {
 		a.sh.Write(t.id, i)
 	} else if d := a.rt.d; d != nil {

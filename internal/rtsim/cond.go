@@ -13,32 +13,68 @@ import (
 // the monitor's, exactly as in the Java memory model.
 type Cond struct {
 	m *Mutex
-	c *sync.Cond
+	// key identifies the condition's wait queue to a controlled
+	// scheduler; it is drawn from the lock id space for uniqueness but
+	// never appears in a detector event.
+	key int
+	c   *sync.Cond
 }
 
 // NewCond returns a condition variable bound to m.
 func (m *Mutex) NewCond() *Cond {
-	return &Cond{m: m, c: sync.NewCond(&m.mu)}
+	return &Cond{m: m, key: int(m.rt.nextLock.Add(1) - 1), c: sync.NewCond(&m.mu)}
 }
 
 // Wait atomically releases the monitor, blocks until a Signal/Broadcast,
 // and re-acquires the monitor before returning. The caller must hold m.
 // As with sync.Cond, callers should re-check their predicate in a loop.
 func (c *Cond) Wait(t *Thread) {
-	if d := c.m.rt.d; d != nil {
+	rt := c.m.rt
+	if s := rt.s; s != nil {
+		// Controlled path: the monitor hand-off is modeled in the
+		// scheduler. The real m.mu is released before parking and
+		// re-taken after CondWait returns holding the scheduler-level
+		// lock, at which point it cannot contend.
+		s.Yield(int(t.id))
+		if d := rt.d; d != nil {
+			d.Release(t.id, c.m.id)
+		}
+		c.m.mu.Unlock()
+		s.CondWait(int(t.id), c.key, int(c.m.id))
+		c.m.mu.Lock()
+		if d := rt.d; d != nil {
+			d.Acquire(t.id, c.m.id)
+		}
+		return
+	}
+	if d := rt.d; d != nil {
 		d.Release(t.id, c.m.id)
 	}
 	c.c.Wait()
-	if d := c.m.rt.d; d != nil {
+	if d := rt.d; d != nil {
 		d.Acquire(t.id, c.m.id)
 	}
 }
 
 // Signal wakes one waiter. The caller must hold m.
-func (c *Cond) Signal(t *Thread) { c.c.Signal() }
+func (c *Cond) Signal(t *Thread) {
+	if s := c.m.rt.s; s != nil {
+		s.Yield(int(t.id))
+		s.CondSignal(c.key)
+		return
+	}
+	c.c.Signal()
+}
 
 // Broadcast wakes all waiters. The caller must hold m.
-func (c *Cond) Broadcast(t *Thread) { c.c.Broadcast() }
+func (c *Cond) Broadcast(t *Thread) {
+	if s := c.m.rt.s; s != nil {
+		s.Yield(int(t.id))
+		s.CondBroadcast(c.key)
+		return
+	}
+	c.c.Broadcast()
+}
 
 // Once models the class/static-initializer ordering of §7: the paper's
 // implementation "captures the happens-before orderings between the static
@@ -61,6 +97,14 @@ func (rt *Runtime) NewOnce() *Once {
 // after the initializer's effects.
 func (o *Once) Do(t *Thread, f func(*Thread)) {
 	d := o.rt.d
+	if s := o.rt.s; s != nil {
+		// The guard's critical section contains yield points (f performs
+		// instrumented operations), so under control it must be a
+		// scheduler-level lock; the real o.mu below then never contends.
+		s.Yield(int(t.id))
+		s.AcquireLock(int(t.id), int(o.id))
+		defer s.ReleaseLock(int(t.id), int(o.id))
+	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if !o.done {

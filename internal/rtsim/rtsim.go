@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/epoch"
+	"repro/internal/sched"
 	"repro/internal/trace"
 )
 
@@ -36,6 +37,7 @@ import (
 // events.
 type Runtime struct {
 	d core.Detector // nil: uninstrumented base run
+	s *sched.Scheduler
 
 	nextTid  atomic.Int32
 	nextVar  atomic.Int32
@@ -44,13 +46,50 @@ type Runtime struct {
 	main *Thread
 }
 
-// New returns a Runtime delivering events to d; pass nil for an
-// uninstrumented base run.
+// New returns a free-running Runtime delivering events to d; pass nil for
+// an uninstrumented base run.
 func New(d core.Detector) *Runtime {
 	rt := &Runtime{d: d}
 	rt.nextTid.Store(1) // 0 is the main thread
 	rt.main = &Thread{rt: rt, id: 0, done: make(chan struct{})}
 	return rt
+}
+
+// NewControlled returns a Runtime whose threads are serialized through s:
+// every instrumented operation is a scheduling point, every blocking
+// primitive is modeled inside the scheduler, and the whole execution —
+// including the event linearization a detector or recorder observes — is a
+// deterministic function of the program and the scheduler's seed.
+//
+// The calling goroutine is the main thread; after the target returns it
+// must call Shutdown so un-joined children drain and the run quiesces.
+// Under control the detector handlers run one at a time (the turn hand-off
+// serializes them), so controlled runs explore operation interleavings;
+// the free-running stress tests remain the coverage for intra-handler
+// memory races.
+func NewControlled(d core.Detector, s *sched.Scheduler) *Runtime {
+	rt := New(d)
+	rt.s = s
+	s.RegisterMain(0)
+	return rt
+}
+
+// Shutdown ends a controlled run: the main thread exits the scheduler and
+// blocks until every forked thread has run to completion. It is a no-op on
+// a free-running Runtime.
+func (rt *Runtime) Shutdown() {
+	if rt.s != nil {
+		rt.s.Exit(0)
+		rt.s.Wait()
+	}
+}
+
+// yield is the per-operation scheduling point; free-running runtimes pay
+// one nil check.
+func (rt *Runtime) yield(t *Thread) {
+	if rt.s != nil {
+		rt.s.Yield(int(t.id))
+	}
 }
 
 // Detector returns the runtime's detector (nil for base runs).
@@ -84,13 +123,26 @@ func (t *Thread) ID() epoch.Tid { return t.id }
 // child goroutine starts, per the [Fork] handler contract. The returned
 // Thread can be passed to Join.
 func (t *Thread) Go(body func(*Thread)) *Thread {
+	t.rt.yield(t)
 	id := epoch.Tid(t.rt.nextTid.Add(1) - 1)
 	child := &Thread{rt: t.rt, id: id, done: make(chan struct{})}
+	if s := t.rt.s; s != nil {
+		s.Fork(int(t.id), int(id))
+	}
 	if d := t.rt.d; d != nil {
 		d.Fork(t.id, child.id)
 	}
 	go func() {
+		if s := t.rt.s; s != nil {
+			// The exit notification must follow the done close (deferred
+			// calls run in reverse order) so woken joiners never block on
+			// the channel.
+			defer s.Exit(int(id))
+		}
 		defer close(child.done)
+		if s := t.rt.s; s != nil {
+			s.Started(int(id))
+		}
 		body(child)
 	}()
 	return child
@@ -104,6 +156,10 @@ func (t *Thread) Go(body func(*Thread)) *Thread {
 // discipline hazard — so concurrent double joins must be externally
 // ordered when driving ft-mutex or ft-cas.
 func (t *Thread) Join(child *Thread) {
+	if s := t.rt.s; s != nil {
+		s.Yield(int(t.id))
+		s.JoinThread(int(t.id), int(child.id))
+	}
 	<-child.done
 	if d := t.rt.d; d != nil {
 		d.Join(t.id, child.id)
@@ -143,6 +199,7 @@ func (x *Var) ID() trace.Var { return x.id }
 
 // Load performs an instrumented read by thread t.
 func (x *Var) Load(t *Thread) int64 {
+	x.rt.yield(t)
 	if d := x.rt.d; d != nil {
 		d.Read(t.id, x.id)
 	}
@@ -151,6 +208,7 @@ func (x *Var) Load(t *Thread) int64 {
 
 // Store performs an instrumented write by thread t.
 func (x *Var) Store(t *Thread, val int64) {
+	x.rt.yield(t)
 	if d := x.rt.d; d != nil {
 		d.Write(t.id, x.id)
 	}
@@ -160,6 +218,7 @@ func (x *Var) Store(t *Thread, val int64) {
 // Add performs an instrumented read-modify-write (one read event, one write
 // event, like the compound bytecode RoadRunner would instrument).
 func (x *Var) Add(t *Thread, delta int64) int64 {
+	x.rt.yield(t)
 	if d := x.rt.d; d != nil {
 		d.Read(t.id, x.id)
 		d.Write(t.id, x.id)
@@ -190,6 +249,7 @@ func (a *Array) ID(i int) trace.Var { return a.base + trace.Var(i) }
 
 // Load performs an instrumented read of element i.
 func (a *Array) Load(t *Thread, i int) int64 {
+	a.rt.yield(t)
 	if d := a.rt.d; d != nil {
 		d.Read(t.id, a.base+trace.Var(i))
 	}
@@ -198,6 +258,7 @@ func (a *Array) Load(t *Thread, i int) int64 {
 
 // Store performs an instrumented write of element i.
 func (a *Array) Store(t *Thread, i int, val int64) {
+	a.rt.yield(t)
 	if d := a.rt.d; d != nil {
 		d.Write(t.id, a.base+trace.Var(i))
 	}
@@ -206,6 +267,7 @@ func (a *Array) Store(t *Thread, i int, val int64) {
 
 // Add performs an instrumented read-modify-write of element i.
 func (a *Array) Add(t *Thread, i int, delta int64) int64 {
+	a.rt.yield(t)
 	if d := a.rt.d; d != nil {
 		d.Read(t.id, a.base+trace.Var(i))
 		d.Write(t.id, a.base+trace.Var(i))
@@ -230,8 +292,14 @@ func (rt *Runtime) NewMutex() *Mutex {
 // ID returns the lock's identity.
 func (m *Mutex) ID() trace.Lock { return m.id }
 
-// Lock acquires the lock as thread t.
+// Lock acquires the lock as thread t. Under controlled scheduling the
+// blocking is modeled by the scheduler (so a waiter leaves the runnable
+// set), after which the real mutex acquisition below cannot contend.
 func (m *Mutex) Lock(t *Thread) {
+	if s := m.rt.s; s != nil {
+		s.Yield(int(t.id))
+		s.AcquireLock(int(t.id), int(m.id))
+	}
 	m.mu.Lock()
 	if d := m.rt.d; d != nil {
 		d.Acquire(t.id, m.id)
@@ -240,10 +308,16 @@ func (m *Mutex) Lock(t *Thread) {
 
 // Unlock releases the lock as thread t.
 func (m *Mutex) Unlock(t *Thread) {
+	if s := m.rt.s; s != nil {
+		s.Yield(int(t.id))
+	}
 	if d := m.rt.d; d != nil {
 		d.Release(t.id, m.id)
 	}
 	m.mu.Unlock()
+	if s := m.rt.s; s != nil {
+		s.ReleaseLock(int(t.id), int(m.id))
+	}
 }
 
 // Volatile is an instrumented volatile location (§7): reads and writes are
@@ -271,6 +345,7 @@ func (rt *Runtime) NewVolatile() *Volatile {
 // the target's value outrun the shadow edge and produce false positives on
 // data published through the volatile.
 func (v *Volatile) Load(t *Thread) int64 {
+	v.rt.yield(t)
 	d := v.rt.d
 	if d == nil {
 		return v.v.Load()
@@ -286,6 +361,7 @@ func (v *Volatile) Load(t *Thread) int64 {
 // Store performs a volatile write by t; see Load for why the value access
 // and the shadow events share one critical section.
 func (v *Volatile) Store(t *Thread, val int64) {
+	v.rt.yield(t)
 	d := v.rt.d
 	if d == nil {
 		v.v.Store(val)
@@ -327,6 +403,25 @@ func (rt *Runtime) NewBarrier(parties int) *Barrier {
 // Await blocks thread t until all parties of the current round arrive.
 func (b *Barrier) Await(t *Thread) {
 	d := b.rt.d
+	if s := b.rt.s; s != nil {
+		// Controlled path: the round bookkeeping lives in the scheduler,
+		// and the detector events need no extra mutex — the turn
+		// serializes them. Arrival events run before blocking and
+		// departure events after the last arrival, so every pre-barrier
+		// operation happens before every post-barrier one in the
+		// detector's view, as on the free-running path.
+		s.Yield(int(t.id))
+		if d != nil {
+			d.Acquire(t.id, b.id)
+			d.Release(t.id, b.id)
+		}
+		s.BarrierAwait(int(t.id), int(b.id), b.parties)
+		if d != nil {
+			d.Acquire(t.id, b.id)
+			d.Release(t.id, b.id)
+		}
+		return
+	}
 	b.mu.Lock()
 	if d != nil { // arrival: publish t's clock into the round
 		d.Acquire(t.id, b.id)
@@ -348,4 +443,50 @@ func (b *Barrier) Await(t *Thread) {
 		d.Release(t.id, b.id)
 	}
 	b.mu.Unlock()
+}
+
+// Handle is a one-shot publication cell for *Thread values with no
+// detector events attached. Controlled drivers (internal/conformance) use
+// it to hand a forked Thread to a joiner that is not the forker: the
+// blocking is modeled in the scheduler so the turn is surrendered while
+// waiting, but — unlike a Volatile — no acquire/release events reach the
+// detector, so the analyzed trace gains no happens-before edge. The only
+// effect on exploration is the constraint the original program order
+// already implies (a join of u cannot run before fork(·,u)).
+//
+// On a free-running Runtime the same contract is met with a channel.
+type Handle struct {
+	rt  *Runtime
+	key int
+	ch  chan struct{}
+	val *Thread
+}
+
+// NewHandle allocates an empty handle.
+func (rt *Runtime) NewHandle() *Handle {
+	// Handles draw keys from the lock id space: scheduler events live in
+	// their own namespace, so sharing the counter merely guarantees
+	// uniqueness.
+	return &Handle{rt: rt, key: int(rt.nextLock.Add(1) - 1), ch: make(chan struct{})}
+}
+
+// Set publishes v; it must be called exactly once, by a thread holding the
+// turn when the runtime is controlled.
+func (h *Handle) Set(v *Thread) {
+	h.val = v
+	if s := h.rt.s; s != nil {
+		s.Post(h.key)
+		return
+	}
+	close(h.ch)
+}
+
+// Get blocks thread t until Set has run, then returns the published value.
+func (h *Handle) Get(t *Thread) *Thread {
+	if s := h.rt.s; s != nil {
+		s.WaitEvent(int(t.id), h.key)
+		return h.val
+	}
+	<-h.ch
+	return h.val
 }
