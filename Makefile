@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race vet bench fuzz soak coverage clean
+.PHONY: all build test race vet bench metrics-smoke fuzz soak coverage clean
 
 all: build
 
@@ -20,6 +20,11 @@ vet:
 # One quick Table 1 regeneration; BENCH_table1.json lands in the repo root.
 bench:
 	$(GO) run ./cmd/vft-bench -quick -iters 3
+
+# End-to-end check of the live metrics endpoint: runs vft-bench with
+# -metrics-addr and scrapes /metrics + /debug/vars while it serves.
+metrics-smoke:
+	$(GO) run ./scripts/metrics-smoke
 
 # The differential fuzzers: the sequential trace fuzzer, the controlled
 # schedule explorer, then a bounded run of each coverage-guided target.

@@ -64,7 +64,7 @@ func ExampleHasRace() {
 // Runtime. The child's increment is lock-protected, so the program is
 // clean and the counter is exact.
 func ExampleNewRuntime() {
-	d, err := verifiedft.New(verifiedft.V2, verifiedft.DefaultConfig())
+	d, err := verifiedft.New(verifiedft.V2)
 	if err != nil {
 		panic(err)
 	}

@@ -27,7 +27,7 @@ const (
 )
 
 func runPipeline(variant string) error {
-	d, err := verifiedft.New(variant, verifiedft.DefaultConfig())
+	d, err := verifiedft.New(variant)
 	if err != nil {
 		return err
 	}

@@ -43,7 +43,7 @@ func main() {
 
 	// --- Online API ------------------------------------------------------
 	// Attach a VerifiedFT-v2 detector to a real two-goroutine program.
-	d, err := verifiedft.New(verifiedft.V2, verifiedft.DefaultConfig())
+	d, err := verifiedft.New(verifiedft.V2)
 	if err != nil {
 		log.Fatal(err)
 	}

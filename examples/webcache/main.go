@@ -28,7 +28,7 @@ const (
 // runCache serves requests through an instrumented cache. If buggy, the
 // "fast counter" is bumped outside the lock.
 func runCache(buggy bool) []verifiedft.Report {
-	d, err := verifiedft.New(verifiedft.V2, verifiedft.DefaultConfig())
+	d, err := verifiedft.New(verifiedft.V2)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,11 +6,18 @@
 package cli
 
 import (
+	"context"
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -20,12 +27,41 @@ import (
 	"repro/internal/harness"
 	"repro/internal/hb"
 	"repro/internal/minilang"
+	"repro/internal/obs"
+	"repro/internal/rtsim"
 	"repro/internal/sched"
 	"repro/internal/spec"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
+
+// serveMetrics publishes reg as the expvar variable name and serves it over
+// HTTP on addr: /metrics is the indented obs snapshot, /debug/vars the
+// standard expvar dump (which embeds the same snapshot under name), and
+// /debug/pprof/* the usual profiling handlers — CPU profiles taken there
+// carry the program/detector pprof labels the tools set around their hot
+// loops. Returns a shutdown function.
+func serveMetrics(addr, name string, reg *obs.Registry, stderr io.Writer) (func(), error) {
+	obs.Publish(name, reg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Handler(reg))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	fmt.Fprintf(stderr, "%s: serving metrics on http://%s/metrics (expvar /debug/vars, pprof /debug/pprof/)\n",
+		name, ln.Addr())
+	return func() { srv.Close() }, nil
+}
 
 // Race implements vft-race: check a trace (file argument or stdin) for
 // races.
@@ -164,6 +200,10 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 	format := fs.String("format", "text", "output format: text or csv")
 	jsonPath := fs.String("json", "BENCH_table1.json",
 		"also write the table as machine-readable JSON to this file ('' disables)")
+	metricsAddr := fs.String("metrics-addr", "",
+		"serve live metrics over HTTP on this address while the bench runs (e.g. localhost:8071)")
+	metricsLinger := fs.Duration("metrics-linger", 0,
+		"keep the metrics endpoint up this long after the run finishes")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -180,6 +220,23 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 	}
 	if *programs != "" {
 		opts.Programs = splitList(*programs)
+	}
+	if *metricsAddr != "" {
+		opts.Registry = obs.NewRegistry()
+		shutdown, err := serveMetrics(*metricsAddr, "vft-bench", opts.Registry, stderr)
+		if err != nil {
+			fmt.Fprintln(stderr, "vft-bench:", err)
+			return 2
+		}
+		defer shutdown()
+		// Registered after shutdown, so it runs first (LIFO): the endpoint
+		// stays scrapeable for the linger window, then closes.
+		defer func() {
+			if *metricsLinger > 0 {
+				fmt.Fprintf(stderr, "vft-bench: metrics endpoint lingering %v\n", *metricsLinger)
+				time.Sleep(*metricsLinger)
+			}
+		}()
 	}
 
 	table, err := harness.Run(opts)
@@ -306,8 +363,25 @@ func Stats(args []string, stdout, stderr io.Writer) int {
 	quick := fs.Bool("quick", false, "use the small test sizes")
 	perProgram := fs.Bool("per-program", false, "also print the per-program serialization table")
 	memory := fs.Bool("memory", false, "also print the shadow-memory footprint table (v2 vs djit)")
+	snapshotFile := fs.String("snapshot", "",
+		"pretty-print an obs metrics snapshot JSON file (as served at /metrics) and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *snapshotFile != "" {
+		b, err := os.ReadFile(*snapshotFile)
+		if err != nil {
+			fmt.Fprintln(stderr, "vft-stats:", err)
+			return 2
+		}
+		snap := obs.NewSnapshot()
+		if err := json.Unmarshal(b, &snap); err != nil {
+			fmt.Fprintln(stderr, "vft-stats:", err)
+			return 2
+		}
+		fmt.Fprint(stdout, obs.FormatSnapshot(snap))
+		return 0
 	}
 
 	s, err := stats.CollectSuite(*quick)
@@ -485,6 +559,10 @@ func RunProg(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	variant := fs.String("d", "vft-v2", "detector variant ('none' for an uninstrumented run)")
 	runs := fs.Int("runs", 1, "number of executions (races are schedule-dependent; more runs, more schedules)")
+	metricsAddr := fs.String("metrics-addr", "",
+		"serve metrics over HTTP on this address: live rtsim event counts during the run, frozen detector stats after each run")
+	metricsLinger := fs.Duration("metrics-linger", 0,
+		"keep the metrics endpoint up this long after the last run")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -498,6 +576,25 @@ func RunProg(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	var reg *obs.Registry
+	var rtOpts []rtsim.Option
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		rtOpts = append(rtOpts, rtsim.WithMetrics(reg))
+		shutdown, err := serveMetrics(*metricsAddr, "vft-run", reg, stderr)
+		if err != nil {
+			fmt.Fprintln(stderr, "vft-run:", err)
+			return 2
+		}
+		defer shutdown()
+		defer func() {
+			if *metricsLinger > 0 {
+				fmt.Fprintf(stderr, "vft-run: metrics endpoint lingering %v\n", *metricsLinger)
+				time.Sleep(*metricsLinger)
+			}
+		}()
+	}
+
 	raced := false
 	for i := 0; i < *runs; i++ {
 		var d core.Detector
@@ -508,10 +605,21 @@ func RunProg(args []string, stdout, stderr io.Writer) int {
 				return 2
 			}
 		}
-		reports, err := minilang.Run(string(src), d, stdout)
+		var reports []core.Report
+		pprof.Do(context.Background(), pprof.Labels("program", fs.Arg(0), "detector", *variant), func(context.Context) {
+			reports, err = minilang.Run(string(src), d, stdout, rtOpts...)
+		})
 		if err != nil {
 			fmt.Fprintln(stderr, "vft-run:", err)
 			return 2
+		}
+		if reg != nil {
+			// The program has quiesced (minilang joins all threads), so the
+			// detector's per-thread counters are coherent: freeze them into
+			// the live registry. Repeat runs get ".2", ".3", … suffixes.
+			if ss, ok := d.(core.StatsSource); ok {
+				reg.RegisterSource(*variant, ss.Stats().Source())
+			}
 		}
 		seen := map[trace.Var]bool{}
 		for _, r := range reports {

@@ -145,6 +145,16 @@ type ThreadState struct {
 	// rules counts analysis-rule firings. Each entry is written only by
 	// the owning thread, so counting is free of contention and races.
 	rules [spec.NumRules]uint64
+
+	// slowReads/slowWrites count handler executions that had to take the
+	// per-variable lock (the complement of the paper's lock-free fast
+	// paths); retries counts optimistic-validation restarts in the FT
+	// baselines. Owner-thread-written like rules, and incremented only on
+	// paths that already paid for a lock or a failed CAS, so the pure
+	// blocks of Fig. 4 gain no instructions.
+	slowReads  uint64
+	slowWrites uint64
+	retries    uint64
 }
 
 func newThreadState(t epoch.Tid) *ThreadState {
@@ -164,6 +174,10 @@ func (st *ThreadState) VC() *vc.VC { return st.vc }
 func (st *ThreadState) refresh() { st.e = st.vc.Get(st.T) }
 
 func (st *ThreadState) count(r spec.Rule) { st.rules[r]++ }
+
+func (st *ThreadState) countSlowRead()  { st.slowReads++ }
+func (st *ThreadState) countSlowWrite() { st.slowWrites++ }
+func (st *ThreadState) countRetry()     { st.retries++ }
 
 // LockState is the per-lock shadow object: the clock of the lock's last
 // release. Per the discipline it is protected by the target lock m itself —

@@ -62,6 +62,7 @@ func (d *DJIT) Read(t epoch.Tid, x trace.Var) {
 	sx.rvc.Set(t, st.e)
 	sx.mu.Unlock()
 	st.count(rule)
+	st.countSlowRead() // DJIT has no epochs, hence no fast path at all
 }
 
 // Write handles wr(t,x): check Wx ⊑ Ct and Rx ⊑ Ct, record Wx[t] := E_t.
@@ -86,4 +87,5 @@ func (d *DJIT) Write(t epoch.Tid, x trace.Var) {
 	sx.wvc.Set(t, st.e)
 	sx.mu.Unlock()
 	st.count(rule)
+	st.countSlowWrite()
 }

@@ -166,12 +166,14 @@ func (d *FTCAS) Read(t epoch.Tid, x trace.Var) {
 					st.count(rule)
 					return
 				}
+				st.countRetry()
 				continue // interference: retry from the top
 			}
 			// [Read Share]: vector work needs the lock.
 			sx.mu.Lock()
 			if sx.rw.Load() != rw {
 				sx.mu.Unlock()
+				st.countRetry()
 				continue
 			}
 			sx.v.set(prev.Tid(), prev)
@@ -181,6 +183,7 @@ func (d *FTCAS) Read(t epoch.Tid, x trace.Var) {
 				// the word was validated above, so this cannot fail; keep
 				// the retry for defense in depth.
 				sx.mu.Unlock()
+				st.countRetry()
 				continue
 			}
 			sx.mu.Unlock()
@@ -188,6 +191,7 @@ func (d *FTCAS) Read(t epoch.Tid, x trace.Var) {
 				rule = spec.ReadShare
 			}
 			st.count(rule)
+			st.countSlowRead()
 			return
 		}
 
@@ -195,6 +199,7 @@ func (d *FTCAS) Read(t epoch.Tid, x trace.Var) {
 		sx.mu.Lock()
 		if sx.rw.Load() != rw {
 			sx.mu.Unlock()
+			st.countRetry()
 			continue
 		}
 		if sx.v.get(t) == st.e {
@@ -209,6 +214,7 @@ func (d *FTCAS) Read(t epoch.Tid, x trace.Var) {
 		}
 		sx.mu.Unlock()
 		st.count(rule)
+		st.countSlowRead()
 		return
 	}
 }
@@ -249,6 +255,7 @@ func (d *FTCAS) Write(t epoch.Tid, x trace.Var) {
 				st.count(rule)
 				return
 			}
+			st.countRetry()
 			continue
 		}
 
@@ -256,6 +263,7 @@ func (d *FTCAS) Write(t epoch.Tid, x trace.Var) {
 		sx.mu.Lock()
 		if sx.rw.Load() != rw {
 			sx.mu.Unlock()
+			st.countRetry()
 			continue
 		}
 		if !sx.v.leq(st) {
@@ -268,10 +276,12 @@ func (d *FTCAS) Write(t epoch.Tid, x trace.Var) {
 		}
 		if !sx.rw.CompareAndSwap(rw, packRW(r, e32)) {
 			sx.mu.Unlock()
+			st.countRetry()
 			continue
 		}
 		sx.mu.Unlock()
 		st.count(rule)
+		st.countSlowWrite()
 		return
 	}
 }

@@ -61,6 +61,7 @@ func (d *FTMutex) Read(t epoch.Tid, x trace.Var) {
 		sx.mu.Lock()
 		if sx.loadR() != r0 || sx.loadW() != w0 {
 			sx.mu.Unlock() // interference: retry the whole handler
+			st.countRetry()
 			continue
 		}
 		rule := spec.RuleNone
@@ -93,6 +94,7 @@ func (d *FTMutex) Read(t epoch.Tid, x trace.Var) {
 		}
 		sx.mu.Unlock()
 		st.count(rule)
+		st.countSlowRead()
 		return
 	}
 }
@@ -114,6 +116,7 @@ func (d *FTMutex) Write(t epoch.Tid, x trace.Var) {
 		sx.mu.Lock()
 		if sx.loadR() != r0 || sx.loadW() != w0 {
 			sx.mu.Unlock()
+			st.countRetry()
 			continue
 		}
 		rule := spec.RuleNone
@@ -143,6 +146,7 @@ func (d *FTMutex) Write(t epoch.Tid, x trace.Var) {
 		sx.w.Store(uint64(e))
 		sx.mu.Unlock()
 		st.count(rule)
+		st.countSlowWrite()
 		return
 	}
 }

@@ -63,6 +63,7 @@ func (d *V1) Read(t epoch.Tid, x trace.Var) {
 	rule := readLocked(st, e, &sx.r, &sx.w, sx.v, &d.sink, x)
 	sx.mu.Unlock()
 	st.count(rule)
+	st.countSlowRead() // v1 has no fast path: every read is a lock round-trip
 }
 
 // Write implements the write handler of Fig. 3 (lines 84-100).
@@ -75,6 +76,7 @@ func (d *V1) Write(t epoch.Tid, x trace.Var) {
 	rule := writeLocked(st, e, &sx.r, &sx.w, sx.v, &d.sink, x)
 	sx.mu.Unlock()
 	st.count(rule)
+	st.countSlowWrite()
 }
 
 // readLocked is the body of the read handler once the variable lock is

@@ -227,6 +227,7 @@ func (d *V15) Read(t epoch.Tid, x trace.Var) {
 	rule := sx.readSlow(st, e, &d.sink, x)
 	sx.mu.Unlock()
 	st.count(rule)
+	st.countSlowRead()
 }
 
 // Write handles wr(t,x): lock-free [Write Same Epoch] pure block, then the
@@ -245,4 +246,5 @@ func (d *V15) Write(t epoch.Tid, x trace.Var) {
 	rule := sx.writeSlow(st, e, &d.sink, x)
 	sx.mu.Unlock()
 	st.count(rule)
+	st.countSlowWrite()
 }

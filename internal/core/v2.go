@@ -60,6 +60,7 @@ func (d *V2) Read(t epoch.Tid, x trace.Var) {
 	rule := sx.readSlow(st, e, &d.sink, x)
 	sx.mu.Unlock()
 	st.count(rule)
+	st.countSlowRead() // pure-block miss: the access paid for the lock
 }
 
 // Write handles wr(t,x) per Fig. 4 lines 154-173.
@@ -77,4 +78,5 @@ func (d *V2) Write(t epoch.Tid, x trace.Var) {
 	rule := sx.writeSlow(st, e, &d.sink, x)
 	sx.mu.Unlock()
 	st.count(rule)
+	st.countSlowWrite()
 }

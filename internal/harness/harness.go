@@ -12,13 +12,16 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/elide"
+	"repro/internal/obs"
 	"repro/internal/rtsim"
 	"repro/internal/workloads"
 )
@@ -35,6 +38,10 @@ type Options struct {
 	Quick bool
 	// Programs restricts the run to the named programs (nil = whole suite).
 	Programs []string
+	// Registry, when non-nil, accrues each cell's metric snapshot as a
+	// frozen source named "<program>.<detector>" plus a live progress
+	// gauge, so an HTTP endpoint can serve results while the bench runs.
+	Registry *obs.Registry
 }
 
 // DefaultOptions mirrors the paper's setup at repo scale.
@@ -57,6 +64,15 @@ type Row struct {
 	// Reports maps detector name to race-report count (expected 0 on the
 	// suite; surfaced so a regression is visible in the table).
 	Reports map[string]int
+	// FastPath maps detector name to the measured fraction of accesses the
+	// detector handled on its lock-free fast paths — the §5/§8 quantity the
+	// whole v2 design banks on. Measured in a separate untimed pass.
+	FastPath map[string]float64
+	// Metrics maps detector name to the full metric snapshot of that pass:
+	// detector.* (rule firings, fast/slow splits, shadow occupancy),
+	// rtsim.events.* (instrumentation density) and latency.* (sampled
+	// handler latencies, power-of-two nanosecond buckets).
+	Metrics map[string]obs.Snapshot
 }
 
 // Table is the full result.
@@ -110,17 +126,79 @@ func measureProgram(w workloads.Workload, opts Options) (Row, error) {
 		BaseTime: base,
 		Overhead: map[string]float64{},
 		Reports:  map[string]int{},
+		FastPath: map[string]float64{},
+		Metrics:  map[string]obs.Snapshot{},
 	}
 	for _, det := range opts.Detectors {
 		var lastReports int
 		mk := func() *rtsim.Runtime {
 			return rtsim.New(buildDetector(det))
 		}
-		checked := timeRunsReporting(mk, w, size, opts, &lastReports)
+		var checked time.Duration
+		// pprof labels tag the timed samples so a CPU profile scraped from
+		// the -metrics-addr endpoint attributes cost per (program, detector)
+		// cell rather than lumping everything under measureProgram.
+		pprof.Do(context.Background(), pprof.Labels("program", w.Name, "detector", det), func(context.Context) {
+			checked = timeRunsReporting(mk, w, size, opts, &lastReports)
+		})
 		row.Overhead[det] = float64(checked-base) / float64(base)
 		row.Reports[det] = lastReports
+
+		snap := metricsPass(w, size, det)
+		row.Metrics[det] = snap
+		row.FastPath[det] = FastPathShare(snap)
+		if opts.Registry != nil {
+			opts.Registry.RegisterSource(w.Name+"."+det, snap.Source())
+			opts.Registry.Gauge("bench.cells_done").Add(1)
+		}
 	}
 	return row, nil
+}
+
+// latencySampleInterval times every 64th event per thread in the metrics
+// pass: dense enough for thousands of samples per histogram on the bench
+// sizes, sparse enough that the pass stays cheap.
+const latencySampleInterval = 64
+
+// metricsPass runs one extra, untimed, fully instrumented execution of the
+// workload under the detector and returns the resulting snapshot: the
+// detector's own counters (frozen at quiescence under "detector."), rtsim
+// event counts and sampled handler latencies. Keeping instrumentation out
+// of the timed loops is what lets the overhead columns and the metrics
+// coexist — a latency sample costs more than a v2 pure block.
+func metricsPass(w workloads.Workload, size int, det string) obs.Snapshot {
+	reg := obs.NewRegistry()
+	d := buildDetector(det)
+	wrapped := core.InstrumentLatency(d, reg, latencySampleInterval)
+	rt := rtsim.New(wrapped, rtsim.WithMetrics(reg))
+	w.Run(rt, size)
+
+	inner := d
+	if el, ok := d.(*elide.Elider); ok {
+		hits, misses := el.Stats()
+		reg.Counter("elide.hits").Add(0, hits)
+		reg.Counter("elide.misses").Add(0, misses)
+		inner = el.Inner()
+	}
+	if ss, ok := inner.(core.StatsSource); ok {
+		// The run has quiesced (w.Run joins its threads), so the per-thread
+		// counters are coherent; freeze them as a source.
+		reg.RegisterSource("detector", ss.Stats().Source())
+	}
+	return reg.Snapshot()
+}
+
+// FastPathShare extracts the fraction of accesses a detector handled on its
+// lock-free fast paths from a metrics-pass snapshot. Returns 0 when the
+// snapshot has no detector access counters (e.g. the eraser baseline's
+// all-slow accounting still yields a genuine 0).
+func FastPathShare(s obs.Snapshot) float64 {
+	fast := s.Counters["detector.reads.fast"] + s.Counters["detector.writes.fast"]
+	total := s.Counters["detector.reads.total"] + s.Counters["detector.writes.total"]
+	if total == 0 {
+		return 0
+	}
+	return float64(fast) / float64(total)
 }
 
 // detectorConfig sizes shadow tables for a typical workload; tables grow on

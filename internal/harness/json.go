@@ -3,6 +3,8 @@ package harness
 import (
 	"encoding/json"
 	"io"
+
+	"repro/internal/obs"
 )
 
 // jsonTable is the machine-readable shape of Table 1: stable field names
@@ -27,6 +29,12 @@ type jsonRow struct {
 	// Reports carries per-detector race-report counts; 0 everywhere on a
 	// healthy run, kept in the schema so regressions are machine-visible.
 	Reports map[string]int `json:"reports"`
+	// FastPath maps detector name to the measured fast-path hit rate of the
+	// untimed metrics pass, the companion number to each overhead column.
+	FastPath map[string]float64 `json:"fast_path,omitempty"`
+	// Metrics carries each detector's full metric snapshot (detector.*
+	// counters, rtsim.events.*, latency.* histograms) for that pass.
+	Metrics map[string]obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // WriteJSON renders the table as indented JSON.
@@ -45,6 +53,8 @@ func (t *Table) WriteJSON(w io.Writer) error {
 			BaseSeconds: r.BaseTime.Seconds(),
 			Overhead:    r.Overhead,
 			Reports:     r.Reports,
+			FastPath:    r.FastPath,
+			Metrics:     r.Metrics,
 		})
 	}
 	enc := json.NewEncoder(w)

@@ -13,18 +13,20 @@ import (
 // Run parses and executes src with its events delivered to detector d (nil
 // for an uninstrumented run); prints go to out. It returns the detector's
 // reports and the first runtime error, if any (runtime errors in spawned
-// threads abort the program after all threads are joined).
-func Run(src string, d core.Detector, out io.Writer) ([]core.Report, error) {
+// threads abort the program after all threads are joined). Trailing rtsim
+// options configure the runtime the program executes on (e.g.
+// rtsim.WithMetrics to count its events).
+func Run(src string, d core.Detector, out io.Writer, opts ...rtsim.Option) ([]core.Report, error) {
 	prog, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return Exec(prog, d, out)
+	return Exec(prog, d, out, opts...)
 }
 
 // Exec executes a parsed program.
-func Exec(prog *Program, d core.Detector, out io.Writer) ([]core.Report, error) {
-	rt := rtsim.New(d)
+func Exec(prog *Program, d core.Detector, out io.Writer, opts ...rtsim.Option) ([]core.Report, error) {
+	rt := rtsim.New(d, opts...)
 	env, err := buildEnv(prog, rt, out)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatSnapshot renders a snapshot for humans: counters, gauges, then
+// histograms, each section sorted by name. vft-stats uses this to
+// pretty-print snapshot files captured from the HTTP endpoint or from
+// BENCH_table1.json.
+func FormatSnapshot(s Snapshot) string {
+	var b strings.Builder
+	if len(s.Counters) > 0 {
+		b.WriteString("counters:\n")
+		for _, k := range s.CounterKeys() {
+			fmt.Fprintf(&b, "  %-52s %12d\n", k, s.Counters[k])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		b.WriteString("gauges:\n")
+		for _, k := range s.GaugeKeys() {
+			fmt.Fprintf(&b, "  %-52s %12d\n", k, s.Gauges[k])
+		}
+	}
+	if len(s.Histograms) > 0 {
+		b.WriteString("histograms:\n")
+		for _, k := range s.HistogramKeys() {
+			h := s.Histograms[k]
+			fmt.Fprintf(&b, "  %-52s count=%d mean=%.1f\n", k, h.Count, h.Mean())
+			for _, bk := range h.Buckets {
+				fmt.Fprintf(&b, "    le=%-20s %12d\n", formatBound(bk.Le), bk.N)
+			}
+		}
+	}
+	if b.Len() == 0 {
+		return "(empty snapshot)\n"
+	}
+	return b.String()
+}
+
+func formatBound(le uint64) string {
+	if le == ^uint64(0) {
+		return "+inf"
+	}
+	return fmt.Sprintf("%d", le)
+}

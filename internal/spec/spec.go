@@ -80,6 +80,35 @@ func (r Rule) String() string {
 	return fmt.Sprintf("Rule(%d)", uint8(r))
 }
 
+var ruleKeys = [...]string{
+	RuleNone:            "none",
+	ReadSameEpoch:       "read_same_epoch",
+	ReadSharedSameEpoch: "read_shared_same_epoch",
+	ReadExclusive:       "read_exclusive",
+	ReadShare:           "read_share",
+	ReadShared:          "read_shared",
+	WriteReadRace:       "write_read_race",
+	WriteSameEpoch:      "write_same_epoch",
+	WriteExclusive:      "write_exclusive",
+	WriteShared:         "write_shared",
+	WriteWriteRace:      "write_write_race",
+	ReadWriteRace:       "read_write_race",
+	SharedWriteRace:     "shared_write_race",
+	RuleAcquire:         "acquire",
+	RuleRelease:         "release",
+	RuleFork:            "fork",
+	RuleJoin:            "join",
+}
+
+// Key returns a stable snake_case slug for the rule, used as a metric-name
+// component (e.g. "rule.read_same_epoch" in an obs snapshot).
+func (r Rule) Key() string {
+	if int(r) < len(ruleKeys) {
+		return ruleKeys[r]
+	}
+	return fmt.Sprintf("rule_%d", uint8(r))
+}
+
 // IsRace reports whether the rule is one of the four race rules.
 func (r Rule) IsRace() bool {
 	switch r {

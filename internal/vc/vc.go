@@ -26,7 +26,34 @@ import (
 // reads as t@0) and is ready to use.
 type VC struct {
 	v []epoch.Epoch
+	m Metrics
 }
+
+// Metrics counts a clock's structural costs. Because a VC is not safe for
+// concurrent use, the counters are plain fields updated under whatever
+// discipline already protects the clock — they add no synchronization and
+// no contention. Callers aggregate them across clocks at quiescence.
+type Metrics struct {
+	// Grows counts ensureCapacity extensions of the representation — the
+	// allocation-and-copy events behind the paper's grow-on-demand clocks.
+	Grows uint64
+	// Joins counts Join operations applied to this clock (as destination).
+	Joins uint64
+	// JoinScanned counts entries compared across all Joins — the O(threads)
+	// work epochs exist to avoid on the access paths.
+	JoinScanned uint64
+}
+
+// Add accumulates other into m.
+func (m *Metrics) Add(other Metrics) {
+	m.Grows += other.Grows
+	m.Joins += other.Joins
+	m.JoinScanned += other.JoinScanned
+}
+
+// Metrics returns the clock's structural counters. Call under the same
+// discipline as any other read of the clock.
+func (c *VC) Metrics() Metrics { return c.m }
 
 // New returns an empty (minimal) vector clock.
 func New() *VC {
@@ -82,6 +109,7 @@ func (c *VC) ensureCapacity(n int) {
 		grown[i] = epoch.Min(epoch.Tid(i))
 	}
 	c.v = grown
+	c.m.Grows++
 }
 
 // Inc increments the t-component: V := inc_t(V).
@@ -112,6 +140,8 @@ func (c *VC) EpochLeq(e epoch.Epoch) bool {
 
 // Join merges other into c pointwise: c := c ⊔ other.
 func (c *VC) Join(other *VC) {
+	c.m.Joins++
+	c.m.JoinScanned += uint64(len(other.v))
 	for i := 0; i < len(other.v); i++ {
 		t := epoch.Tid(i)
 		c.Set(t, c.Get(t).Max(other.v[i]))

@@ -1,0 +1,130 @@
+package verifiedft
+
+import (
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Metrics is a registry of contention-free metric instruments. Attach one
+// to New or CheckTrace with WithMetrics to observe a detector at work:
+// sampled per-handler latency histograms stream into it live, and frozen
+// detector counters (rule firings, fast/slow-path splits, shadow-table
+// occupancy) are registered once the checked execution quiesces. A Metrics
+// value is safe to read concurrently with the run — Snapshot only touches
+// atomic instruments and frozen sources.
+type Metrics = obs.Registry
+
+// MetricsSnapshot is a point-in-time reading of a Metrics registry; it
+// marshals to the JSON shape served by the tools' -metrics-addr endpoints.
+type MetricsSnapshot = obs.Snapshot
+
+// NewMetrics returns an empty metric registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// StatsSource is the optional observability extension of Detector: every
+// detector returned by New implements it. Stats must be called at
+// quiescence (no handler running); see the core package for the contract.
+type StatsSource = core.StatsSource
+
+// settings aggregates everything the option types can configure. New and
+// CheckTrace each start from their own defaults and read the subset that
+// concerns them.
+type settings struct {
+	variant string
+	cfg     Config
+	parties map[LockID]int
+	metrics *Metrics
+}
+
+// Option configures New.
+type Option interface{ applyNew(*settings) }
+
+// CheckOption configures CheckTrace.
+type CheckOption interface{ applyCheck(*settings) }
+
+// CommonOption is an option accepted by both New and CheckTrace
+// (WithMaxReportsPerVar, WithMetrics).
+type CommonOption interface {
+	Option
+	CheckOption
+}
+
+type newOption func(*settings)
+
+func (f newOption) applyNew(s *settings) { f(s) }
+
+type checkOption func(*settings)
+
+func (f checkOption) applyCheck(s *settings) { f(s) }
+
+type commonOption func(*settings)
+
+func (f commonOption) applyNew(s *settings)   { f(s) }
+func (f commonOption) applyCheck(s *settings) { f(s) }
+
+// WithVariant selects the detector variant CheckTrace replays the trace
+// through (default V2). See the variant constants.
+func WithVariant(variant string) CheckOption {
+	return checkOption(func(s *settings) { s.variant = variant })
+}
+
+// WithBarrierParties sets the participant count per barrier id for barrier
+// lowering (absent entries default to 2). Only traces containing
+// BarrierArrive operations need it.
+func WithBarrierParties(parties map[LockID]int) CheckOption {
+	return checkOption(func(s *settings) { s.parties = parties })
+}
+
+// WithMaxReportsPerVar caps race reports per variable, RoadRunner's
+// warn-once discipline (0 = unlimited). Suppressed reports are counted, not
+// silently lost: they appear as reports.dropped in the detector's stats.
+func WithMaxReportsPerVar(n int) CommonOption {
+	return commonOption(func(s *settings) { s.cfg.MaxReportsPerVar = n })
+}
+
+// WithMetrics attaches a metric registry. The detector is wrapped in a
+// latency sampler (every metricsSampleInterval-th event per thread is timed
+// into the registry's latency.* histograms), and — for CheckTrace, which
+// owns the run's lifetime — the detector's internal counters are frozen
+// into the registry under the variant name once the replay completes. A
+// detector built by New is handed to the caller mid-flight, so there the
+// caller freezes stats itself when its run quiesces:
+//
+//	if ss, ok := verifiedft.Unwrap(d).(verifiedft.StatsSource); ok {
+//		m.RegisterSource("v2", ss.Stats().Source())
+//	}
+//
+// Sampling costs roughly one table lookup and an increment per event plus
+// a timed sample every interval; it is the opt-in observability mode, not
+// the configuration to benchmark.
+func WithMetrics(m *Metrics) CommonOption {
+	return commonOption(func(s *settings) { s.metrics = m })
+}
+
+// WithThreads hints the thread shadow-table size (tables grow on demand).
+func WithThreads(n int) Option {
+	return newOption(func(s *settings) { s.cfg.Threads = n })
+}
+
+// WithVars hints the variable shadow-table size.
+func WithVars(n int) Option {
+	return newOption(func(s *settings) { s.cfg.Vars = n })
+}
+
+// WithLocks hints the lock shadow-table size.
+func WithLocks(n int) Option {
+	return newOption(func(s *settings) { s.cfg.Locks = n })
+}
+
+// WithConfig replaces the whole shadow-table configuration at once; later
+// WithThreads/WithVars/WithLocks/WithMaxReportsPerVar options still apply
+// on top.
+func WithConfig(cfg Config) Option {
+	return newOption(func(s *settings) { s.cfg = cfg })
+}
+
+// Unwrap returns the detector underneath the latency sampler WithMetrics
+// installs, or d itself when it is not wrapped. Use it to reach the
+// StatsSource of an instrumented detector. (The wrapper forwards Stats
+// already; Unwrap exists for callers that need the concrete type.)
+func Unwrap(d Detector) Detector { return core.LatencyInner(d) }

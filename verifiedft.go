@@ -28,7 +28,7 @@
 // which mirrors the RoadRunner execution model (§7): every instrumented
 // operation invokes the analysis inline in the acting goroutine.
 //
-//	d, _ := verifiedft.New(verifiedft.V2, verifiedft.DefaultConfig())
+//	d, _ := verifiedft.New(verifiedft.V2)
 //	rt := verifiedft.NewRuntime(d)
 //	main := rt.Main()
 //	x := rt.NewVar()
@@ -145,13 +145,47 @@ type (
 	Barrier = rtsim.Barrier
 )
 
-// New constructs a detector variant; see the variant constants. The zero
-// Config is usable; DefaultConfig sizes tables for mid-sized programs.
-func New(variant string, cfg Config) (Detector, error) {
-	return core.New(variant, cfg)
+// metricsSampleInterval is the per-thread latency sampling stride used when
+// a Metrics registry is attached: every 64th event a thread performs is
+// timed into the latency.* histograms. Dense enough to fill histograms on
+// realistic runs, sparse enough that the sampled run stays usable.
+const metricsSampleInterval = 64
+
+// New constructs a detector variant; see the variant constants. With no
+// options the shadow tables get mid-sized hints (they grow on demand, so
+// hints only matter for construction cost):
+//
+//	d, err := verifiedft.New(verifiedft.V2)
+//	d, err := verifiedft.New(verifiedft.V2,
+//		verifiedft.WithThreads(64),
+//		verifiedft.WithMaxReportsPerVar(1),
+//		verifiedft.WithMetrics(m))
+func New(variant string, opts ...Option) (Detector, error) {
+	s := settings{cfg: core.DefaultConfig()}
+	for _, o := range opts {
+		o.applyNew(&s)
+	}
+	d, err := core.New(variant, s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	if s.metrics != nil {
+		return core.InstrumentLatency(d, s.metrics, metricsSampleInterval), nil
+	}
+	return d, nil
 }
 
-// DefaultConfig returns reasonable shadow-table size hints.
+// NewWithConfig constructs a detector from an explicit Config.
+//
+// Deprecated: use New with options (WithConfig for a wholesale Config).
+func NewWithConfig(variant string, cfg Config) (Detector, error) {
+	return New(variant, WithConfig(cfg))
+}
+
+// DefaultConfig returns the shadow-table size hints New starts from.
+//
+// Deprecated: New's defaults apply without it; use WithThreads, WithVars,
+// WithLocks or WithConfig to deviate.
 func DefaultConfig() Config { return core.DefaultConfig() }
 
 // Variants lists all detector variant names.
@@ -165,36 +199,53 @@ func NewRuntime(d Detector) *Runtime { return rtsim.New(d) }
 func ValidateTrace(tr Trace) error { return trace.Validate(tr) }
 
 // CheckTrace validates tr, lowers extended operations, and replays it
-// through a fresh VerifiedFT-v2 detector, returning every detected race.
-// parties gives the participant count per barrier id for barrier lowering
-// (nil if the trace uses no barriers; absent entries default to 2).
-func CheckTrace(tr Trace, parties ...map[LockID]int) ([]Report, error) {
+// through a fresh detector (VerifiedFT-v2 unless WithVariant says
+// otherwise), returning every detected race:
+//
+//	reports, err := verifiedft.CheckTrace(tr)
+//	reports, err := verifiedft.CheckTrace(tr,
+//		verifiedft.WithVariant(verifiedft.FTCAS),
+//		verifiedft.WithBarrierParties(map[verifiedft.LockID]int{0: 4}),
+//		verifiedft.WithMetrics(m))
+//
+// Shadow tables are sized from the trace's contents. With WithMetrics, the
+// replay is latency-sampled and the detector's internal counters are frozen
+// into the registry under the variant name when it returns.
+func CheckTrace(tr Trace, opts ...CheckOption) ([]Report, error) {
+	s := settings{variant: V2}
+	for _, o := range opts {
+		o.applyCheck(&s)
+	}
 	if err := trace.Validate(tr); err != nil {
 		return nil, err
 	}
-	var p map[LockID]int
-	if len(parties) > 0 {
-		p = parties[0]
-	}
-	low := tr.Desugar(p)
-	d, err := core.New(V2, configFor(low))
+	low := tr.Desugar(s.parties)
+	cfg := configFor(low)
+	cfg.MaxReportsPerVar = s.cfg.MaxReportsPerVar
+	d, err := core.New(s.variant, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return core.Replay(d, low), nil
+	var det Detector = d
+	if s.metrics != nil {
+		det = core.InstrumentLatency(d, s.metrics, metricsSampleInterval)
+	}
+	reports := core.Replay(det, low)
+	if s.metrics != nil {
+		// Replay is sequential and has returned: the detector is quiescent,
+		// so its per-thread counters are coherent and safe to freeze.
+		if ss, ok := d.(core.StatsSource); ok {
+			s.metrics.RegisterSource(s.variant, ss.Stats().Source())
+		}
+	}
+	return reports, nil
 }
 
 // CheckTraceWith is CheckTrace with an explicit detector variant.
+//
+// Deprecated: use CheckTrace(tr, WithVariant(variant)).
 func CheckTraceWith(variant string, tr Trace) ([]Report, error) {
-	if err := trace.Validate(tr); err != nil {
-		return nil, err
-	}
-	low := tr.Desugar(nil)
-	d, err := core.New(variant, configFor(low))
-	if err != nil {
-		return nil, err
-	}
-	return core.Replay(d, low), nil
+	return CheckTrace(tr, WithVariant(variant))
 }
 
 // HasRace is the oracle of §2: it decides, directly from the happens-before
@@ -208,7 +259,10 @@ func HasRace(tr Trace) (bool, error) {
 	return hb.Analyze(tr.Desugar(nil)).HasRace(), nil
 }
 
-// configFor sizes shadow tables from a trace's contents.
+// configFor sizes shadow tables from a (lowered) trace's contents. Locks
+// matter too: volatile and barrier lowering synthesizes lock ids, and a
+// trace using a lock id far above the default hint would otherwise pay
+// repeated table growth during replay.
 func configFor(tr Trace) Config {
 	cfg := Config{Threads: 8, Vars: 64, Locks: 16}
 	for _, op := range tr {
@@ -218,9 +272,14 @@ func configFor(tr Trace) Config {
 		if op.IsAccess() && int(op.X)+1 > cfg.Vars {
 			cfg.Vars = int(op.X) + 1
 		}
+		if (op.Kind == trace.Acquire || op.Kind == trace.Release) && int(op.M)+1 > cfg.Locks {
+			cfg.Locks = int(op.M) + 1
+		}
 	}
 	return cfg
 }
 
-// Version identifies this implementation.
-const Version = "1.0.0"
+// Version identifies this implementation. 2.0.0 is the options-based API:
+// CheckTrace takes CheckOptions instead of a variadic parties map, New
+// takes Options instead of a Config, and both accept WithMetrics.
+const Version = "2.0.0"

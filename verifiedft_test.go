@@ -72,7 +72,8 @@ func TestCheckTraceExtendedOps(t *testing.T) {
 		verifiedft.BarrierArrive(1, 0),
 		verifiedft.Read(1, 0),
 	}
-	reports, err = verifiedft.CheckTrace(tr, map[verifiedft.LockID]int{0: 2})
+	reports, err = verifiedft.CheckTrace(tr,
+		verifiedft.WithBarrierParties(map[verifiedft.LockID]int{0: 2}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestCheckTraceWithEveryVariant(t *testing.T) {
 		if v == verifiedft.Eraser {
 			continue // imprecise by design
 		}
-		reports, err := verifiedft.CheckTraceWith(v, racy)
+		reports, err := verifiedft.CheckTrace(racy, verifiedft.WithVariant(v))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -124,7 +125,7 @@ func TestHasRaceOracle(t *testing.T) {
 }
 
 func TestOnlineAPI(t *testing.T) {
-	d, err := verifiedft.New(verifiedft.V2, verifiedft.DefaultConfig())
+	d, err := verifiedft.New(verifiedft.V2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestOnlineAPI(t *testing.T) {
 }
 
 func TestNewRejectsUnknownVariant(t *testing.T) {
-	if _, err := verifiedft.New("fasttrack-v9", verifiedft.Config{}); err == nil {
+	if _, err := verifiedft.New("fasttrack-v9"); err == nil {
 		t.Fatal("unknown variant accepted")
 	}
 }
@@ -168,11 +169,13 @@ func TestValidateTrace(t *testing.T) {
 	}
 }
 
-func TestCheckTraceWithErrors(t *testing.T) {
-	if _, err := verifiedft.CheckTraceWith("nope", verifiedft.Trace{verifiedft.Read(0, 0)}); err == nil {
+func TestCheckTraceVariantErrors(t *testing.T) {
+	if _, err := verifiedft.CheckTrace(verifiedft.Trace{verifiedft.Read(0, 0)},
+		verifiedft.WithVariant("nope")); err == nil {
 		t.Fatal("unknown variant accepted")
 	}
-	if _, err := verifiedft.CheckTraceWith(verifiedft.V1, verifiedft.Trace{verifiedft.Release(0, 0)}); err == nil {
+	if _, err := verifiedft.CheckTrace(verifiedft.Trace{verifiedft.Release(0, 0)},
+		verifiedft.WithVariant(verifiedft.V1)); err == nil {
 		t.Fatal("infeasible trace accepted")
 	}
 }
@@ -184,10 +187,11 @@ func TestHasRaceRejectsInfeasible(t *testing.T) {
 }
 
 // configFor must size tables to the trace's largest ids; exercised through
-// a trace with big thread and variable ids.
+// a trace with big thread, variable and lock ids.
 func TestCheckTraceLargeIDs(t *testing.T) {
 	tr := verifiedft.Trace{
 		verifiedft.Fork(0, 1), verifiedft.Fork(1, 2), verifiedft.Fork(2, 3),
+		verifiedft.Acquire(3, 900), verifiedft.Release(3, 900),
 		verifiedft.Write(3, 500),
 		verifiedft.Read(0, 500), // races
 	}
@@ -197,5 +201,102 @@ func TestCheckTraceLargeIDs(t *testing.T) {
 	}
 	if len(reports) != 1 || reports[0].X != 500 {
 		t.Fatalf("reports = %v", reports)
+	}
+}
+
+func TestCheckTraceMaxReportsPerVar(t *testing.T) {
+	// A write-write race followed by a write-read race at the same
+	// variable: two reports without the cap, one with it.
+	tr := verifiedft.Trace{
+		verifiedft.Fork(0, 1),
+		verifiedft.Write(0, 0),
+		verifiedft.Write(1, 0),
+		verifiedft.Read(0, 0),
+	}
+	all, err := verifiedft.CheckTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := verifiedft.CheckTrace(tr, verifiedft.WithMaxReportsPerVar(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 2 || len(capped) != 1 {
+		t.Fatalf("uncapped %d reports, capped %d", len(all), len(capped))
+	}
+}
+
+func TestCheckTraceWithMetrics(t *testing.T) {
+	m := verifiedft.NewMetrics()
+	tr := verifiedft.Trace{
+		verifiedft.Fork(0, 1),
+		verifiedft.Write(0, 0),
+		verifiedft.Write(1, 0),
+	}
+	if _, err := verifiedft.CheckTrace(tr, verifiedft.WithMetrics(m)); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if got := snap.Counters["vft-v2.writes.total"]; got != 2 {
+		t.Fatalf("vft-v2.writes.total = %d, want 2 (snapshot %v)", got, snap.Counters)
+	}
+	if got := snap.Counters["vft-v2.reports.recorded"]; got != 1 {
+		t.Fatalf("vft-v2.reports.recorded = %d, want 1", got)
+	}
+}
+
+func TestNewWithOptions(t *testing.T) {
+	m := verifiedft.NewMetrics()
+	d, err := verifiedft.New(verifiedft.V2,
+		verifiedft.WithThreads(4), verifiedft.WithVars(8), verifiedft.WithLocks(2),
+		verifiedft.WithMaxReportsPerVar(1),
+		verifiedft.WithMetrics(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := verifiedft.NewRuntime(d)
+	main := rt.Main()
+	x := rt.NewVar()
+	child := main.Go(func(w *verifiedft.Thread) { x.Store(w, 1) })
+	x.Store(main, 2) // races with the child's store; cap keeps it to one report
+	main.Join(child)
+	if got := len(rt.Reports()); got != 1 {
+		t.Fatalf("reports = %d, want 1 (WithMaxReportsPerVar)", got)
+	}
+	// The metrics wrapper forwards Stats; Unwrap reaches the detector too.
+	ss, ok := verifiedft.Unwrap(d).(verifiedft.StatsSource)
+	if !ok {
+		t.Fatal("unwrapped detector is not a StatsSource")
+	}
+	snap := ss.Stats()
+	if got := snap.Counters["writes.total"]; got != 2 {
+		t.Fatalf("writes.total = %d, want 2", got)
+	}
+}
+
+// The deprecated wrappers must keep compiling and behaving until removal.
+func TestDeprecatedWrappers(t *testing.T) {
+	racy := verifiedft.Trace{
+		verifiedft.Fork(0, 1),
+		verifiedft.Write(0, 0),
+		verifiedft.Write(1, 0),
+	}
+	reports, err := verifiedft.CheckTraceWith(verifiedft.V1, racy)
+	if err != nil || len(reports) != 1 {
+		t.Fatalf("CheckTraceWith = %v, %v", reports, err)
+	}
+	if _, err := verifiedft.CheckTraceWith("nope", racy); err == nil {
+		t.Fatal("CheckTraceWith accepted an unknown variant")
+	}
+	cfg := verifiedft.DefaultConfig()
+	if cfg.Threads <= 0 || cfg.Vars <= 0 || cfg.Locks <= 0 {
+		t.Fatalf("DefaultConfig = %+v", cfg)
+	}
+	d, err := verifiedft.NewWithConfig(verifiedft.V2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(verifiedft.NewRuntime(d).Reports()); got != 0 {
+		t.Fatalf("fresh detector has %d reports", got)
 	}
 }
