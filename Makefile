@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race vet bench metrics-smoke fuzz soak coverage clean
+.PHONY: all build test race vet bench metrics-smoke stream-smoke fuzz fuzz-smoke soak coverage clean
 
 all: build
 
@@ -26,6 +26,11 @@ bench:
 metrics-smoke:
 	$(GO) run ./scripts/metrics-smoke
 
+# End-to-end check of streaming ingestion: pipes gzipped binary traces
+# into `vft-run -` over stdin and verifies the verdict exit codes.
+stream-smoke:
+	$(GO) run ./scripts/stream-smoke
+
 # The differential fuzzers: the sequential trace fuzzer, the controlled
 # schedule explorer, then a bounded run of each coverage-guided target.
 fuzz:
@@ -33,8 +38,16 @@ fuzz:
 	$(GO) run ./cmd/vft-fuzz -n 200 -schedules 25
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzFromBytes -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzBinaryRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/minilang -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/spec -run '^$$' -fuzz FuzzPrecision -fuzztime $(FUZZTIME)
+
+# Quick pass over every coverage-guided target's checked-in seed corpus
+# (no fuzzing time budget — just the deterministic seeds, as CI does).
+fuzz-smoke:
+	$(GO) test ./internal/trace -run 'Fuzz' -count 1
+	$(GO) test ./internal/minilang -run 'FuzzParse' -count 1
+	$(GO) test ./internal/spec -run 'FuzzPrecision' -count 1
 
 # Long-running schedule exploration (hundreds of schedules per program).
 soak:

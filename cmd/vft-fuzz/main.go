@@ -18,5 +18,5 @@ import (
 )
 
 func main() {
-	os.Exit(cli.Fuzz(os.Args[1:], os.Stdout, os.Stderr))
+	os.Exit(cli.Fuzz(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }

@@ -2,12 +2,16 @@
 // interpreter routes every shared access and synchronization operation
 // through the analysis, so concurrent programs can be written, shared and
 // checked as plain source files (the repository's analogue of running a
-// target program under RoadRunner, §7). See internal/minilang for the
-// language and internal/cli for the flags.
+// target program under RoadRunner, §7). Recorded traces re-execute as live
+// concurrent programs instead: binary and gzip inputs are recognized
+// automatically, -trace forces it for text traces, and "-" reads stdin, so
+// a captured stream pipes straight in (e.g. `gzip -dc t.bin.gz | vft-run -`
+// works too, but plain `vft-run t.bin.gz` already decompresses). See
+// internal/minilang for the language and internal/cli for the flags.
 //
 // Usage:
 //
-//	vft-run [-d variant] [-runs N] program.vft
+//	vft-run [-d variant] [-runs N] [-trace] program.vft | trace | -
 package main
 
 import (
@@ -17,5 +21,5 @@ import (
 )
 
 func main() {
-	os.Exit(cli.RunProg(os.Args[1:], os.Stdout, os.Stderr))
+	os.Exit(cli.RunProg(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }

@@ -6,6 +6,7 @@
 package cli
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"expvar"
@@ -63,8 +64,12 @@ func serveMetrics(addr, name string, reg *obs.Registry, stderr io.Writer) (func(
 	return func() { srv.Close() }, nil
 }
 
-// Race implements vft-race: check a trace (file argument or stdin) for
-// races.
+// Race implements vft-race: check a trace (file argument, or stdin via
+// "-" or no argument) for races. Inputs may be text, binary or gzip; the
+// encoding is sniffed from the stream. The multi-variant cross-check and
+// the oracle need the whole trace, so this tool materializes it; use
+// CheckReader/CheckSource (or vft-run on a trace input) for streams that
+// must stay out of memory.
 func Race(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("vft-race", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -77,18 +82,19 @@ func Race(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	in := stdin
-	if fs.NArg() > 0 {
-		f, err := os.Open(fs.Arg(0))
-		if err != nil {
-			fmt.Fprintln(stderr, "vft-race:", err)
-			return 2
-		}
-		defer f.Close()
-		in = f
+	in, closeIn, err := openInput(fs.Arg(0), stdin)
+	if err != nil {
+		fmt.Fprintln(stderr, "vft-race:", err)
+		return 2
 	}
+	defer closeIn()
 
-	tr, err := trace.Decode(in)
+	src, err := trace.NewDecoder(in)
+	if err != nil {
+		fmt.Fprintln(stderr, "vft-race:", err)
+		return 2
+	}
+	tr, err := trace.ReadAll(src)
 	if err != nil {
 		fmt.Fprintln(stderr, "vft-race:", err)
 		return 2
@@ -197,6 +203,8 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 		"comma-separated detector variants (append +elide for check elision)")
 	programs := fs.String("programs", "", "comma-separated program subset (default: whole suite)")
 	ablation := fs.Bool("ablation", false, "also run the §3 rule-change ablations")
+	traceFile := fs.String("trace", "",
+		"benchmark the detectors over this recorded trace (text, binary or gzip) instead of the workload suite")
 	format := fs.String("format", "text", "output format: text or csv")
 	jsonPath := fs.String("json", "BENCH_table1.json",
 		"also write the table as machine-readable JSON to this file ('' disables)")
@@ -210,6 +218,10 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 	if *format != "text" && *format != "csv" {
 		fmt.Fprintf(stderr, "vft-bench: unknown format %q\n", *format)
 		return 2
+	}
+
+	if *traceFile != "" {
+		return benchTrace(*traceFile, splitList(*detectors), *iters, *warmup, stdout, stderr)
 	}
 
 	opts := harness.Options{
@@ -277,6 +289,56 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 	if *ablation {
 		fmt.Fprintln(stdout)
 		runAblations(stdout)
+	}
+	return 0
+}
+
+// benchTrace is vft-bench -trace: time detector replay over one recorded
+// trace, reporting throughput per variant — for sizing detectors on
+// captured workloads rather than the built-in suite.
+func benchTrace(path string, detectors []string, iters, warmup int, stdout, stderr io.Writer) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "vft-bench:", err)
+		return 2
+	}
+	defer f.Close()
+	src, err := trace.NewDecoder(f)
+	if err != nil {
+		fmt.Fprintln(stderr, "vft-bench:", err)
+		return 2
+	}
+	tr, err := trace.ReadAll(src)
+	if err != nil {
+		fmt.Fprintln(stderr, "vft-bench:", err)
+		return 2
+	}
+	if err := trace.Validate(tr); err != nil {
+		fmt.Fprintln(stderr, "vft-bench:", err)
+		return 2
+	}
+	low := tr.Desugar(nil)
+	fmt.Fprintf(stdout, "Detector throughput over %s (%d ops after lowering; best of %d iterations)\n\n",
+		path, len(low), iters)
+	for _, v := range detectors {
+		var best time.Duration
+		for i := 0; i < warmup+iters; i++ {
+			d, err := core.New(v, core.DefaultConfig())
+			if err != nil {
+				fmt.Fprintln(stderr, "vft-bench:", err)
+				return 2
+			}
+			start := time.Now()
+			core.Replay(d, low)
+			if el := time.Since(start); i >= warmup && (best == 0 || el < best) {
+				best = el
+			}
+		}
+		if best <= 0 {
+			best = time.Nanosecond
+		}
+		fmt.Fprintf(stdout, "%-10s %14.0f ops/sec  (best %v)\n",
+			v, float64(len(low))/best.Seconds(), best)
 	}
 	return 0
 }
@@ -356,21 +418,34 @@ func JoinLadder(rounds int) trace.Trace {
 	return tr
 }
 
-// Stats implements vft-stats: the §5 rule-frequency table.
-func Stats(args []string, stdout, stderr io.Writer) int {
+// Stats implements vft-stats: the §5 rule-frequency table. -snapshot
+// accepts a file or "-" for stdin, and gzip-compressed snapshots are
+// decompressed transparently.
+func Stats(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("vft-stats", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	quick := fs.Bool("quick", false, "use the small test sizes")
 	perProgram := fs.Bool("per-program", false, "also print the per-program serialization table")
 	memory := fs.Bool("memory", false, "also print the shadow-memory footprint table (v2 vs djit)")
 	snapshotFile := fs.String("snapshot", "",
-		"pretty-print an obs metrics snapshot JSON file (as served at /metrics) and exit")
+		"pretty-print an obs metrics snapshot JSON file (as served at /metrics; '-' for stdin, gzip ok) and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	if *snapshotFile != "" {
-		b, err := os.ReadFile(*snapshotFile)
+		in, closeIn, err := openInput(*snapshotFile, stdin)
+		if err != nil {
+			fmt.Fprintln(stderr, "vft-stats:", err)
+			return 2
+		}
+		defer closeIn()
+		r, err := maybeGzip(in)
+		if err != nil {
+			fmt.Fprintln(stderr, "vft-stats:", err)
+			return 2
+		}
+		b, err := io.ReadAll(r)
 		if err != nil {
 			fmt.Fprintln(stderr, "vft-stats:", err)
 			return 2
@@ -454,8 +529,10 @@ func printSerializationTable(stdout io.Writer, s *stats.Summary) {
 // controlled schedules and every detector is cross-checked against the
 // oracle on every explored linearization (see internal/conformance). The
 // whole run, including schedule exploration, is a deterministic function of
-// -seed.
-func Fuzz(args []string, stdout, stderr io.Writer) int {
+// -seed. With -replay, one recorded trace (file or "-" for stdin; text,
+// binary or gzip) goes through the same differential stack instead of
+// generated ones — the triage path for traces captured in the field.
+func Fuzz(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("vft-fuzz", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	n := fs.Int("n", 2000, "number of traces to check")
@@ -467,12 +544,18 @@ func Fuzz(args []string, stdout, stderr io.Writer) int {
 	schedules := fs.Int("schedules", 0, "controlled schedules to explore per trace (0: sequential check only)")
 	policy := fs.String("sched-policy", "pct",
 		fmt.Sprintf("schedule exploration policy, one of %v", sched.PolicyNames()))
+	replayFile := fs.String("replay", "",
+		"differentially re-check one recorded trace (file or '-' for stdin; text, binary or gzip) and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if _, err := sched.NewPolicy(*policy, 0); err != nil {
 		fmt.Fprintln(stderr, "vft-fuzz:", err)
 		return 2
+	}
+
+	if *replayFile != "" {
+		return fuzzReplay(*replayFile, stdin, *schedules, *policy, *seed, *shrink, stdout, stderr)
 	}
 
 	cfg := trace.DefaultGenConfig()
@@ -544,6 +627,73 @@ func Fuzz(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// fuzzReplay is vft-fuzz -replay: load one recorded trace, lower extended
+// operations (the differential checker compares detectors on the core
+// language), run the sequential cross-check, and optionally explore
+// controlled schedules of it. Exit codes mirror the fuzz loop: 0 agreement,
+// 1 divergence, 2 bad input.
+func fuzzReplay(path string, stdin io.Reader, schedules int, policy string, seed int64, shrink bool, stdout, stderr io.Writer) int {
+	in, closeIn, err := openInput(path, stdin)
+	if err != nil {
+		fmt.Fprintln(stderr, "vft-fuzz:", err)
+		return 2
+	}
+	defer closeIn()
+	src, err := trace.NewDecoder(in)
+	if err != nil {
+		fmt.Fprintln(stderr, "vft-fuzz:", err)
+		return 2
+	}
+	tr, err := trace.ReadAll(src)
+	if err != nil {
+		fmt.Fprintln(stderr, "vft-fuzz:", err)
+		return 2
+	}
+	if err := trace.Validate(tr); err != nil {
+		fmt.Fprintln(stderr, "vft-fuzz:", err)
+		return 2
+	}
+	low := tr.Desugar(nil)
+	if err := CheckOne(low); err != nil {
+		fmt.Fprintf(stderr, "vft-fuzz: divergence on replayed trace: %v\n", err)
+		return 1
+	}
+	verdict := "race-free"
+	if hb.Analyze(low).HasRace() {
+		verdict = "racy"
+	}
+	fmt.Fprintf(stdout, "vft-fuzz: replayed trace agrees across all detectors and the oracle (%d ops after lowering, %s)\n",
+		len(low), verdict)
+	if schedules > 0 {
+		prog, err := conformance.FromTrace(path, low)
+		if err != nil {
+			fmt.Fprintln(stderr, "vft-fuzz:", err)
+			return 2
+		}
+		sum, err := conformance.Explore(prog, conformance.Options{
+			Policy:    policy,
+			Schedules: schedules,
+			SeedBase:  sched.SplitMix64(uint64(seed)),
+			Shrink:    shrink,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "vft-fuzz:", err)
+			return 2
+		}
+		if len(sum.Divergences) > 0 {
+			d := sum.Divergences[0]
+			fmt.Fprintf(stderr, "vft-fuzz: schedule divergence on replayed trace: %v\n\n", d)
+			fmt.Fprintf(stderr, "# schedule seed %#x; minimized linearization (vft-race -all -oracle <this file>):\n", d.Seed)
+			trace.Encode(stderr, d.Trace)
+			return 1
+		}
+		var explored harness.ScheduleStats
+		explored.Add(sum.Schedules, sum.Distinct, sum.Racy, sum.Events)
+		fmt.Fprintf(stdout, "vft-fuzz: %s\n", explored.Summary(policy))
+	}
+	return 0
+}
+
 // CheckOne runs the full differential comparison on one feasible trace.
 // (The implementation lives in internal/conformance, which also applies it
 // per explored schedule; this wrapper keeps the historical cli API.)
@@ -553,12 +703,23 @@ func CheckOne(tr trace.Trace) error { return conformance.CheckTrace(tr) }
 // human-readable size. See conformance.Shrink.
 func Shrink(tr trace.Trace) trace.Trace { return conformance.Shrink(tr) }
 
-// RunProg implements vft-run: execute a minilang program under a detector.
-func RunProg(args []string, stdout, stderr io.Writer) int {
+// RunProg implements vft-run: execute a minilang program — or re-execute
+// a recorded trace — under a detector. The input may be a file or "-" for
+// stdin. Gzip-compressed and binary-encoded inputs are recognized from the
+// stream head and replayed as traces through the streaming pipeline
+// (decode → validate → desugar → rtsim demux replay), never materialized;
+// -trace forces the same for a text-format trace, which is otherwise
+// indistinguishable from a program source. Re-execution runs the trace's
+// threads as real concurrent goroutines, so on racy inputs the detected
+// interleaving (and with it the report set) is schedule-dependent, exactly
+// as re-running a live program would be.
+func RunProg(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("vft-run", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	variant := fs.String("d", "vft-v2", "detector variant ('none' for an uninstrumented run)")
 	runs := fs.Int("runs", 1, "number of executions (races are schedule-dependent; more runs, more schedules)")
+	traceMode := fs.Bool("trace", false,
+		"treat the input as a trace to re-execute (automatic for binary and gzip inputs)")
 	metricsAddr := fs.String("metrics-addr", "",
 		"serve metrics over HTTP on this address: live rtsim event counts during the run, frozen detector stats after each run")
 	metricsLinger := fs.Duration("metrics-linger", 0,
@@ -567,14 +728,16 @@ func RunProg(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "vft-run: usage: vft-run [-d variant] [-runs N] program.vft")
+		fmt.Fprintln(stderr, "vft-run: usage: vft-run [-d variant] [-runs N] [-trace] program.vft | trace | -")
 		return 2
 	}
-	src, err := os.ReadFile(fs.Arg(0))
+	path := fs.Arg(0)
+	in, closeIn, err := openInput(path, stdin)
 	if err != nil {
 		fmt.Fprintln(stderr, "vft-run:", err)
 		return 2
 	}
+	defer closeIn()
 
 	var reg *obs.Registry
 	var rtOpts []rtsim.Option
@@ -593,6 +756,20 @@ func RunProg(args []string, stdout, stderr io.Writer) int {
 				time.Sleep(*metricsLinger)
 			}
 		}()
+	}
+
+	br := bufio.NewReader(in)
+	if *traceMode || sniffGzipOrBinaryTrace(br) {
+		if (path == "-" || path == "") && *runs > 1 {
+			fmt.Fprintln(stderr, "vft-run: -runs > 1 needs a re-readable file, not stdin")
+			return 2
+		}
+		return runTrace(path, br, *variant, *runs, reg, rtOpts, stdout, stderr)
+	}
+	src, err := io.ReadAll(br)
+	if err != nil {
+		fmt.Fprintln(stderr, "vft-run:", err)
+		return 2
 	}
 
 	raced := false
@@ -639,4 +816,78 @@ func RunProg(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "[%s] no races detected over %d run(s)\n", *variant, *runs)
 	}
 	return 0
+}
+
+// runTrace is RunProg's trace mode: each run streams the input through
+// decode → validate → desugar → rtsim.Replay on a fresh runtime, never
+// materializing the trace. The first run consumes in; later runs reopen
+// path (the caller has already ruled out stdin when runs > 1).
+func runTrace(path string, in io.Reader, variant string, runs int, reg *obs.Registry, rtOpts []rtsim.Option, stdout, stderr io.Writer) int {
+	raced := false
+	for i := 0; i < runs; i++ {
+		r := in
+		if i > 0 {
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintln(stderr, "vft-run:", err)
+				return 2
+			}
+			r = f
+		}
+		racedOnce, code := runTraceOnce(r, path, variant, reg, rtOpts, stdout, stderr)
+		if f, ok := r.(*os.File); ok && i > 0 {
+			f.Close()
+		}
+		if code != 0 {
+			return code
+		}
+		raced = raced || racedOnce
+	}
+	if raced {
+		return 1
+	}
+	if variant != "none" {
+		fmt.Fprintf(stdout, "[%s] no races detected over %d run(s)\n", variant, runs)
+	}
+	return 0
+}
+
+// runTraceOnce re-executes one trace stream as a live concurrent program.
+// Like a program run, reports are deduplicated per variable for printing.
+func runTraceOnce(in io.Reader, path, variant string, reg *obs.Registry, rtOpts []rtsim.Option, stdout, stderr io.Writer) (bool, int) {
+	src, err := trace.NewDecoder(in)
+	if err != nil {
+		fmt.Fprintln(stderr, "vft-run:", err)
+		return false, 2
+	}
+	var d core.Detector
+	if variant != "none" {
+		if d, err = core.New(variant, core.DefaultConfig()); err != nil {
+			fmt.Fprintln(stderr, "vft-run:", err)
+			return false, 2
+		}
+	}
+	rt := rtsim.New(d, rtOpts...)
+	pipe := trace.DesugarSource(trace.ValidateSource(src), nil)
+	pprof.Do(context.Background(), pprof.Labels("program", path, "detector", variant), func(context.Context) {
+		err = rtsim.Replay(rt, pipe)
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "vft-run:", err)
+		return false, 2
+	}
+	if reg != nil && d != nil {
+		if ss, ok := d.(core.StatsSource); ok {
+			reg.RegisterSource(variant, ss.Stats().Source())
+		}
+	}
+	reports := rt.Reports()
+	seen := map[trace.Var]bool{}
+	for _, r := range reports {
+		if !seen[r.X] {
+			seen[r.X] = true
+			fmt.Fprintln(stdout, r)
+		}
+	}
+	return len(reports) > 0, 0
 }

@@ -127,7 +127,7 @@ func TestBenchAblation(t *testing.T) {
 
 func TestStatsQuick(t *testing.T) {
 	var out, errBuf bytes.Buffer
-	code := Stats([]string{"-quick", "-per-program"}, &out, &errBuf)
+	code := Stats([]string{"-quick", "-per-program"}, strings.NewReader(""), &out, &errBuf)
 	if code != 0 {
 		t.Fatalf("exit = %d, stderr: %s", code, errBuf.String())
 	}
@@ -140,7 +140,7 @@ func TestStatsQuick(t *testing.T) {
 
 func TestFuzzSmallRun(t *testing.T) {
 	var out, errBuf bytes.Buffer
-	code := Fuzz([]string{"-n", "50", "-ops", "30"}, &out, &errBuf)
+	code := Fuzz([]string{"-n", "50", "-ops", "30"}, strings.NewReader(""), &out, &errBuf)
 	if code != 0 {
 		t.Fatalf("exit = %d, stderr: %s", code, errBuf.String())
 	}
@@ -198,7 +198,7 @@ func TestRaceExplain(t *testing.T) {
 
 func TestStatsMemory(t *testing.T) {
 	var out, errBuf bytes.Buffer
-	code := Stats([]string{"-quick", "-memory"}, &out, &errBuf)
+	code := Stats([]string{"-quick", "-memory"}, strings.NewReader(""), &out, &errBuf)
 	if code != 0 {
 		t.Fatalf("exit = %d, stderr: %s", code, errBuf.String())
 	}
@@ -238,7 +238,7 @@ func TestRunProg(t *testing.T) {
 	os.WriteFile(bad, []byte("if {\n"), 0o644)
 
 	var out, errBuf bytes.Buffer
-	if code := RunProg([]string{racy}, &out, &errBuf); code != 1 {
+	if code := RunProg([]string{racy}, strings.NewReader(""), &out, &errBuf); code != 1 {
 		t.Fatalf("racy: exit = %d (stderr %s)", code, errBuf.String())
 	}
 	if !strings.Contains(out.String(), "race") {
@@ -246,7 +246,7 @@ func TestRunProg(t *testing.T) {
 	}
 
 	out.Reset()
-	if code := RunProg([]string{"-runs", "2", clean}, &out, &errBuf); code != 0 {
+	if code := RunProg([]string{"-runs", "2", clean}, strings.NewReader(""), &out, &errBuf); code != 0 {
 		t.Fatalf("clean: exit = %d", code)
 	}
 	if !strings.Contains(out.String(), "no races detected over 2 run(s)") {
@@ -254,23 +254,23 @@ func TestRunProg(t *testing.T) {
 	}
 
 	out.Reset()
-	if code := RunProg([]string{"-d", "none", clean}, &out, &errBuf); code != 0 {
+	if code := RunProg([]string{"-d", "none", clean}, strings.NewReader(""), &out, &errBuf); code != 0 {
 		t.Fatalf("uninstrumented: exit = %d", code)
 	}
 	if strings.Contains(out.String(), "no races") {
 		t.Fatalf("uninstrumented run should not print a verdict: %q", out.String())
 	}
 
-	if code := RunProg([]string{bad}, &out, &errBuf); code != 2 {
+	if code := RunProg([]string{bad}, strings.NewReader(""), &out, &errBuf); code != 2 {
 		t.Fatalf("parse error: exit = %d", code)
 	}
-	if code := RunProg([]string{"/no/such/file.vft"}, &out, &errBuf); code != 2 {
+	if code := RunProg([]string{"/no/such/file.vft"}, strings.NewReader(""), &out, &errBuf); code != 2 {
 		t.Fatalf("missing file: exit = %d", code)
 	}
-	if code := RunProg(nil, &out, &errBuf); code != 2 {
+	if code := RunProg(nil, strings.NewReader(""), &out, &errBuf); code != 2 {
 		t.Fatalf("no args: exit = %d", code)
 	}
-	if code := RunProg([]string{"-d", "nope", clean}, &out, &errBuf); code != 2 {
+	if code := RunProg([]string{"-d", "nope", clean}, strings.NewReader(""), &out, &errBuf); code != 2 {
 		t.Fatalf("bad detector: exit = %d", code)
 	}
 }
@@ -278,11 +278,11 @@ func TestRunProg(t *testing.T) {
 // The shipped example programs stay working.
 func TestExampleProgramsRun(t *testing.T) {
 	var out, errBuf bytes.Buffer
-	if code := RunProg([]string{"../../examples/minilang/account.vft"}, &out, &errBuf); code != 1 {
+	if code := RunProg([]string{"../../examples/minilang/account.vft"}, strings.NewReader(""), &out, &errBuf); code != 1 {
 		t.Fatalf("account.vft: exit = %d, stderr %s", code, errBuf.String())
 	}
 	out.Reset()
-	if code := RunProg([]string{"../../examples/minilang/pipeline.vft"}, &out, &errBuf); code != 0 {
+	if code := RunProg([]string{"../../examples/minilang/pipeline.vft"}, strings.NewReader(""), &out, &errBuf); code != 0 {
 		t.Fatalf("pipeline.vft: exit = %d, stderr %s", code, errBuf.String())
 	}
 }
@@ -291,11 +291,11 @@ func TestExampleProgramsRun(t *testing.T) {
 // detectors but an Eraser false positive (global lockset intersection ∅).
 func TestPhilosophersEraserFalsePositive(t *testing.T) {
 	var out, errBuf bytes.Buffer
-	if code := RunProg([]string{"../../examples/minilang/philosophers.vft"}, &out, &errBuf); code != 0 {
+	if code := RunProg([]string{"../../examples/minilang/philosophers.vft"}, strings.NewReader(""), &out, &errBuf); code != 0 {
 		t.Fatalf("vft-v2: exit = %d, out %s", code, out.String())
 	}
 	out.Reset()
-	if code := RunProg([]string{"-d", "eraser", "../../examples/minilang/philosophers.vft"}, &out, &errBuf); code != 1 {
+	if code := RunProg([]string{"-d", "eraser", "../../examples/minilang/philosophers.vft"}, strings.NewReader(""), &out, &errBuf); code != 1 {
 		t.Fatalf("eraser: exit = %d, want 1 (the classic false positive), out: %s", code, out.String())
 	}
 }

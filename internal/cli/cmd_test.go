@@ -2,12 +2,15 @@ package cli
 
 import (
 	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/trace"
 )
 
 // buildCmds compiles every cmd/ binary once into a shared temp dir and
@@ -41,10 +44,16 @@ func repoRoot(t *testing.T) string {
 // (exit code, stdout+stderr).
 func runCmd(t *testing.T, workDir, bin string, stdin string, args ...string) (int, string) {
 	t.Helper()
+	return runCmdBytes(t, workDir, bin, []byte(stdin), args...)
+}
+
+// runCmdBytes is runCmd for non-text stdin (binary or gzip trace streams).
+func runCmdBytes(t *testing.T, workDir, bin string, stdin []byte, args ...string) (int, string) {
+	t.Helper()
 	cmd := exec.Command(bin, args...)
 	cmd.Dir = workDir
-	if stdin != "" {
-		cmd.Stdin = strings.NewReader(stdin)
+	if len(stdin) != 0 {
+		cmd.Stdin = bytes.NewReader(stdin)
 	}
 	var buf bytes.Buffer
 	cmd.Stdout = &buf
@@ -174,6 +183,119 @@ func TestCommandSmoke(t *testing.T) {
 		}
 		if !strings.Contains(out, "no divergence") || !strings.Contains(out, "schedules explored") {
 			t.Fatalf("missing summary lines:\n%s", out)
+		}
+	})
+}
+
+// TestStreamingCommandSmoke exercises the streaming ingestion surface of
+// the real binaries: stdin via "-", binary and gzip trace encodings
+// recognized from the stream head (no file extensions involved), trace
+// re-execution in vft-run, snapshot piping in vft-stats and trace replay
+// in vft-fuzz.
+func TestStreamingCommandSmoke(t *testing.T) {
+	bins := buildCmds(t)
+	bin := func(name string) string { return filepath.Join(bins, name) }
+
+	racy := trace.Trace{
+		trace.ForkOp(0, 1), trace.Wr(0, 0), trace.Wr(1, 0), trace.JoinOp(0, 1),
+	}
+	clean := trace.Trace{
+		trace.ForkOp(0, 1), trace.Wr(1, 0), trace.JoinOp(0, 1), trace.Rd(0, 0),
+	}
+	encodeBin := func(tr trace.Trace) []byte {
+		var b bytes.Buffer
+		if err := trace.EncodeBinary(&b, tr); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	gz := func(p []byte) []byte {
+		var b bytes.Buffer
+		w := gzip.NewWriter(&b)
+		if _, err := w.Write(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+
+	t.Run("vft-race/binary-stdin", func(t *testing.T) {
+		code, out := runCmdBytes(t, t.TempDir(), bin("vft-race"), encodeBin(racy), "-")
+		if code != 1 || !strings.Contains(out, "race") {
+			t.Fatalf("exit %d, want 1 with a report\n%s", code, out)
+		}
+	})
+	t.Run("vft-race/gzip-text-stdin", func(t *testing.T) {
+		var txt bytes.Buffer
+		trace.Encode(&txt, racy)
+		code, out := runCmdBytes(t, t.TempDir(), bin("vft-race"), gz(txt.Bytes()), "-")
+		if code != 1 || !strings.Contains(out, "race") {
+			t.Fatalf("exit %d, want 1 with a report\n%s", code, out)
+		}
+	})
+
+	t.Run("vft-run/gzip-binary-stdin", func(t *testing.T) {
+		// The headline pipeline: a gzipped binary capture piped into
+		// vft-run's stdin re-executes as a live program and finds the race.
+		code, out := runCmdBytes(t, t.TempDir(), bin("vft-run"), gz(encodeBin(racy)), "-")
+		if code != 1 || !strings.Contains(out, "race") {
+			t.Fatalf("exit %d, want 1 with a report\n%s", code, out)
+		}
+	})
+	t.Run("vft-run/binary-file", func(t *testing.T) {
+		work := t.TempDir()
+		path := filepath.Join(work, "clean.bin")
+		if err := os.WriteFile(path, encodeBin(clean), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		code, out := runCmd(t, work, bin("vft-run"), "", "-runs", "2", path)
+		if code != 0 || !strings.Contains(out, "no races detected") {
+			t.Fatalf("exit %d, want 0 with verdict\n%s", code, out)
+		}
+	})
+	t.Run("vft-run/trace-flag-text-stdin", func(t *testing.T) {
+		var txt bytes.Buffer
+		trace.Encode(&txt, clean)
+		code, out := runCmdBytes(t, t.TempDir(), bin("vft-run"), txt.Bytes(), "-trace", "-")
+		if code != 0 || !strings.Contains(out, "no races detected") {
+			t.Fatalf("exit %d, want 0 with verdict\n%s", code, out)
+		}
+	})
+	t.Run("vft-run/stdin-multi-runs-rejected", func(t *testing.T) {
+		code, out := runCmdBytes(t, t.TempDir(), bin("vft-run"), encodeBin(clean), "-runs", "2", "-")
+		if code != 2 || !strings.Contains(out, "re-readable") {
+			t.Fatalf("exit %d, want 2 with an explanation\n%s", code, out)
+		}
+	})
+
+	t.Run("vft-stats/snapshot-gzip-stdin", func(t *testing.T) {
+		snap := []byte(`{"counters":{"demo.events":42}}`)
+		code, out := runCmdBytes(t, t.TempDir(), bin("vft-stats"), gz(snap), "-snapshot", "-")
+		if code != 0 || !strings.Contains(out, "demo.events") {
+			t.Fatalf("exit %d, want 0 with the counter\n%s", code, out)
+		}
+	})
+
+	t.Run("vft-fuzz/replay-stdin", func(t *testing.T) {
+		code, out := runCmdBytes(t, t.TempDir(), bin("vft-fuzz"), gz(encodeBin(racy)),
+			"-replay", "-", "-schedules", "3")
+		if code != 0 || !strings.Contains(out, "agrees") {
+			t.Fatalf("exit %d, want 0 with agreement\n%s", code, out)
+		}
+	})
+
+	t.Run("vft-bench/trace-file", func(t *testing.T) {
+		work := t.TempDir()
+		path := filepath.Join(work, "clean.bin")
+		if err := os.WriteFile(path, encodeBin(clean), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		code, out := runCmd(t, work, bin("vft-bench"), "",
+			"-trace", path, "-iters", "1", "-warmup", "0", "-detectors", "vft-v2")
+		if code != 0 || !strings.Contains(out, "ops/sec") {
+			t.Fatalf("exit %d, want 0 with throughput\n%s", code, out)
 		}
 	})
 }

@@ -1,0 +1,57 @@
+// Input plumbing shared by the tools: every trace-consuming command
+// accepts "-" for stdin and decodes gzip-compressed and binary-encoded
+// traces transparently (sniffed from the stream head by trace.NewDecoder,
+// so the behavior is extension-independent and works on pipes).
+package cli
+
+import (
+	"bufio"
+	"compress/gzip"
+	"io"
+	"os"
+
+	"repro/internal/trace"
+)
+
+// openInput resolves an input argument: "-" (or "") yields stdin with a
+// no-op closer, anything else opens the named file.
+func openInput(path string, stdin io.Reader) (io.Reader, func() error, error) {
+	if path == "" || path == "-" {
+		return stdin, func() error { return nil }, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+// maybeGzip wraps r in a gzip reader when the stream head carries the gzip
+// magic, for inputs (like metric snapshots) that are not trace streams and
+// so bypass trace.NewDecoder's sniffing.
+func maybeGzip(r io.Reader) (io.Reader, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(2)
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	if len(head) == 2 && head[0] == 0x1f && head[1] == 0x8b {
+		return gzip.NewReader(br)
+	}
+	return br, nil
+}
+
+// sniffGzipOrBinaryTrace reports whether the buffered stream head looks
+// like a gzip stream or a binary trace — the two formats that cannot be a
+// minilang program, which is how vft-run decides to replay its input as a
+// trace without being told.
+func sniffGzipOrBinaryTrace(br *bufio.Reader) bool {
+	head, err := br.Peek(4)
+	if err != nil && len(head) < 2 {
+		return false
+	}
+	if head[0] == 0x1f && head[1] == 0x8b {
+		return true
+	}
+	return trace.IsBinary(head)
+}

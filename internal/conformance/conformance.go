@@ -46,6 +46,15 @@ type Program struct {
 // schedule exists. Join targets forked by a different thread are passed
 // through rtsim.Handle, which blocks in the scheduler without adding any
 // happens-before edge to the analyzed trace.
+//
+// FromTrace materializes the trace into per-thread projections up front
+// rather than streaming it through rtsim.Replay's bounded demultiplexer.
+// That is deliberate: under a controlled scheduler only the turn-holding
+// thread runs, and it may be one whose channel the demux has yet to fill
+// while the demux is blocked sending to a thread that cannot take its
+// turn — bounded backpressure and cooperative turn handoff deadlock.
+// Replay therefore rejects controlled runtimes, and controlled exploration
+// pays the O(trace) memory for schedule freedom instead.
 func FromTrace(name string, tr trace.Trace) (Program, error) {
 	perThread := map[epoch.Tid][]trace.Op{}
 	nVars, nLocks := 0, 0

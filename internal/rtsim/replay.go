@@ -1,0 +1,239 @@
+package rtsim
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/epoch"
+	"repro/internal/trace"
+)
+
+// replayBuffer is the per-thread channel capacity of Replay. Any bound ≥ 1
+// preserves the deadlock-freedom argument below; this one keeps threads
+// fed across scheduling hiccups without holding a meaningful slice of the
+// stream (256 ops ≈ 4 KB per thread).
+const replayBuffer = 256
+
+// Replay re-executes a core-language event stream as a concurrent program
+// on rt: a single demultiplexer goroutine pulls operations from src and
+// routes each to a bounded channel owned by its acting thread, and every
+// trace thread becomes a simulated thread consuming its channel — forks
+// spawn the consumer, joins meet it through a Handle. Replay concurrency
+// is therefore preserved (handlers race exactly as in a live run) while
+// memory stays bounded by threads × replayBuffer, never by stream length;
+// this replaces materializing the trace and pre-splitting it per thread
+// with ByThread-style projections.
+//
+// The stream must be core-language (DesugarSource first) and is checked
+// incrementally for §2 feasibility as it is demultiplexed, which is what
+// makes the bounded channels deadlock-free: in a feasible prefix, every
+// operation a thread can block on (an acquire, a join) is preceded in
+// stream order by what unblocks it, and delivery order is stream order —
+// so among blocked threads the one waiting at the smallest stream position
+// always has its unblocker already delivered, and induction gives global
+// progress for any channel bound. For an acquire the unblocker is the
+// preceding release, already delivered. For a join the unblocker is the
+// joined thread's termination, so the demux closes that thread's channel
+// at the join's stream position — constraint (4) says the thread has no
+// later operations, so once it drains its (finitely many, all-delivered)
+// remaining ops it exits and the join completes; without this eager close
+// a joiner could wait on end-of-stream while the demux waits on the
+// joiner's full buffer. An infeasible or failing source terminates
+// delivery; the feasible prefix already delivered then drains by the same
+// argument, every simulated thread exits, and the source's error is
+// returned.
+//
+// Replay requires a free-running Runtime. Under controlled scheduling the
+// turn handoff and demux backpressure can deadlock (a turn-holding thread
+// may wait on a channel the demux cannot fill while the demux waits on a
+// thread without the turn), so controlled drivers keep materialized
+// per-thread projections; see internal/conformance.FromTrace.
+//
+// Joining thread 0 is rejected: the main thread is the caller and never
+// terminates within the replay, so such a join (legal under §2 when main
+// acts no further) cannot be given its blocking semantics here.
+//
+// Replay returns after the stream ends AND every simulated thread has run
+// to completion, so the detector is quiescent and unjoined threads never
+// leak; threads the stream does not join are awaited without emitting join
+// events, leaving the analyzed trace exactly the stream's.
+func Replay(rt *Runtime, src trace.Source) error {
+	if rt.s != nil {
+		return fmt.Errorf("rtsim: Replay requires a free-running Runtime (controlled replay pre-splits per thread; see internal/conformance)")
+	}
+	r := &replayer{
+		rt:      rt,
+		chans:   map[epoch.Tid]chan trace.Op{},
+		closed:  map[epoch.Tid]bool{},
+		handles: map[epoch.Tid]*Handle{},
+		vars:    map[trace.Var]*Var{},
+		locks:   map[trace.Lock]*Mutex{},
+	}
+	// Resolved before the demux goroutine starts mutating the map.
+	mainCh := make(chan trace.Op, replayBuffer)
+	r.chans[0] = mainCh
+
+	var demuxErr error
+	demuxDone := make(chan struct{})
+	go func() {
+		defer close(demuxDone)
+		demuxErr = r.demux(src)
+	}()
+
+	r.exec(rt.Main(), mainCh)
+	<-demuxDone
+	r.await()
+	return demuxErr
+}
+
+// replayer carries the identity maps shared by the demux goroutine and the
+// simulated threads. The mutex guards only map structure; the values
+// (channels, handles, instrumented vars/locks) synchronize themselves.
+type replayer struct {
+	rt *Runtime
+
+	mu       sync.Mutex
+	chans    map[epoch.Tid]chan trace.Op
+	closed   map[epoch.Tid]bool // channels closed early at a join
+	handles  map[epoch.Tid]*Handle
+	vars     map[trace.Var]*Var
+	locks    map[trace.Lock]*Mutex
+	children []*Thread
+}
+
+// demux pulls the stream and routes each op to its thread's channel,
+// validating incrementally. All channels close when it returns, whatever
+// the reason, so consumers always drain and exit.
+func (r *replayer) demux(src trace.Source) error {
+	defer r.closeAll()
+	v := trace.NewValidator()
+	v.MaxLock = 1<<31 - 1 // lowered streams carry remapped/pseudo lock ids
+	for {
+		op, err := src.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if !op.Kind.IsCore() {
+			return fmt.Errorf("rtsim: replay of extended op %v at #%d (DesugarSource first)", op, v.Count())
+		}
+		if op.Kind == trace.Join && op.U == 0 {
+			return fmt.Errorf("rtsim: replay cannot join the main thread (op #%d)", v.Count())
+		}
+		if err := v.Check(op); err != nil {
+			return err
+		}
+		switch op.Kind {
+		case trace.Fork:
+			// The child's channel and handle must exist before the fork op
+			// reaches its executor (and the validator has just guaranteed
+			// no op of the child precedes this point).
+			r.mu.Lock()
+			r.chans[op.U] = make(chan trace.Op, replayBuffer)
+			r.handles[op.U] = r.rt.NewHandle()
+			r.mu.Unlock()
+		case trace.Join:
+			// No op of the joined thread follows this point (constraint 4,
+			// just validated), so its channel can close now — which is what
+			// lets it terminate and the joiner's Join return; see the
+			// deadlock-freedom argument above. Re-joins find it closed
+			// already. The entry stays in chans so a fork op still waiting
+			// in the forking thread's buffer resolves its channel.
+			r.mu.Lock()
+			if !r.closed[op.U] {
+				r.closed[op.U] = true
+				close(r.chans[op.U])
+			}
+			r.mu.Unlock()
+		}
+		r.mu.Lock()
+		ch := r.chans[op.T]
+		r.mu.Unlock()
+		ch <- op
+	}
+}
+
+func (r *replayer) closeAll() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for tid, ch := range r.chans {
+		if !r.closed[tid] {
+			r.closed[tid] = true
+			close(ch)
+		}
+	}
+}
+
+// exec is one simulated thread's loop: consume the thread's channel until
+// it closes, mapping trace operations onto the instrumented primitives.
+func (r *replayer) exec(self *Thread, ch chan trace.Op) {
+	for op := range ch {
+		switch op.Kind {
+		case trace.Read:
+			r.varFor(op.X).Load(self)
+		case trace.Write:
+			r.varFor(op.X).Store(self, int64(op.T)+1)
+		case trace.Acquire:
+			r.lockFor(op.M).Lock(self)
+		case trace.Release:
+			r.lockFor(op.M).Unlock(self)
+		case trace.Fork:
+			r.mu.Lock()
+			uch, h := r.chans[op.U], r.handles[op.U]
+			r.mu.Unlock()
+			child := self.Go(func(w *Thread) { r.exec(w, uch) })
+			r.mu.Lock()
+			r.children = append(r.children, child)
+			r.mu.Unlock()
+			h.Set(child)
+		case trace.Join:
+			r.mu.Lock()
+			h := r.handles[op.U]
+			r.mu.Unlock()
+			self.Join(h.Get(self))
+		}
+	}
+}
+
+func (r *replayer) varFor(x trace.Var) *Var {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.vars[x]
+	if !ok {
+		v = r.rt.NewVar()
+		r.vars[x] = v
+	}
+	return v
+}
+
+func (r *replayer) lockFor(m trace.Lock) *Mutex {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l, ok := r.locks[m]
+	if !ok {
+		l = r.rt.NewMutex()
+		r.locks[m] = l
+	}
+	return l
+}
+
+// await blocks until every forked thread has completed, without emitting
+// join events. The children slice may still grow while awaiting (a child
+// forks grandchildren before it exits), so iterate to a fixed point; a
+// finished child's forks are registered before its done channel closes,
+// which orders the append before the read here.
+func (r *replayer) await() {
+	for i := 0; ; i++ {
+		r.mu.Lock()
+		if i >= len(r.children) {
+			r.mu.Unlock()
+			return
+		}
+		c := r.children[i]
+		r.mu.Unlock()
+		<-c.done
+	}
+}

@@ -1,0 +1,230 @@
+package rtsim
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+func replayTrace(t *testing.T, tr trace.Trace) ([]core.Report, error) {
+	t.Helper()
+	d, err := core.New("vft-v2", core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := New(d)
+	err = Replay(rt, trace.NewSliceSource(tr))
+	return rt.Reports(), err
+}
+
+func TestReplayDetectsRace(t *testing.T) {
+	reports, err := replayTrace(t, trace.Trace{
+		trace.ForkOp(0, 1), trace.Wr(0, 0), trace.Wr(1, 0), trace.JoinOp(0, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) == 0 {
+		t.Fatal("unsynchronized write-write replay produced no race report")
+	}
+}
+
+func TestReplayCleanTrace(t *testing.T) {
+	reports, err := replayTrace(t, trace.Trace{
+		trace.ForkOp(0, 1),
+		trace.Acq(1, 0), trace.Wr(1, 0), trace.Rel(1, 0),
+		trace.Acq(0, 0), trace.Wr(0, 0), trace.Rel(0, 0),
+		trace.JoinOp(0, 1),
+		trace.Rd(0, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 0 {
+		t.Fatalf("lock-protected replay raced: %v", reports)
+	}
+}
+
+// TestReplayUnjoinedThreadsAwaited: threads the stream never joins still
+// run to completion before Replay returns (no leaked goroutines, no join
+// events invented), including grandchildren forked late.
+func TestReplayUnjoinedThreadsAwaited(t *testing.T) {
+	reports, err := replayTrace(t, trace.Trace{
+		trace.ForkOp(0, 1),
+		trace.ForkOp(1, 2), // grandchild, never joined
+		trace.Wr(2, 5),
+		trace.Wr(1, 3),
+		// neither 1 nor 2 is joined
+		trace.Wr(0, 7),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 0 {
+		t.Fatalf("disjoint accesses raced: %v", reports)
+	}
+}
+
+// TestReplayInfeasibleStream: a mid-stream feasibility violation surfaces
+// as the positioned error and the delivered feasible prefix drains cleanly
+// (the test would deadlock or leak otherwise).
+func TestReplayInfeasibleStream(t *testing.T) {
+	_, err := replayTrace(t, trace.Trace{
+		trace.ForkOp(0, 1), trace.Wr(1, 0),
+		trace.Rel(1, 5), // release of a never-acquired lock
+		trace.Wr(0, 0),
+	})
+	var inf *trace.InfeasibleError
+	if !errors.As(err, &inf) || inf.Index != 2 {
+		t.Fatalf("want InfeasibleError at index 2, got %v", err)
+	}
+}
+
+func TestReplayRejectsExtendedOps(t *testing.T) {
+	_, err := replayTrace(t, trace.Trace{trace.VWr(0, 0)})
+	if err == nil || !strings.Contains(err.Error(), "DesugarSource") {
+		t.Fatalf("want extended-op rejection pointing at DesugarSource, got %v", err)
+	}
+}
+
+func TestReplayRejectsJoinOfMain(t *testing.T) {
+	_, err := replayTrace(t, trace.Trace{
+		trace.ForkOp(0, 1), trace.Wr(0, 0), trace.JoinOp(1, 0),
+	})
+	if err == nil || !strings.Contains(err.Error(), "main thread") {
+		t.Fatalf("want join-of-main rejection, got %v", err)
+	}
+}
+
+func TestReplayRejectsControlledRuntime(t *testing.T) {
+	pol, err := sched.NewPolicy("random", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewControlled(nil, sched.New(pol))
+	err = Replay(rt, trace.NewSliceSource(nil))
+	if err == nil || !strings.Contains(err.Error(), "free-running") {
+		t.Fatalf("want controlled-runtime rejection, got %v", err)
+	}
+}
+
+// TestReplayDesugaredStream: the full pipeline — validate, lower, replay —
+// over a trace with volatiles and barriers.
+func TestReplayDesugaredStream(t *testing.T) {
+	tr := trace.Trace{
+		trace.ForkOp(0, 1),
+		trace.VWr(0, 0), trace.VRd(1, 0),
+		trace.BarrierOp(0, 0), trace.BarrierOp(1, 0),
+		trace.Wr(1, 1),
+		trace.JoinOp(0, 1),
+		trace.Rd(0, 1),
+	}
+	d, err := core.New("vft-v2", core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := New(d)
+	pipe := trace.DesugarSource(trace.ValidateSource(tr.Source()), nil)
+	if err := Replay(rt, pipe); err != nil {
+		t.Fatal(err)
+	}
+	if reports := rt.Reports(); len(reports) != 0 {
+		t.Fatalf("well-synchronized trace raced under replay: %v", reports)
+	}
+}
+
+// TestReplayGeneratedTraces: replay agrees with the detector's sequential
+// verdict on generated fork/join-only traces. The restriction matters: a
+// live re-execution may acquire locks in a different order than the
+// recording, which legitimately changes the happens-before relation (and
+// so the verdict) — that schedule-dependence is vft-run's documented
+// behavior, explored systematically by internal/conformance. Fork/join
+// edges, by contrast, are structural: identical in every interleaving, so
+// with them as the only synchronization both paths must agree exactly
+// (precision, Theorem 3.1).
+func TestReplayGeneratedTraces(t *testing.T) {
+	cfg := trace.DefaultGenConfig()
+	cfg.Ops = 400
+	cfg.AcquireWeight = 0 // fork/join-only synchronization; see above
+	cfg.LockedFraction = 0
+	for seed := int64(0); seed < 20; seed++ {
+		tr := trace.Generate(rand.New(rand.NewSource(seed)), cfg)
+		d, err := core.New("vft-v2", core.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq := core.Replay(d, tr.Desugar(nil))
+
+		d2, err := core.New("vft-v2", core.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := New(d2)
+		pipe := trace.DesugarSource(trace.ValidateSource(tr.Source()), nil)
+		if err := Replay(rt, pipe); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if (len(seq) > 0) != (len(rt.Reports()) > 0) {
+			t.Fatalf("seed %d: sequential verdict %d reports, replay %d",
+				seed, len(seq), len(rt.Reports()))
+		}
+	}
+}
+
+// TestReplayBoundedChannels: a long single-producer stream flows through
+// the bounded demux without deadlock even though the consumer thread count
+// is far below the stream length.
+func TestReplayBoundedChannels(t *testing.T) {
+	const ops = 50 * replayBuffer
+	gen := func() trace.Source {
+		tr := make(trace.Trace, 0, ops+2)
+		tr = append(tr, trace.ForkOp(0, 1))
+		for i := 0; i < ops/2; i++ {
+			tr = append(tr, trace.Wr(0, trace.Var(i%64)), trace.Wr(1, trace.Var(64+i%64)))
+		}
+		tr = append(tr, trace.JoinOp(0, 1))
+		return trace.NewSliceSource(tr)
+	}
+	rt := New(nil) // uninstrumented: this test is about demux progress only
+	if err := Replay(rt, gen()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplayJoinMidStream: regression test for a demux deadlock — when a
+// join lands early in the stream and the joiner has more than a channel
+// buffer of later ops, the joined thread must be able to terminate before
+// end-of-stream (its channel closes at the join's stream position), or the
+// joiner blocks in Join while the demux blocks on its full buffer.
+func TestReplayJoinMidStream(t *testing.T) {
+	tr := trace.Trace{trace.ForkOp(0, 1), trace.Wr(1, 0), trace.JoinOp(0, 1)}
+	for i := 0; i < 4*replayBuffer; i++ {
+		tr = append(tr, trace.Wr(0, trace.Var(i%16)))
+	}
+	trace.MustValidate(tr)
+	if _, err := replayTrace(t, tr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplaySourceErrorPropagates: an underlying decode error (not just
+// infeasibility) terminates the replay with that error.
+func TestReplaySourceErrorPropagates(t *testing.T) {
+	rt := New(nil)
+	err := Replay(rt, failingSource{})
+	if err == nil || err == io.EOF || !strings.Contains(err.Error(), "synthetic") {
+		t.Fatalf("want synthetic source error, got %v", err)
+	}
+}
+
+type failingSource struct{}
+
+func (f failingSource) Next() (trace.Op, error) {
+	return trace.Op{}, errors.New("synthetic decode failure")
+}

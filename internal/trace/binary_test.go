@@ -1,0 +1,257 @@
+package trace
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// allKindsTrace exercises every Kind and both small and multi-byte-varint
+// operand values.
+var allKindsTrace = Trace{
+	ForkOp(0, 1),
+	Wr(0, 0),
+	Rd(1, 300), // multi-byte varint operand
+	Acq(1, 0),
+	Rel(1, 0),
+	VRd(1, 7),
+	VWr(0, 7),
+	BarrierOp(0, 2),
+	BarrierOp(1, 2),
+	JoinOp(0, 1),
+	Wr(0, 1<<20),   // large var id
+	ForkOp(0, 200), // multi-byte tid
+	Wr(200, 5),
+	JoinOp(0, 200),
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeBinary(&buf, allKindsTrace); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadAll(NewBinaryDecoder(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(allKindsTrace, back) {
+		t.Fatalf("round trip mismatch:\n%v\nvs\n%v", allKindsTrace, back)
+	}
+}
+
+func TestBinaryEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeBinary(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != len(binaryMagic) {
+		t.Fatalf("empty trace encodes to %d bytes, want header only (%d)", buf.Len(), len(binaryMagic))
+	}
+	if !IsBinary(buf.Bytes()) {
+		t.Fatal("IsBinary rejects its own header")
+	}
+	tr, err := ReadAll(NewBinaryDecoder(&buf))
+	if err != nil || len(tr) != 0 {
+		t.Fatalf("empty stream: got %v, %v", tr, err)
+	}
+}
+
+// TestBinaryRoundTripCorpus: every testdata trace survives
+// text → Trace → binary → Trace unchanged.
+func TestBinaryRoundTripCorpus(t *testing.T) {
+	paths, err := filepath.Glob("testdata/*.txt")
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no testdata corpus: %v", err)
+	}
+	for _, path := range paths {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			tr, err := Decode(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Validate(tr); err != nil {
+				t.Fatalf("corpus trace infeasible: %v", err)
+			}
+			var buf bytes.Buffer
+			if err := EncodeBinary(&buf, tr); err != nil {
+				t.Fatal(err)
+			}
+			back, err := ReadAll(NewBinaryDecoder(&buf))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(tr, back) {
+				t.Fatalf("round trip mismatch:\n%v\nvs\n%v", tr, back)
+			}
+		})
+	}
+}
+
+// TestNewDecoderSniffing: the auto-detecting decoder handles text, binary,
+// gzipped and even double-gzipped streams identically.
+func TestNewDecoderSniffing(t *testing.T) {
+	tr := allKindsTrace
+	var text, bin bytes.Buffer
+	if err := Encode(&text, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeBinary(&bin, tr); err != nil {
+		t.Fatal(err)
+	}
+	gz := func(p []byte) []byte {
+		var b bytes.Buffer
+		w := gzip.NewWriter(&b)
+		if _, err := w.Write(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	cases := map[string][]byte{
+		"text":             text.Bytes(),
+		"binary":           bin.Bytes(),
+		"gzip-text":        gz(text.Bytes()),
+		"gzip-binary":      gz(bin.Bytes()),
+		"gzip-gzip-binary": gz(gz(bin.Bytes())),
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			src, err := NewDecoder(bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ReadAll(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(tr, got) {
+				t.Fatalf("decode mismatch:\n%v\nvs\n%v", tr, got)
+			}
+		})
+	}
+}
+
+func TestBinaryDecoderErrors(t *testing.T) {
+	encode := func(tr Trace) []byte {
+		var b bytes.Buffer
+		if err := EncodeBinary(&b, tr); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	good := encode(Trace{Wr(0, 0), Rd(1, 1)})
+
+	cases := []struct {
+		name string
+		data []byte
+		want string // substring of the error
+	}{
+		{"bad-magic", []byte("VFTZ\x01xxxx"), "bad magic"},
+		{"wrong-version", []byte("VFTb\x02"), "bad magic"},
+		{"truncated-header", []byte("VF"), "reading header"},
+		{"truncated-record", good[:len(good)-1], "op #1"},
+		{"oversized-length", append(encode(nil), 0xff, 0xff, 0x01), "out of range"},
+		{"zero-length", append(encode(nil), 0x00), "out of range"},
+		{"unknown-kind", append(encode(nil), 0x03, 0xff, 0x00, 0x00), "unknown kind"},
+		{"trailing-bytes", append(encode(nil), 0x04, byte(Read), 0x00, 0x00, 0x00), "trailing"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadAll(NewBinaryDecoder(bytes.NewReader(tc.data)))
+			if err == nil {
+				t.Fatal("decode accepted corrupt input")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+			// The error must be sticky: a second Next returns it again.
+		})
+	}
+
+	t.Run("truncation-is-unexpected-eof", func(t *testing.T) {
+		d := NewBinaryDecoder(bytes.NewReader(good[:len(good)-1]))
+		if _, err := d.Next(); err != nil {
+			t.Fatalf("first record should decode: %v", err)
+		}
+		_, err := d.Next()
+		if err == nil || !strings.Contains(err.Error(), io.ErrUnexpectedEOF.Error()) {
+			t.Fatalf("want unexpected EOF in %v", err)
+		}
+		if _, again := d.Next(); again == nil || again.Error() != err.Error() {
+			t.Fatalf("error not sticky: %v then %v", err, again)
+		}
+	})
+}
+
+// benchGen builds the shared benchmark trace: n generated operations.
+func benchGen(tb testing.TB, n int) Trace {
+	cfg := DefaultGenConfig()
+	cfg.Ops = n
+	tr := Generate(rand.New(rand.NewSource(1)), cfg)
+	if len(tr) == 0 {
+		tb.Fatal("generator produced an empty trace")
+	}
+	return tr
+}
+
+// decodeAll drains a Source, returning the op count.
+func decodeAll(tb testing.TB, src Source) int {
+	n := 0
+	for {
+		_, err := src.Next()
+		if err == io.EOF {
+			return n
+		}
+		if err != nil {
+			tb.Fatal(err)
+		}
+		n++
+	}
+}
+
+func BenchmarkTextDecode(b *testing.B) {
+	tr := benchGen(b, 100_000)
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if n := decodeAll(b, NewTextDecoder(bytes.NewReader(data))); n != len(tr) {
+			b.Fatalf("decoded %d ops, want %d", n, len(tr))
+		}
+	}
+	b.ReportMetric(float64(len(tr))*float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+}
+
+func BenchmarkBinaryDecode(b *testing.B) {
+	tr := benchGen(b, 100_000)
+	var buf bytes.Buffer
+	if err := EncodeBinary(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if n := decodeAll(b, NewBinaryDecoder(bytes.NewReader(data))); n != len(tr) {
+			b.Fatalf("decoded %d ops, want %d", n, len(tr))
+		}
+	}
+	b.ReportMetric(float64(len(tr))*float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+}

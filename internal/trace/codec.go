@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bufio"
+	"compress/gzip"
 	"fmt"
 	"io"
 	"strconv"
@@ -50,60 +51,96 @@ func Encode(w io.Writer, tr Trace) error {
 	return bw.Flush()
 }
 
-// Decode parses the text format. It validates syntax only; run Validate for
-// feasibility.
-func Decode(r io.Reader) (Trace, error) {
-	var out Trace
-	sc := bufio.NewScanner(r)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
+// TextDecoder reads the text format as a Source, one operation per Next
+// call, holding only the current line in memory. Every error — syntax and
+// I/O alike — carries the 1-based line number of the offending input line,
+// so a bad op deep inside a multi-gigabyte trace is findable.
+type TextDecoder struct {
+	sc   *bufio.Scanner
+	line int
+	err  error // sticky
+}
+
+// NewTextDecoder returns a Source decoding the text format from r. It
+// validates syntax only; compose with ValidateSource for feasibility.
+func NewTextDecoder(r io.Reader) *TextDecoder {
+	return &TextDecoder{sc: bufio.NewScanner(r)}
+}
+
+func (d *TextDecoder) fail(format string, args ...any) (Op, error) {
+	d.err = fmt.Errorf("trace: line %d: %s", d.line, fmt.Sprintf(format, args...))
+	return Op{}, d.err
+}
+
+// Next returns the next decoded operation, io.EOF at end of input, or a
+// line-positioned decode error (sticky thereafter).
+func (d *TextDecoder) Next() (Op, error) {
+	if d.err != nil {
+		return Op{}, d.err
+	}
+	for d.sc.Scan() {
+		d.line++
+		line := strings.TrimSpace(d.sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
 		fields := strings.Fields(line)
 		if len(fields) != 3 {
-			return nil, fmt.Errorf("trace: line %d: want 3 fields, got %d", lineNo, len(fields))
+			return d.fail("want 3 fields, got %d", len(fields))
 		}
 		t, err := parseOperand(fields[1])
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: thread: %v", lineNo, err)
+			return d.fail("thread: %v", err)
 		}
 		arg, err := parseOperand(fields[2])
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: operand: %v", lineNo, err)
+			return d.fail("operand: %v", err)
 		}
 		tid := epoch.Tid(t)
-		var op Op
 		switch fields[0] {
 		case "rd":
-			op = Rd(tid, Var(arg))
+			return Rd(tid, Var(arg)), nil
 		case "wr":
-			op = Wr(tid, Var(arg))
+			return Wr(tid, Var(arg)), nil
 		case "acq":
-			op = Acq(tid, Lock(arg))
+			return Acq(tid, Lock(arg)), nil
 		case "rel":
-			op = Rel(tid, Lock(arg))
+			return Rel(tid, Lock(arg)), nil
 		case "fork":
-			op = ForkOp(tid, epoch.Tid(arg))
+			return ForkOp(tid, epoch.Tid(arg)), nil
 		case "join":
-			op = JoinOp(tid, epoch.Tid(arg))
+			return JoinOp(tid, epoch.Tid(arg)), nil
 		case "vrd":
-			op = VRd(tid, Var(arg))
+			return VRd(tid, Var(arg)), nil
 		case "vwr":
-			op = VWr(tid, Var(arg))
+			return VWr(tid, Var(arg)), nil
 		case "barrier":
-			op = BarrierOp(tid, Lock(arg))
+			return BarrierOp(tid, Lock(arg)), nil
 		default:
-			return nil, fmt.Errorf("trace: line %d: unknown operation %q", lineNo, fields[0])
+			return d.fail("unknown operation %q", fields[0])
 		}
-		out = append(out, op)
 	}
-	if err := sc.Err(); err != nil {
+	if err := d.sc.Err(); err != nil {
+		// The scanner failed producing the line after the last one
+		// returned (e.g. a line longer than its buffer): position the
+		// error there rather than dropping it, which used to make
+		// oversized-line failures in big traces unlocatable.
+		d.line++
+		return d.fail("%v", err)
+	}
+	d.err = io.EOF
+	return Op{}, io.EOF
+}
+
+// Decode parses the text format into a materialized Trace. It validates
+// syntax only; run Validate for feasibility. Errors carry the 1-based line
+// number of the offending line.
+func Decode(r io.Reader) (Trace, error) {
+	tr, err := ReadAll(NewTextDecoder(r))
+	if err != nil {
 		return nil, err
 	}
-	return out, nil
+	return tr, nil
 }
 
 // parseOperand parses "3", "x3", "m3", "b3" or "t3" as 3.
@@ -122,4 +159,40 @@ func parseOperand(s string) (int, error) {
 		return 0, fmt.Errorf("negative operand %d", n)
 	}
 	return n, nil
+}
+
+// NewDecoder returns a Source for whichever encoding r carries, sniffing
+// the stream head instead of trusting file extensions: gzip streams
+// (magic 0x1f 0x8b) are transparently decompressed — repeatedly, so
+// double-compressed captures still decode — and then the binary format is
+// recognized by its "VFTb" magic, with anything else read as the text
+// format. The returned Source decodes incrementally; it never materializes
+// the trace.
+func NewDecoder(r io.Reader) (Source, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	for {
+		head, err := br.Peek(2)
+		if err != nil && err != io.EOF {
+			return nil, fmt.Errorf("trace: sniffing input: %v", err)
+		}
+		if len(head) < 2 || head[0] != 0x1f || head[1] != 0x8b {
+			break
+		}
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: opening gzip input: %v", err)
+		}
+		br = bufio.NewReader(zr)
+	}
+	head, err := br.Peek(len(binaryMagic))
+	if err != nil && err != io.EOF {
+		return nil, fmt.Errorf("trace: sniffing input: %v", err)
+	}
+	if string(head) == binaryMagic {
+		return NewBinaryDecoder(br), nil
+	}
+	return NewTextDecoder(br), nil
 }

@@ -48,6 +48,45 @@ func FuzzDecode(f *testing.F) {
 	})
 }
 
+// FuzzBinaryRoundTrip: the binary decoder never panics on arbitrary bytes,
+// and whatever it accepts is a fixed point of decode → encode → decode —
+// the property that makes binary captures safe to re-encode and ship.
+func FuzzBinaryRoundTrip(f *testing.F) {
+	seed := func(tr Trace) []byte {
+		var b bytes.Buffer
+		if err := EncodeBinary(&b, tr); err != nil {
+			f.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	f.Add(seed(nil))
+	f.Add(seed(Trace{
+		Rd(0, 0), Wr(1, 3), Acq(0, 1), Rel(0, 1), ForkOp(0, 1), JoinOp(0, 1),
+		VRd(2, 7), VWr(2, 7), BarrierOp(3, 0), Wr(5, 1<<20),
+	}))
+	f.Add([]byte(binaryMagic))
+	f.Add([]byte("VFTb\x01\x03\x00\x00\x00"))
+	f.Add([]byte("not a binary trace"))
+	f.Add(seed(Trace{Wr(0, 0)})[:6]) // truncated mid-record
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadAll(NewBinaryDecoder(bytes.NewReader(data)))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := EncodeBinary(&buf, tr); err != nil {
+			t.Fatalf("EncodeBinary failed on decoded trace: %v", err)
+		}
+		back, err := ReadAll(NewBinaryDecoder(&buf))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(tr, back) {
+			t.Fatalf("round trip mismatch: %v vs %v", tr, back)
+		}
+	})
+}
+
 func TestFromBytesDeterministic(t *testing.T) {
 	data := make([]byte, 200)
 	rand.New(rand.NewSource(5)).Read(data)

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"io"
 	"math/rand"
 
 	"repro/internal/epoch"
@@ -57,6 +58,52 @@ func Generate(rng *rand.Rand, cfg GenConfig) Trace {
 	}
 	g.drain()
 	return g.out
+}
+
+// GenerateSource is the streaming mode of the generator: it returns a
+// Source producing the exact operation sequence Generate(rng, cfg) would,
+// one op at a time, without ever materializing it — the generator's state
+// is O(Threads + Locks), so a multi-gigabyte synthetic trace costs a few
+// kilobytes of memory to produce. The two modes draw from the rng in the
+// same order, so for equal (seed, cfg) they are interchangeable; the
+// bounded-memory tests of the public CheckSource rely on exactly that.
+func GenerateSource(rng *rand.Rand, cfg GenConfig) Source {
+	g := &generator{rng: rng, cfg: cfg}
+	g.init()
+	return &genSource{g: g}
+}
+
+// genSource pulls the generator one step at a time. Each step emits a
+// handful of ops into g.out, which Next drains as a queue before stepping
+// again; drainHead keeps the slice from growing with the stream.
+type genSource struct {
+	g       *generator
+	head    int
+	steps   int
+	drained bool
+}
+
+func (s *genSource) Next() (Op, error) {
+	g := s.g
+	for {
+		if s.head < len(g.out) {
+			op := g.out[s.head]
+			s.head++
+			return op, nil
+		}
+		g.out = g.out[:0]
+		s.head = 0
+		switch {
+		case s.steps < g.cfg.Ops:
+			g.step()
+			s.steps++
+		case !s.drained:
+			g.drain()
+			s.drained = true
+		default:
+			return Op{}, io.EOF
+		}
+	}
 }
 
 type generator struct {

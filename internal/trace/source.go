@@ -1,0 +1,79 @@
+package trace
+
+import "io"
+
+// Source is a pull iterator over trace operations — the streaming
+// counterpart of Trace. Next returns the next operation of the stream, or
+// io.EOF once the stream is exhausted; any other error is terminal and
+// positioned (decode and feasibility errors carry the index or line of the
+// offending operation). A Source is single-use and not safe for concurrent
+// Next calls.
+//
+// Sources compose into pipelines: a decoder (NewDecoder, NewBinaryDecoder,
+// NewTextDecoder) produces the raw stream, ValidateSource checks the §2
+// feasibility constraints incrementally, and DesugarSource lowers extended
+// operations on the fly. Each stage holds O(ids) state, never O(length), so
+// a pipeline processes arbitrarily long traces in bounded memory — the
+// property an online detector frontend needs.
+type Source interface {
+	Next() (Op, error)
+}
+
+// sliceSource adapts a materialized Trace to the Source interface.
+type sliceSource struct {
+	tr  Trace
+	pos int
+}
+
+func (s *sliceSource) Next() (Op, error) {
+	if s.pos >= len(s.tr) {
+		return Op{}, io.EOF
+	}
+	op := s.tr[s.pos]
+	s.pos++
+	return op, nil
+}
+
+// NewSliceSource returns a Source yielding tr's operations in order.
+func NewSliceSource(tr Trace) Source { return &sliceSource{tr: tr} }
+
+// Source returns a single-use Source over the trace.
+func (tr Trace) Source() Source { return NewSliceSource(tr) }
+
+// ReadAll materializes a Source into a Trace. It returns the operations
+// consumed up to the first error; a clean io.EOF is not an error.
+func ReadAll(src Source) (Trace, error) {
+	var out Trace
+	for {
+		op, err := src.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, op)
+	}
+}
+
+// headSource truncates a Source after n operations.
+type headSource struct {
+	src  Source
+	left int
+}
+
+func (h *headSource) Next() (Op, error) {
+	if h.left <= 0 {
+		return Op{}, io.EOF
+	}
+	op, err := h.src.Next()
+	if err == nil {
+		h.left--
+	}
+	return op, err
+}
+
+// Head returns a Source yielding at most the first n operations of src.
+// The underlying source is not drained past n, so a bounded prefix of an
+// unbounded stream stays bounded.
+func Head(src Source, n int) Source { return &headSource{src: src, left: n} }

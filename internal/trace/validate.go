@@ -1,0 +1,198 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/epoch"
+)
+
+// InfeasibleError describes the first violation of the feasibility
+// constraints of §2 found in a trace or stream.
+type InfeasibleError struct {
+	Index int // position of the offending operation
+	Op    Op
+	Rule  int // which of the five §2 constraints is violated (1-5)
+	Msg   string
+}
+
+func (e *InfeasibleError) Error() string {
+	return fmt.Sprintf("trace: infeasible at #%d %v: constraint (%d): %s",
+		e.Index, e.Op, e.Rule, e.Msg)
+}
+
+// threadPhase tracks a thread through the fork/join lifecycle imposed by
+// constraints (3)-(5) of §2.
+type threadPhase uint8
+
+const (
+	phaseUnstarted threadPhase = iota // never forked; only thread 0 may act
+	phaseRunning                      // forked (or main), not yet joined
+	phaseJoined                       // some thread joined on it
+)
+
+// Validator checks the feasibility constraints of §2 incrementally, one
+// operation at a time, so a stream can be validated as it is consumed
+// instead of in a whole-trace pre-scan. Its state is O(thread and lock
+// ids), independent of how many operations have passed through it.
+//
+// The five constraints over the core language (extended ops are checked
+// for their own sanity but impose no lock discipline of their own —
+// desugar first if full checking of the lowered form is wanted):
+//
+//  1. no thread acquires a lock previously acquired but not released;
+//  2. no thread releases a lock it did not previously acquire;
+//  3. each thread is forked at most once;
+//  4. no operations of u precede fork(t,u) or follow join(t,u);
+//  5. at least one operation of u occurs between fork(t,u) and join(t',u).
+//
+// Thread 0 is the main thread: it exists without a fork, as the paper's
+// initial analysis state (which gives every thread an initial epoch)
+// presumes. The validator additionally rejects self-forks, self-joins and
+// real lock ids that collide with the pseudo-lock space, none of which
+// §2's traces can express.
+type Validator struct {
+	// MaxLock is the exclusive upper bound on acceptable lock ids; zero
+	// means the default real-lock space (so Desugar's pseudo-locks can
+	// never collide with a real lock). Stages validating an
+	// already-lowered stream raise it.
+	MaxLock Lock
+
+	n      int
+	phase  map[epoch.Tid]threadPhase
+	acted  map[epoch.Tid]bool // has the thread performed any op yet?
+	holder map[Lock]epoch.Tid
+	held   map[Lock]bool
+}
+
+// NewValidator returns a Validator in the initial state (main thread
+// running, no locks held, no operation seen).
+func NewValidator() *Validator {
+	return &Validator{
+		phase:  map[epoch.Tid]threadPhase{0: phaseRunning},
+		acted:  map[epoch.Tid]bool{},
+		holder: map[Lock]epoch.Tid{},
+		held:   map[Lock]bool{},
+	}
+}
+
+// Count returns how many operations have been accepted so far.
+func (v *Validator) Count() int { return v.n }
+
+// Check validates the next operation of the stream against the state
+// accumulated so far. On violation it returns an *InfeasibleError whose
+// Index is the operation's position (0-based) and leaves the validator
+// unchanged; the op is not admitted.
+func (v *Validator) Check(op Op) error {
+	fail := func(rule int, msg string) error {
+		return &InfeasibleError{Index: v.n, Op: op, Rule: rule, Msg: msg}
+	}
+	maxLock := v.MaxLock
+	if maxLock == 0 {
+		maxLock = maxRealLock
+	}
+
+	// Constraint (4), first half: the acting thread must be running.
+	switch v.phase[op.T] {
+	case phaseUnstarted:
+		return fail(4, fmt.Sprintf("thread %d acts before being forked", op.T))
+	case phaseJoined:
+		return fail(4, fmt.Sprintf("thread %d acts after being joined", op.T))
+	}
+
+	switch op.Kind {
+	case Acquire:
+		if op.M >= maxLock {
+			return fail(1, "lock id exceeds the real-lock space")
+		}
+		if v.held[op.M] {
+			return fail(1, fmt.Sprintf("lock m%d already held by thread %d", op.M, v.holder[op.M]))
+		}
+		v.held[op.M] = true
+		v.holder[op.M] = op.T
+	case Release:
+		if !v.held[op.M] || v.holder[op.M] != op.T {
+			return fail(2, fmt.Sprintf("thread %d releases lock m%d it does not hold", op.T, op.M))
+		}
+		v.held[op.M] = false
+	case Fork:
+		if op.U == op.T {
+			return fail(3, "self-fork")
+		}
+		if v.phase[op.U] != phaseUnstarted {
+			return fail(3, fmt.Sprintf("thread %d forked more than once (or is main)", op.U))
+		}
+		v.phase[op.U] = phaseRunning
+		v.acted[op.U] = false
+	case Join:
+		if op.U == op.T {
+			return fail(4, "self-join")
+		}
+		// §2 permits several threads to join the same terminated
+		// thread (constraint (4) only forbids operations *of u* after
+		// a join), so a join on an already-joined thread is legal;
+		// only joining a never-forked thread is not.
+		if v.phase[op.U] == phaseUnstarted {
+			return fail(4, fmt.Sprintf("join on thread %d which was never forked", op.U))
+		}
+		// Constraint (5): u must have acted between fork and join.
+		if !v.acted[op.U] {
+			return fail(5, fmt.Sprintf("no operation of thread %d between fork and join", op.U))
+		}
+		v.phase[op.U] = phaseJoined
+	}
+	v.acted[op.T] = true
+	v.n++
+	return nil
+}
+
+// Validate checks the feasibility constraints over a whole trace; see
+// Validator for the constraint list. It is Check folded over the slice.
+func Validate(tr Trace) error {
+	v := NewValidator()
+	for _, op := range tr {
+		if err := v.Check(op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MustValidate panics if tr is infeasible; used by tests and generators
+// whose traces are feasible by construction.
+func MustValidate(tr Trace) {
+	if err := Validate(tr); err != nil {
+		panic(err)
+	}
+}
+
+// validateSource is the streaming validation stage.
+type validateSource struct {
+	src Source
+	v   *Validator
+	err error // sticky
+}
+
+// ValidateSource returns a Source that passes src through unchanged while
+// checking the §2 feasibility constraints incrementally: the first
+// infeasible operation terminates the stream with an *InfeasibleError
+// carrying its index, instead of requiring a whole-trace pre-scan. After
+// any error (including the underlying source's) the stage is terminal.
+func ValidateSource(src Source) Source {
+	return &validateSource{src: src, v: NewValidator()}
+}
+
+func (s *validateSource) Next() (Op, error) {
+	if s.err != nil {
+		return Op{}, s.err
+	}
+	op, err := s.src.Next()
+	if err != nil {
+		s.err = err
+		return Op{}, err
+	}
+	if err := s.v.Check(op); err != nil {
+		s.err = err
+		return Op{}, err
+	}
+	return op, nil
+}

@@ -45,6 +45,8 @@
 package verifiedft
 
 import (
+	"io"
+
 	"repro/internal/core"
 	"repro/internal/epoch"
 	"repro/internal/hb"
@@ -101,7 +103,18 @@ type (
 	Op = trace.Op
 	// Trace is an execution trace.
 	Trace = trace.Trace
+	// Source is a pull iterator over trace operations (Next returns
+	// io.EOF at end of stream) — the streaming counterpart of Trace.
+	Source = trace.Source
 )
+
+// NewSliceSource adapts a materialized Trace to the Source interface.
+var NewSliceSource = trace.NewSliceSource
+
+// NewTraceDecoder returns a Source decoding r incrementally, sniffing the
+// encoding: gzip is transparently decompressed, then the binary format is
+// recognized by its magic, and anything else reads as the text format.
+func NewTraceDecoder(r io.Reader) (Source, error) { return trace.NewDecoder(r) }
 
 // Trace-operation constructors (§2 syntax).
 var (
@@ -198,6 +211,75 @@ func NewRuntime(d Detector) *Runtime { return rtsim.New(d) }
 // ValidateTrace checks the §2 feasibility constraints.
 func ValidateTrace(tr Trace) error { return trace.Validate(tr) }
 
+// CheckSource is the streaming form of CheckTrace: it pulls operations
+// from src through a pipeline of composable stages — incremental §2
+// feasibility validation (erroring at the offending op index), on-the-fly
+// lowering of extended operations, and dispatch into a fresh detector
+// (VerifiedFT-v2 unless WithVariant says otherwise) — and returns every
+// detected race once the stream ends:
+//
+//	src, err := verifiedft.NewTraceDecoder(file) // text, binary or gzip
+//	reports, err := verifiedft.CheckSource(src,
+//		verifiedft.WithVariant(verifiedft.FTCAS),
+//		verifiedft.WithMaxReportsPerVar(1))
+//
+// Every stage holds state proportional to the id spaces in use, never to
+// the stream's length, so arbitrarily long traces check in bounded memory
+// (pair with WithMaxReportsPerVar on racy streams so the report list stays
+// bounded too). Shadow tables start from the defaults and grow on demand.
+// On a validation or decode error the error is returned and any reports
+// from the consumed prefix are discarded, matching CheckTrace's contract
+// that an infeasible trace yields no reports. With WithMetrics, the run is
+// latency-sampled and the detector's counters are frozen into the registry
+// under the variant name when the stream ends.
+func CheckSource(src Source, opts ...CheckOption) ([]Report, error) {
+	s := settings{variant: V2}
+	for _, o := range opts {
+		o.applyCheck(&s)
+	}
+	cfg := core.DefaultConfig()
+	cfg.MaxReportsPerVar = s.cfg.MaxReportsPerVar
+	d, err := core.New(s.variant, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var det Detector = d
+	if s.metrics != nil {
+		det = core.InstrumentLatency(d, s.metrics, metricsSampleInterval)
+	}
+	pipe := trace.DesugarSource(trace.ValidateSource(src), s.parties)
+	for {
+		op, err := pipe.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		core.Dispatch(det, op)
+	}
+	if s.metrics != nil {
+		// The pipeline is sequential and has ended: the detector is
+		// quiescent, so its per-thread counters are coherent and safe to
+		// freeze.
+		if ss, ok := d.(core.StatsSource); ok {
+			s.metrics.RegisterSource(s.variant, ss.Stats().Source())
+		}
+	}
+	return det.Reports(), nil
+}
+
+// CheckReader decodes a trace stream from r — sniffing gzip, the binary
+// format and the text format, like the CLI tools — and checks it with
+// CheckSource. The stream is never materialized.
+func CheckReader(r io.Reader, opts ...CheckOption) ([]Report, error) {
+	src, err := trace.NewDecoder(r)
+	if err != nil {
+		return nil, err
+	}
+	return CheckSource(src, opts...)
+}
+
 // CheckTrace validates tr, lowers extended operations, and replays it
 // through a fresh detector (VerifiedFT-v2 unless WithVariant says
 // otherwise), returning every detected race:
@@ -208,37 +290,11 @@ func ValidateTrace(tr Trace) error { return trace.Validate(tr) }
 //		verifiedft.WithBarrierParties(map[verifiedft.LockID]int{0: 4}),
 //		verifiedft.WithMetrics(m))
 //
-// Shadow tables are sized from the trace's contents. With WithMetrics, the
-// replay is latency-sampled and the detector's internal counters are frozen
-// into the registry under the variant name when it returns.
+// It is a thin wrapper over CheckSource on a slice-backed Source, so the
+// materialized and streaming paths cannot drift: identical operation
+// sequences produce identical reports whichever entry point sees them.
 func CheckTrace(tr Trace, opts ...CheckOption) ([]Report, error) {
-	s := settings{variant: V2}
-	for _, o := range opts {
-		o.applyCheck(&s)
-	}
-	if err := trace.Validate(tr); err != nil {
-		return nil, err
-	}
-	low := tr.Desugar(s.parties)
-	cfg := configFor(low)
-	cfg.MaxReportsPerVar = s.cfg.MaxReportsPerVar
-	d, err := core.New(s.variant, cfg)
-	if err != nil {
-		return nil, err
-	}
-	var det Detector = d
-	if s.metrics != nil {
-		det = core.InstrumentLatency(d, s.metrics, metricsSampleInterval)
-	}
-	reports := core.Replay(det, low)
-	if s.metrics != nil {
-		// Replay is sequential and has returned: the detector is quiescent,
-		// so its per-thread counters are coherent and safe to freeze.
-		if ss, ok := d.(core.StatsSource); ok {
-			s.metrics.RegisterSource(s.variant, ss.Stats().Source())
-		}
-	}
-	return reports, nil
+	return CheckSource(tr.Source(), opts...)
 }
 
 // CheckTraceWith is CheckTrace with an explicit detector variant.
@@ -259,27 +315,9 @@ func HasRace(tr Trace) (bool, error) {
 	return hb.Analyze(tr.Desugar(nil)).HasRace(), nil
 }
 
-// configFor sizes shadow tables from a (lowered) trace's contents. Locks
-// matter too: volatile and barrier lowering synthesizes lock ids, and a
-// trace using a lock id far above the default hint would otherwise pay
-// repeated table growth during replay.
-func configFor(tr Trace) Config {
-	cfg := Config{Threads: 8, Vars: 64, Locks: 16}
-	for _, op := range tr {
-		if int(op.T)+1 > cfg.Threads {
-			cfg.Threads = int(op.T) + 1
-		}
-		if op.IsAccess() && int(op.X)+1 > cfg.Vars {
-			cfg.Vars = int(op.X) + 1
-		}
-		if (op.Kind == trace.Acquire || op.Kind == trace.Release) && int(op.M)+1 > cfg.Locks {
-			cfg.Locks = int(op.M) + 1
-		}
-	}
-	return cfg
-}
-
-// Version identifies this implementation. 2.0.0 is the options-based API:
-// CheckTrace takes CheckOptions instead of a variadic parties map, New
-// takes Options instead of a Config, and both accept WithMetrics.
-const Version = "2.0.0"
+// Version identifies this implementation. 2.1.0 adds the streaming
+// ingestion pipeline: the Source abstraction, CheckSource/CheckReader, and
+// the binary trace codec; CheckTrace is now a wrapper over the streaming
+// path (shadow tables grow on demand instead of being pre-sized from the
+// trace).
+const Version = "2.1.0"
