@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race vet bench metrics-smoke stream-smoke fuzz fuzz-smoke soak coverage clean
+.PHONY: all build test race vet lint bench metrics-smoke stream-smoke static-smoke fuzz fuzz-smoke soak coverage clean
 
 all: build
 
@@ -17,6 +17,15 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Static checks over the Go sources: vet always, staticcheck when it is on
+# PATH (CI installs it; locally `go install honnef.co/go/tools/cmd/staticcheck@latest`).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
 # One quick Table 1 regeneration; BENCH_table1.json lands in the repo root.
 bench:
 	$(GO) run ./cmd/vft-bench -quick -iters 3
@@ -31,6 +40,11 @@ metrics-smoke:
 stream-smoke:
 	$(GO) run ./scripts/stream-smoke
 
+# End-to-end check of the static race analyzer: vft-lint over every
+# shipped example, verifying exit codes, warning positions and -json.
+static-smoke:
+	$(GO) run ./scripts/static-smoke
+
 # The differential fuzzers: the sequential trace fuzzer, the controlled
 # schedule explorer, then a bounded run of each coverage-guided target.
 fuzz:
@@ -41,6 +55,7 @@ fuzz:
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzBinaryRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/minilang -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/spec -run '^$$' -fuzz FuzzPrecision -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/staticrace -run '^$$' -fuzz FuzzStaticNoPanic -fuzztime $(FUZZTIME)
 
 # Quick pass over every coverage-guided target's checked-in seed corpus
 # (no fuzzing time budget — just the deterministic seeds, as CI does).
@@ -48,6 +63,7 @@ fuzz-smoke:
 	$(GO) test ./internal/trace -run 'Fuzz' -count 1
 	$(GO) test ./internal/minilang -run 'FuzzParse' -count 1
 	$(GO) test ./internal/spec -run 'FuzzPrecision' -count 1
+	$(GO) test ./internal/staticrace -run 'FuzzStaticNoPanic' -count 1
 
 # Long-running schedule exploration (hundreds of schedules per program).
 soak:

@@ -1,0 +1,24 @@
+// Command vft-lint statically checks minilang programs for data races
+// without running them: it computes may-happen-in-parallel information
+// from the spawn/wait, barrier and volatile structure plus Eraser-style
+// locksets per access, and warns (file:line:col, with both access sites
+// and the lockset evidence) on every potential race. The analysis is
+// sound — a program vft-lint passes has no race on any schedule — but
+// not precise; see internal/staticrace and the crosscheck harness for
+// the measured precision. Exit codes are grep-style: 0 clean, 1 warnings,
+// 2 error.
+//
+// Usage:
+//
+//	vft-lint [-json] program.vft ... | -
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Lint(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}

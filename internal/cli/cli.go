@@ -1,8 +1,9 @@
 // Package cli implements the command-line tools (vft-race, vft-bench,
-// vft-stats, vft-fuzz) as testable functions: each command is a Run
-// function over explicit streams and returns its exit code, and the
-// binaries under cmd/ are one-line wrappers. Exit codes follow the usual
-// grep-style convention for vft-race: 0 no race, 1 race found, 2 error.
+// vft-stats, vft-fuzz, vft-run, vft-lint) as testable functions: each
+// command is a Run function over explicit streams and returns its exit
+// code, and the binaries under cmd/ are one-line wrappers. Exit codes
+// follow the usual grep-style convention for vft-race and vft-lint:
+// 0 no race/warning, 1 race/warning found, 2 error.
 package cli
 
 import (
@@ -32,6 +33,7 @@ import (
 	"repro/internal/rtsim"
 	"repro/internal/sched"
 	"repro/internal/spec"
+	"repro/internal/staticrace"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -720,6 +722,8 @@ func RunProg(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	runs := fs.Int("runs", 1, "number of executions (races are schedule-dependent; more runs, more schedules)")
 	traceMode := fs.Bool("trace", false,
 		"treat the input as a trace to re-execute (automatic for binary and gzip inputs)")
+	static := fs.Bool("static", false,
+		"run the static race analyzer on the program before executing it (warnings go to stderr; the exit code still reflects the dynamic runs — use vft-lint to gate on static warnings)")
 	metricsAddr := fs.String("metrics-addr", "",
 		"serve metrics over HTTP on this address: live rtsim event counts during the run, frozen detector stats after each run")
 	metricsLinger := fs.Duration("metrics-linger", 0,
@@ -760,6 +764,10 @@ func RunProg(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 
 	br := bufio.NewReader(in)
 	if *traceMode || sniffGzipOrBinaryTrace(br) {
+		if *static {
+			fmt.Fprintln(stderr, "vft-run: -static applies to program sources, not traces")
+			return 2
+		}
 		if (path == "-" || path == "") && *runs > 1 {
 			fmt.Fprintln(stderr, "vft-run: -runs > 1 needs a re-readable file, not stdin")
 			return 2
@@ -770,6 +778,18 @@ func RunProg(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "vft-run:", err)
 		return 2
+	}
+	if *static {
+		prog, err := minilang.Parse(string(src))
+		if err != nil {
+			fmt.Fprintln(stderr, "vft-run:", err)
+			return 2
+		}
+		res := staticrace.Analyze(prog)
+		for _, w := range res.Warnings {
+			fmt.Fprintf(stderr, "%s:%s\n", path, w)
+		}
+		fmt.Fprintf(stderr, "vft-run: static analysis: %d warning(s); executing\n", len(res.Warnings))
 	}
 
 	raced := false
@@ -890,4 +910,84 @@ func runTraceOnce(in io.Reader, path, variant string, reg *obs.Registry, rtOpts 
 		}
 	}
 	return len(reports) > 0, 0
+}
+
+// lintFile is one file's worth of vft-lint -json output.
+type lintFile struct {
+	File     string               `json:"file"`
+	Warnings []staticrace.Warning `json:"warnings"`
+}
+
+// Lint implements vft-lint: run the static race analyzer over minilang
+// program files (or stdin via "-" or no argument) without executing them.
+// Warnings print one per line as file:line:col: ..., grep/editor style;
+// -json emits a machine-readable array instead. Exit codes follow
+// vft-race's convention: 0 clean, 1 warnings, 2 bad input. The analyzer
+// is sound but not precise — a warning means no locking discipline or
+// program structure visible to the analyzer rules the race out, not that
+// some schedule certainly exhibits it (vft-run and schedule exploration
+// answer that).
+func Lint(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vft-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit warnings as JSON")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		paths = []string{"-"}
+	}
+
+	warned := false
+	var files []lintFile
+	for _, path := range paths {
+		in, closeIn, err := openInput(path, stdin)
+		if err != nil {
+			fmt.Fprintln(stderr, "vft-lint:", err)
+			return 2
+		}
+		src, err := io.ReadAll(in)
+		closeIn()
+		if err != nil {
+			fmt.Fprintln(stderr, "vft-lint:", err)
+			return 2
+		}
+		name := path
+		if name == "-" || name == "" {
+			name = "<stdin>"
+		}
+		prog, err := minilang.Parse(string(src))
+		if err != nil {
+			fmt.Fprintf(stderr, "vft-lint: %s: %v\n", name, err)
+			return 2
+		}
+		res := staticrace.Analyze(prog)
+		if len(res.Warnings) > 0 {
+			warned = true
+		}
+		if *jsonOut {
+			ws := res.Warnings
+			if ws == nil {
+				ws = []staticrace.Warning{} // encode clean files as [], not null
+			}
+			files = append(files, lintFile{File: name, Warnings: ws})
+			continue
+		}
+		for _, w := range res.Warnings {
+			fmt.Fprintf(stdout, "%s:%s\n", name, w)
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(files); err != nil {
+			fmt.Fprintln(stderr, "vft-lint:", err)
+			return 2
+		}
+	}
+	if warned {
+		return 1
+	}
+	return 0
 }

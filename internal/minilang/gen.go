@@ -1,0 +1,242 @@
+package minilang
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// GenSource generates a random minilang program as source text, a
+// deterministic function of seed. It is the corpus generator for the
+// static/dynamic cross-validation harness (internal/staticrace/crosscheck),
+// so every generated program is safe to explore under *any* controlled
+// schedule:
+//
+//   - all loops are bounded counting loops over thread-local counters
+//     (no spin loops, which can livelock a PCT-controlled schedule once
+//     its priority change points are exhausted),
+//   - locks are acquired one at a time and released in the same segment
+//     (no nesting, no deadlock),
+//   - barriers, when used, are awaited the same fixed number of times by
+//     exactly the declared number of parties, unconditionally and with
+//     no lock held, with every party spawned before the first arrival,
+//   - every thread spawned is joined (`wait`) before main exits, and no
+//     expression divides.
+//
+// Races are intentional and seed-dependent: some programs discipline
+// every access with a per-variable lock, others mix locked, unlocked and
+// barrier-phased accesses, and some spawn workers inside a loop (the
+// multi-thread self-race shape).
+func GenSource(seed int64) string {
+	g := &pgen{rng: rand.New(rand.NewSource(seed))}
+	return g.program()
+}
+
+type pgen struct {
+	rng    *rand.Rand
+	b      strings.Builder
+	shared []string
+	locks  []string
+	vols   []string
+	// disciplined: every access to shared[i] holds locks[i%len(locks)].
+	disciplined bool
+	tmpCount    int
+}
+
+func (g *pgen) intn(n int) int { return g.rng.Intn(n) }
+
+func (g *pgen) pf(format string, args ...any) {
+	fmt.Fprintf(&g.b, format, args...)
+}
+
+func (g *pgen) program() string {
+	nShared := 1 + g.intn(3)
+	mode := g.intn(4) // 0,1: locks/plain; 2: barrier phases; 3: spawn-in-loop
+	nThreads := 2 + g.intn(2)
+	if mode == 2 {
+		// Phase ownership stays race-free when vars and parties line up.
+		nShared = nThreads
+	}
+	for i := 0; i < nShared; i++ {
+		g.shared = append(g.shared, fmt.Sprintf("x%d", i))
+	}
+	g.pf("shared %s\n", strings.Join(g.shared, ", "))
+	nLocks := 1 + g.intn(2)
+	for i := 0; i < nLocks; i++ {
+		g.locks = append(g.locks, fmt.Sprintf("m%d", i))
+	}
+	g.pf("lock %s\n", strings.Join(g.locks, ", "))
+	if g.intn(3) == 0 {
+		g.vols = []string{"v0"}
+		g.pf("volatile v0\n")
+	}
+	g.disciplined = g.intn(3) == 0
+
+	switch mode {
+	case 2:
+		g.barrierProgram(nThreads)
+	case 3:
+		g.loopSpawnProgram()
+	default:
+		g.forkJoinProgram(nThreads)
+	}
+	return g.b.String()
+}
+
+// forkJoinProgram: main spawns workers, optionally works itself, joins
+// them (sometimes in the middle, so post-join accesses are ordered), and
+// prints a result.
+func (g *pgen) forkJoinProgram(nThreads int) {
+	for i := 1; i < nThreads; i++ {
+		g.pf("spawn {\n")
+		g.body("    ", 1+g.intn(3))
+		g.pf("}\n")
+	}
+	if g.intn(2) == 0 {
+		g.body("", 1+g.intn(2))
+	}
+	g.pf("wait\n")
+	if g.intn(2) == 0 {
+		// Post-join accesses: race-free against the workers by the join
+		// rule, whatever locks they use.
+		g.body("", 1)
+	}
+	g.pf("print %s\n", g.shared[0])
+}
+
+// barrierProgram: nThreads parties proceed through fixed barrier rounds;
+// each phase a thread mostly touches the variable it "owns" that round
+// (race-free, barrier-separated), sometimes one it does not (a race the
+// static barrier rule must still catch as unordered).
+func (g *pgen) barrierProgram(nThreads int) {
+	rounds := 2 + g.intn(2)
+	g.pf("barrier bar %d\n", nThreads)
+	phase := func(indent string, ti, round int) {
+		v := g.shared[(ti+round)%len(g.shared)]
+		if g.intn(5) == 0 {
+			v = g.shared[g.intn(len(g.shared))] // break ownership: likely racy
+		}
+		n := 1 + g.intn(2)
+		for i := 0; i < n; i++ {
+			if g.intn(2) == 0 {
+				g.pf("%s%s = %s + %d\n", indent, v, v, 1+g.intn(5))
+			} else {
+				g.pf("%sprint %s\n", indent, v)
+			}
+		}
+		g.pf("%sawait bar\n", indent)
+	}
+	for ti := 1; ti < nThreads; ti++ {
+		g.pf("spawn {\n")
+		for r := 0; r < rounds; r++ {
+			phase("    ", ti, r)
+		}
+		g.pf("}\n")
+	}
+	for r := 0; r < rounds; r++ {
+		phase("", 0, r)
+	}
+	g.pf("wait\n")
+	g.pf("print %s\n", g.shared[0])
+}
+
+// loopSpawnProgram: workers spawned inside a bounded loop — the
+// multi-thread shape, whose instances may race with themselves.
+func (g *pgen) loopSpawnProgram() {
+	k := 2 + g.intn(2)
+	g.pf("local i\ni = 0\nwhile i < %d {\n", k)
+	g.pf("    spawn {\n")
+	g.body("        ", 1+g.intn(2))
+	g.pf("    }\n")
+	g.pf("    i = i + 1\n}\n")
+	if g.intn(2) == 0 {
+		g.body("", 1)
+	}
+	g.pf("wait\n")
+	g.pf("print %s\n", g.shared[0])
+}
+
+// body emits n segments of work at the given indentation.
+func (g *pgen) body(indent string, n int) {
+	for i := 0; i < n; i++ {
+		switch g.intn(4) {
+		case 0: // locked block
+			v := g.intn(len(g.shared))
+			m := g.lockFor(v)
+			g.pf("%sacquire %s\n", indent, m)
+			g.accesses(indent, v, 1+g.intn(2))
+			g.pf("%srelease %s\n", indent, m)
+		case 1: // bounded loop
+			c := g.tmp()
+			k := 2 + g.intn(3)
+			v := g.intn(len(g.shared))
+			g.pf("%slocal %s\n%s%s = 0\n", indent, c, indent, c)
+			g.pf("%swhile %s < %d {\n", indent, c, k)
+			if g.disciplined {
+				m := g.lockFor(v)
+				g.pf("%s    acquire %s\n", indent, m)
+				g.accesses(indent+"    ", v, 1)
+				g.pf("%s    release %s\n", indent, m)
+			} else {
+				g.accesses(indent+"    ", v, 1)
+			}
+			g.pf("%s    %s = %s + 1\n%s}\n", indent, c, c, indent)
+		case 2: // conditional
+			v := g.intn(len(g.shared))
+			t := g.tmp()
+			g.pf("%slocal %s\n", indent, t)
+			g.readInto(indent, t, v)
+			g.pf("%sif %s < %d {\n", indent, t, 1+g.intn(10))
+			g.accesses(indent+"    ", v, 1)
+			g.pf("%s}\n", indent)
+		default: // straight-line accesses
+			g.accesses(indent, g.intn(len(g.shared)), 1+g.intn(2))
+		}
+	}
+}
+
+// lockFor picks the lock guarding shared[v]: the disciplined one when the
+// program is disciplined, any otherwise.
+func (g *pgen) lockFor(v int) string {
+	if g.disciplined {
+		return g.locks[v%len(g.locks)]
+	}
+	return g.locks[g.intn(len(g.locks))]
+}
+
+// readInto emits "t = <source>" where the source is the shared variable
+// (or occasionally the volatile, which never races).
+func (g *pgen) readInto(indent, t string, v int) {
+	if len(g.vols) > 0 && g.intn(4) == 0 {
+		g.pf("%s%s = %s\n", indent, t, g.vols[0])
+		return
+	}
+	g.pf("%s%s = %s\n", indent, t, g.shared[v])
+}
+
+// accesses emits n plain statements touching shared[v] (and occasionally
+// the volatile).
+func (g *pgen) accesses(indent string, v int, n int) {
+	name := g.shared[v]
+	for i := 0; i < n; i++ {
+		switch g.intn(4) {
+		case 0:
+			g.pf("%s%s = %d\n", indent, name, g.intn(100))
+		case 1:
+			g.pf("%sprint %s\n", indent, name)
+		case 2:
+			if len(g.vols) > 0 {
+				g.pf("%s%s = %s + 1\n", indent, g.vols[0], name)
+				continue
+			}
+			g.pf("%s%s = %s + %d\n", indent, name, name, 1+g.intn(9))
+		default:
+			g.pf("%s%s = %s + %d\n", indent, name, name, 1+g.intn(9))
+		}
+	}
+}
+
+func (g *pgen) tmp() string {
+	g.tmpCount++
+	return fmt.Sprintf("t%d", g.tmpCount)
+}

@@ -27,9 +27,22 @@ func Run(src string, d core.Detector, out io.Writer, opts ...rtsim.Option) ([]co
 // Exec executes a parsed program.
 func Exec(prog *Program, d core.Detector, out io.Writer, opts ...rtsim.Option) ([]core.Report, error) {
 	rt := rtsim.New(d, opts...)
+	if err := ExecOn(prog, rt, out); err != nil {
+		return rt.Reports(), err
+	}
+	return rt.Reports(), nil
+}
+
+// ExecOn executes a parsed program on a caller-supplied runtime — in
+// particular one built with rtsim.NewControlled, which is how the
+// cross-validation harness explores a program's schedule space (the
+// Exec/Run entry points always run free). The caller owns the runtime:
+// detector reports stay on rt, and for controlled runtimes the caller must
+// still call rt.Shutdown after ExecOn returns.
+func ExecOn(prog *Program, rt *rtsim.Runtime, out io.Writer) error {
 	env, err := buildEnv(prog, rt, out)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	th := &threadCtx{env: env, thread: rt.Main(), locals: map[string]int64{}}
 	execErr := th.block(prog.Body)
@@ -39,7 +52,7 @@ func Exec(prog *Program, d core.Detector, out io.Writer, opts ...rtsim.Option) (
 	if execErr == nil {
 		execErr = env.firstError()
 	}
-	return rt.Reports(), execErr
+	return execErr
 }
 
 // env is the program-wide environment: declared entities and error

@@ -55,18 +55,23 @@ type token struct {
 	kind tokKind
 	text string
 	line int
+	col  int // 1-based rune column of the token's first rune
 }
 
 // lexer tokenizes source text; '#' starts a line comment.
 type lexer struct {
-	src  []rune
-	pos  int
-	line int
+	src       []rune
+	pos       int
+	line      int
+	lineStart int // rune index of the current line's first rune
 }
 
 func newLexer(src string) *lexer {
 	return &lexer{src: []rune(src), line: 1}
 }
+
+// col is the 1-based column of rune index pos on the current line.
+func (l *lexer) col(pos int) int { return pos - l.lineStart + 1 }
 
 // twoRune operators recognized by the lexer.
 var twoRune = map[string]bool{
@@ -80,6 +85,7 @@ func (l *lexer) next() (token, error) {
 		case c == '\n':
 			l.line++
 			l.pos++
+			l.lineStart = l.pos
 		case unicode.IsSpace(c):
 			l.pos++
 		case c == '#':
@@ -90,34 +96,35 @@ func (l *lexer) next() (token, error) {
 			goto scan
 		}
 	}
-	return token{kind: tokEOF, line: l.line}, nil
+	return token{kind: tokEOF, line: l.line, col: l.col(l.pos)}, nil
 
 scan:
 	c := l.src[l.pos]
 	start := l.pos
+	startCol := l.col(start)
 	switch {
 	case unicode.IsLetter(c) || c == '_':
 		for l.pos < len(l.src) && (unicode.IsLetter(l.src[l.pos]) || unicode.IsDigit(l.src[l.pos]) || l.src[l.pos] == '_') {
 			l.pos++
 		}
-		return token{kind: tokIdent, text: string(l.src[start:l.pos]), line: l.line}, nil
+		return token{kind: tokIdent, text: string(l.src[start:l.pos]), line: l.line, col: startCol}, nil
 	case unicode.IsDigit(c):
 		for l.pos < len(l.src) && unicode.IsDigit(l.src[l.pos]) {
 			l.pos++
 		}
-		return token{kind: tokNumber, text: string(l.src[start:l.pos]), line: l.line}, nil
+		return token{kind: tokNumber, text: string(l.src[start:l.pos]), line: l.line, col: startCol}, nil
 	default:
 		if l.pos+1 < len(l.src) {
 			two := string(l.src[l.pos : l.pos+2])
 			if twoRune[two] {
 				l.pos += 2
-				return token{kind: tokPunct, text: two, line: l.line}, nil
+				return token{kind: tokPunct, text: two, line: l.line, col: startCol}, nil
 			}
 		}
 		switch c {
 		case '{', '}', '(', ')', '=', '+', '-', '*', '/', '%', '<', '>', ',', '!':
 			l.pos++
-			return token{kind: tokPunct, text: string(c), line: l.line}, nil
+			return token{kind: tokPunct, text: string(c), line: l.line, col: startCol}, nil
 		}
 		return token{}, fmt.Errorf("minilang: line %d: unexpected character %q", l.line, string(c))
 	}

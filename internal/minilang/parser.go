@@ -29,6 +29,7 @@ type (
 	LocalStmt struct {
 		Name string
 		Line int
+		Col  int
 	}
 	// AssignStmt assigns an expression to a shared, volatile or local
 	// variable.
@@ -36,33 +37,42 @@ type (
 		Name string
 		Expr Expr
 		Line int
+		Col  int
 	}
 	// AcquireStmt acquires a lock.
 	AcquireStmt struct {
 		Lock string
 		Line int
+		Col  int
 	}
 	// ReleaseStmt releases a lock.
 	ReleaseStmt struct {
 		Lock string
 		Line int
+		Col  int
 	}
 	// AwaitStmt arrives at a barrier.
 	AwaitStmt struct {
 		Barrier string
 		Line    int
+		Col     int
 	}
 	// SpawnStmt runs a block in a new thread.
 	SpawnStmt struct {
 		Body []Stmt
 		Line int
+		Col  int
 	}
 	// WaitStmt joins every thread spawned so far by the current thread.
-	WaitStmt struct{ Line int }
+	WaitStmt struct {
+		Line int
+		Col  int
+	}
 	// PrintStmt evaluates and prints an expression.
 	PrintStmt struct {
 		Expr Expr
 		Line int
+		Col  int
 	}
 	// IfStmt is a conditional with an optional else block.
 	IfStmt struct {
@@ -70,12 +80,14 @@ type (
 		Then []Stmt
 		Else []Stmt
 		Line int
+		Col  int
 	}
 	// WhileStmt is a loop.
 	WhileStmt struct {
 		Cond Expr
 		Body []Stmt
 		Line int
+		Col  int
 	}
 )
 
@@ -100,6 +112,7 @@ type (
 	VarExpr struct {
 		Name string
 		Line int
+		Col  int
 	}
 	// BinExpr applies a binary operator.
 	BinExpr struct {
@@ -264,7 +277,7 @@ func (p *parser) statement() (Stmt, error) {
 	if t.kind != tokIdent {
 		return nil, p.errf("expected a statement, got %q", t.text)
 	}
-	line := t.line
+	line, col := t.line, t.col
 	switch t.text {
 	case "local":
 		p.advance()
@@ -272,7 +285,7 @@ func (p *parser) statement() (Stmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &LocalStmt{Name: name.text, Line: line}, nil
+		return &LocalStmt{Name: name.text, Line: line, Col: col}, nil
 	case "acquire", "release":
 		p.advance()
 		name, err := p.expect(tokIdent, "", "lock name")
@@ -280,16 +293,16 @@ func (p *parser) statement() (Stmt, error) {
 			return nil, err
 		}
 		if t.text == "acquire" {
-			return &AcquireStmt{Lock: name.text, Line: line}, nil
+			return &AcquireStmt{Lock: name.text, Line: line, Col: col}, nil
 		}
-		return &ReleaseStmt{Lock: name.text, Line: line}, nil
+		return &ReleaseStmt{Lock: name.text, Line: line, Col: col}, nil
 	case "await":
 		p.advance()
 		name, err := p.expect(tokIdent, "", "barrier name")
 		if err != nil {
 			return nil, err
 		}
-		return &AwaitStmt{Barrier: name.text, Line: line}, nil
+		return &AwaitStmt{Barrier: name.text, Line: line, Col: col}, nil
 	case "spawn":
 		p.advance()
 		if _, err := p.expect(tokPunct, "{", "'{' after spawn"); err != nil {
@@ -299,17 +312,17 @@ func (p *parser) statement() (Stmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &SpawnStmt{Body: body, Line: line}, nil
+		return &SpawnStmt{Body: body, Line: line, Col: col}, nil
 	case "wait":
 		p.advance()
-		return &WaitStmt{Line: line}, nil
+		return &WaitStmt{Line: line, Col: col}, nil
 	case "print":
 		p.advance()
 		e, err := p.expr()
 		if err != nil {
 			return nil, err
 		}
-		return &PrintStmt{Expr: e, Line: line}, nil
+		return &PrintStmt{Expr: e, Line: line, Col: col}, nil
 	case "if":
 		p.advance()
 		cond, err := p.expr()
@@ -333,7 +346,7 @@ func (p *parser) statement() (Stmt, error) {
 				return nil, err
 			}
 		}
-		return &IfStmt{Cond: cond, Then: then, Else: els, Line: line}, nil
+		return &IfStmt{Cond: cond, Then: then, Else: els, Line: line, Col: col}, nil
 	case "while":
 		p.advance()
 		cond, err := p.expr()
@@ -347,7 +360,7 @@ func (p *parser) statement() (Stmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &WhileStmt{Cond: cond, Body: body, Line: line}, nil
+		return &WhileStmt{Cond: cond, Body: body, Line: line, Col: col}, nil
 	default:
 		// assignment: ident = expr
 		p.advance()
@@ -358,7 +371,7 @@ func (p *parser) statement() (Stmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &AssignStmt{Name: t.text, Expr: e, Line: line}, nil
+		return &AssignStmt{Name: t.text, Expr: e, Line: line, Col: col}, nil
 	}
 }
 
@@ -457,7 +470,7 @@ func (p *parser) primary() (Expr, error) {
 		return &NumExpr{Value: v}, nil
 	case t.kind == tokIdent:
 		p.advance()
-		return &VarExpr{Name: t.text, Line: t.line}, nil
+		return &VarExpr{Name: t.text, Line: t.line, Col: t.col}, nil
 	case p.accept(tokPunct, "("):
 		e, err := p.expr()
 		if err != nil {

@@ -1,0 +1,953 @@
+package staticrace
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/minilang"
+)
+
+// infinity is the "unbounded" await count: a statement below a loop that
+// arrives at a barrier has no finite upper bound on prior arrivals.
+const infinity = int(^uint(0)>>1) / 4
+
+// frame is one step of a statement's position inside its thread body:
+// the index in the enclosing block, which sub-block of the construct at
+// that index (-1 the construct's own header/condition, 0 the first block
+// or the statement itself, 1 the else block), and whether the construct
+// entered here is a loop (so everything below re-executes per iteration).
+type frame struct {
+	idx  int
+	sub  int
+	loop bool
+}
+
+type path []frame
+
+func extend(p path, f frame) path {
+	out := make(path, len(p)+1)
+	copy(out, p)
+	out[len(p)] = f
+	return out
+}
+
+// defBefore reports whether every dynamic instance of the statement at a
+// precedes every instance of the statement at b, within one instance of
+// their common thread, by block structure alone. It is deliberately
+// conservative: any shared enclosing loop (whose iterations interleave
+// the two), divergence into mutually exclusive branches, or one position
+// nesting inside the other's construct all answer false.
+func defBefore(a, b path) bool {
+	for k := 0; k < len(a) && k < len(b); k++ {
+		fa, fb := a[k], b[k]
+		if fa.idx == fb.idx && fa.sub == fb.sub {
+			if fa.loop {
+				return false
+			}
+			continue
+		}
+		if fa.idx == fb.idx {
+			// Same construct, different sub-position: the header runs
+			// before either branch; then/else are mutually exclusive.
+			if fa.loop || fb.loop {
+				return false
+			}
+			return fa.sub == -1 && fb.sub >= 0
+		}
+		return fa.idx < fb.idx
+	}
+	return false
+}
+
+// thread is one abstract thread: main, or the body of a spawn statement.
+type thread struct {
+	id     int
+	parent *thread
+	spawn  *spawnSite // the site in parent that creates it; nil for main
+	body   []minilang.Stmt
+	// multi: the spawn site sits under a loop (or the parent is itself
+	// multi), so several instances of this thread may be live at once.
+	multi bool
+	name  string
+}
+
+type occ struct {
+	th        *thread
+	path      path
+	line, col int
+}
+
+// access is one static shared-variable access site with its flow facts.
+type access struct {
+	occ
+	name    string
+	write   bool
+	lockset []string
+	// Per-barrier arrival counts in this thread: the min/max number of
+	// awaits sequenced before the access on any path reaching it, and
+	// the min number sequenced after it on any path to thread exit.
+	bmin, bmax, bafter map[string]int
+}
+
+type spawnSite struct {
+	occ
+	child *thread
+}
+
+type waitSite struct{ occ }
+
+// spinCand is a syntactic volatile spin-loop candidate, validated into a
+// publication edge after the whole program is walked.
+type spinCand struct {
+	loop     occ // the while statement (frame marked loop)
+	local    string
+	vol      string
+	bodyStmt *minilang.AssignStmt
+}
+
+type volWrite struct {
+	occ
+	constNonZero bool
+}
+
+// spinEdge is a validated publication: everything definitely before the
+// volatile write happens-before everything definitely after the spin loop.
+type spinEdge struct {
+	write occ
+	loop  occ
+}
+
+// wstate is the combined flow state of the forward walk.
+type wstate struct {
+	held     map[string]int  // lock -> definite hold count
+	defLocal map[string]bool // definitely declared local by here
+	mayLocal map[string]bool // possibly declared local by here
+	bmin     map[string]int  // barrier -> min arrivals so far
+	bmax     map[string]int  // barrier -> max arrivals so far (infinity-capped)
+}
+
+func newState() *wstate {
+	return &wstate{
+		held:     map[string]int{},
+		defLocal: map[string]bool{},
+		mayLocal: map[string]bool{},
+		bmin:     map[string]int{},
+		bmax:     map[string]int{},
+	}
+}
+
+func cloneInts(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func cloneBools(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		if v {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func (s *wstate) clone() *wstate {
+	return &wstate{
+		held:     cloneInts(s.held),
+		defLocal: cloneBools(s.defLocal),
+		mayLocal: cloneBools(s.mayLocal),
+		bmin:     cloneInts(s.bmin),
+		bmax:     cloneInts(s.bmax),
+	}
+}
+
+// merge joins two branch states: definite facts intersect (held counts to
+// the min, definite locals to the common set, min arrivals to the min);
+// possible facts union (may-locals, max arrivals to the max).
+func merge(a, b *wstate) *wstate {
+	out := newState()
+	for k, v := range a.held {
+		if w := b.held[k]; w < v {
+			v = w
+		}
+		if v > 0 {
+			out.held[k] = v
+		}
+	}
+	for k := range a.defLocal {
+		if b.defLocal[k] {
+			out.defLocal[k] = true
+		}
+	}
+	for k := range a.mayLocal {
+		out.mayLocal[k] = true
+	}
+	for k := range b.mayLocal {
+		out.mayLocal[k] = true
+	}
+	for k, v := range a.bmin {
+		if w, ok := b.bmin[k]; !ok || w < v {
+			v = w
+		}
+		if v > 0 {
+			out.bmin[k] = v
+		}
+	}
+	for k, v := range a.bmax {
+		out.bmax[k] = v
+	}
+	for k, v := range b.bmax {
+		if v > out.bmax[k] {
+			out.bmax[k] = v
+		}
+	}
+	return out
+}
+
+func intsEqual(a, b map[string]int) bool {
+	for k, v := range a {
+		if v != 0 && b[k] != v {
+			return false
+		}
+	}
+	for k, v := range b {
+		if v != 0 && a[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func boolsEqual(a, b map[string]bool) bool {
+	for k, v := range a {
+		if v && !b[k] {
+			return false
+		}
+	}
+	for k, v := range b {
+		if v && !a[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *wstate) equal(o *wstate) bool {
+	return intsEqual(s.held, o.held) && boolsEqual(s.defLocal, o.defLocal) &&
+		boolsEqual(s.mayLocal, o.mayLocal) && intsEqual(s.bmin, o.bmin) &&
+		intsEqual(s.bmax, o.bmax)
+}
+
+func (s *wstate) locksetSlice() []string {
+	out := make([]string, 0, len(s.held))
+	for k, v := range s.held {
+		if v > 0 {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func addCapped(v, d int) int {
+	if v >= infinity {
+		return infinity
+	}
+	return v + d
+}
+
+type analysis struct {
+	prog      *minilang.Program
+	shared    map[string]bool
+	volatiles map[string]bool
+	locks     map[string]bool
+	barriers  map[string]int // name -> parties
+
+	threads  []*thread
+	accesses []*access
+	waits    map[*thread][]*waitSite
+	// awaitThreads: barrier -> set of abstract threads that arrive at it.
+	awaitThreads map[string]map[*thread]bool
+	spins        []*spinCand
+	volWrites    map[string][]*volWrite
+	spinEdges    []spinEdge
+
+	readsByExpr  map[*minilang.VarExpr]*access
+	writesByStmt map[*minilang.AssignStmt]*access
+
+	assignsByName map[string][]*minilang.AssignStmt
+	localDecls    map[string]bool
+
+	mute int // >0: fixpoint trial walk, record nothing
+}
+
+func newAnalysis(prog *minilang.Program) *analysis {
+	a := &analysis{
+		prog:          prog,
+		shared:        map[string]bool{},
+		volatiles:     map[string]bool{},
+		locks:         map[string]bool{},
+		barriers:      map[string]int{},
+		waits:         map[*thread][]*waitSite{},
+		awaitThreads:  map[string]map[*thread]bool{},
+		volWrites:     map[string][]*volWrite{},
+		readsByExpr:   map[*minilang.VarExpr]*access{},
+		writesByStmt:  map[*minilang.AssignStmt]*access{},
+		assignsByName: map[string][]*minilang.AssignStmt{},
+		localDecls:    map[string]bool{},
+	}
+	for _, n := range prog.Shared {
+		a.shared[n] = true
+	}
+	for _, n := range prog.Volatiles {
+		a.volatiles[n] = true
+	}
+	for _, n := range prog.Locks {
+		a.locks[n] = true
+	}
+	for _, b := range prog.Barriers {
+		a.barriers[b.Name] = b.Parties
+	}
+	return a
+}
+
+func (a *analysis) run() {
+	a.collectSyntax(a.prog.Body)
+	main := &thread{id: 0, body: a.prog.Body, name: "main"}
+	a.threads = append(a.threads, main)
+	a.walkBlock(main, a.prog.Body, nil, newState())
+	for _, th := range a.threads {
+		a.backBlock(th.body, map[string]int{})
+	}
+	a.validateSpins()
+}
+
+// collectSyntax gathers program-wide syntactic facts (assignments per
+// name, names ever declared local) used by the spin-publication rule.
+func (a *analysis) collectSyntax(stmts []minilang.Stmt) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *minilang.LocalStmt:
+			a.localDecls[s.Name] = true
+		case *minilang.AssignStmt:
+			a.assignsByName[s.Name] = append(a.assignsByName[s.Name], s)
+		case *minilang.SpawnStmt:
+			a.collectSyntax(s.Body)
+		case *minilang.IfStmt:
+			a.collectSyntax(s.Then)
+			a.collectSyntax(s.Else)
+		case *minilang.WhileStmt:
+			a.collectSyntax(s.Body)
+		}
+	}
+}
+
+// resolution mirrors the interpreter: locals shadow shared, shared
+// shadows volatile. "ambiguous" means a local declaration may or may not
+// have executed by here; such accesses are treated as shared (sound).
+type resolution int
+
+const (
+	resLocal resolution = iota
+	resShared
+	resVolatile
+	resUnknown
+)
+
+func (a *analysis) resolve(st *wstate, name string) resolution {
+	if st.defLocal[name] {
+		return resLocal
+	}
+	if a.shared[name] {
+		return resShared // definite or ambiguous: treat as shared
+	}
+	if st.mayLocal[name] {
+		// Possibly local, not shared: either way no shared race.
+		return resUnknown
+	}
+	if a.volatiles[name] {
+		return resVolatile
+	}
+	return resUnknown
+}
+
+func (a *analysis) recordAccess(th *thread, p path, st *wstate, name string, write bool, line, col int, readExpr *minilang.VarExpr, writeStmt *minilang.AssignStmt) {
+	if a.mute > 0 {
+		return
+	}
+	acc := &access{
+		occ:     occ{th: th, path: p, line: line, col: col},
+		name:    name,
+		write:   write,
+		lockset: st.locksetSlice(),
+		bmin:    cloneInts(st.bmin),
+		bmax:    cloneInts(st.bmax),
+		bafter:  map[string]int{},
+	}
+	a.accesses = append(a.accesses, acc)
+	if readExpr != nil {
+		a.readsByExpr[readExpr] = acc
+	}
+	if writeStmt != nil {
+		a.writesByStmt[writeStmt] = acc
+	}
+}
+
+// walkExpr records the shared reads of e, all at position p.
+func (a *analysis) walkExpr(th *thread, p path, st *wstate, e minilang.Expr) {
+	switch e := e.(type) {
+	case *minilang.VarExpr:
+		if a.resolve(st, e.Name) == resShared {
+			a.recordAccess(th, p, st, e.Name, false, e.Line, e.Col, e, nil)
+		}
+	case *minilang.BinExpr:
+		a.walkExpr(th, p, st, e.L)
+		a.walkExpr(th, p, st, e.R)
+	case *minilang.UnExpr:
+		a.walkExpr(th, p, st, e.E)
+	}
+}
+
+func (a *analysis) walkBlock(th *thread, stmts []minilang.Stmt, prefix path, st *wstate) {
+	for i, s := range stmts {
+		here := extend(prefix, frame{idx: i})
+		switch s := s.(type) {
+		case *minilang.LocalStmt:
+			st.defLocal[s.Name] = true
+			st.mayLocal[s.Name] = true
+		case *minilang.AssignStmt:
+			a.walkExpr(th, here, st, s.Expr)
+			switch a.resolve(st, s.Name) {
+			case resShared:
+				a.recordAccess(th, here, st, s.Name, true, s.Line, s.Col, nil, s)
+			case resVolatile:
+				if a.mute == 0 {
+					_, isNum := s.Expr.(*minilang.NumExpr)
+					nz := isNum && s.Expr.(*minilang.NumExpr).Value != 0
+					a.volWrites[s.Name] = append(a.volWrites[s.Name], &volWrite{
+						occ:          occ{th: th, path: here, line: s.Line, col: s.Col},
+						constNonZero: nz,
+					})
+				}
+			}
+		case *minilang.AcquireStmt:
+			st.held[s.Lock]++
+		case *minilang.ReleaseStmt:
+			if st.held[s.Lock] > 0 {
+				st.held[s.Lock]--
+			}
+		case *minilang.AwaitStmt:
+			if _, ok := a.barriers[s.Barrier]; ok {
+				if a.mute == 0 {
+					set := a.awaitThreads[s.Barrier]
+					if set == nil {
+						set = map[*thread]bool{}
+						a.awaitThreads[s.Barrier] = set
+					}
+					set[th] = true
+				}
+				st.bmin[s.Barrier] = addCapped(st.bmin[s.Barrier], 1)
+				st.bmax[s.Barrier] = addCapped(st.bmax[s.Barrier], 1)
+			}
+		case *minilang.SpawnStmt:
+			if a.mute > 0 {
+				continue
+			}
+			inLoop := false
+			for _, f := range here {
+				if f.loop {
+					inLoop = true
+				}
+			}
+			child := &thread{
+				id:     len(a.threads),
+				parent: th,
+				multi:  th.multi || inLoop,
+				body:   s.Body,
+			}
+			child.name = fmt.Sprintf("%s/spawn@%d", th.name, s.Line)
+			if child.multi {
+				child.name += "*"
+			}
+			site := &spawnSite{occ: occ{th: th, path: here, line: s.Line, col: s.Col}, child: child}
+			child.spawn = site
+			a.threads = append(a.threads, child)
+			// The child starts with no locks held and a fresh arrival
+			// history, but inherits the parent's local-variable snapshot.
+			cst := newState()
+			cst.defLocal = cloneBools(st.defLocal)
+			cst.mayLocal = cloneBools(st.mayLocal)
+			a.walkBlock(child, s.Body, nil, cst)
+		case *minilang.WaitStmt:
+			if a.mute == 0 {
+				a.waits[th] = append(a.waits[th], &waitSite{occ{th: th, path: here, line: s.Line, col: s.Col}})
+			}
+		case *minilang.PrintStmt:
+			a.walkExpr(th, here, st, s.Expr)
+		case *minilang.IfStmt:
+			a.walkExpr(th, extend(prefix, frame{idx: i, sub: -1}), st, s.Cond)
+			thenSt := st.clone()
+			a.walkBlock(th, s.Then, extend(prefix, frame{idx: i, sub: 0}), thenSt)
+			elseSt := st.clone()
+			a.walkBlock(th, s.Else, extend(prefix, frame{idx: i, sub: 1}), elseSt)
+			*st = *merge(thenSt, elseSt)
+		case *minilang.WhileStmt:
+			if a.mute > 0 {
+				// Inside another loop's fixpoint trial: approximate the
+				// nested loop by the conservative bottom state instead
+				// of running a nested fixpoint (which would make trial
+				// walks exponential in loop-nesting depth).
+				a.bottomize(st)
+				continue
+			}
+			entry := a.loopFixpoint(th, s, prefix, i, st)
+			// Record the loop contents once, with the fixpoint entry
+			// state (valid for every iteration).
+			condPos := extend(prefix, frame{idx: i, sub: -1, loop: true})
+			a.walkExpr(th, condPos, entry, s.Cond)
+			bodySt := entry.clone()
+			a.walkBlock(th, s.Body, extend(prefix, frame{idx: i, sub: 0, loop: true}), bodySt)
+			a.spinCandidate(th, s, extend(prefix, frame{idx: i, sub: 0, loop: true}), entry)
+			*st = *entry.clone()
+		}
+	}
+}
+
+// loopFixpoint iterates the loop body's transfer function (without
+// recording) until the entry state is invariant, widening the max
+// arrival counts to infinity as soon as an iteration grows them. If the
+// cap is ever hit, the conservative bottom state is returned.
+func (a *analysis) loopFixpoint(th *thread, s *minilang.WhileStmt, prefix path, i int, st *wstate) *wstate {
+	entry := st.clone()
+	for iter := 0; iter < 100; iter++ {
+		trial := entry.clone()
+		a.mute++
+		a.walkBlock(th, s.Body, extend(prefix, frame{idx: i, sub: 0, loop: true}), trial)
+		a.mute--
+		next := merge(entry, trial)
+		for b, v := range next.bmax {
+			if v > entry.bmax[b] {
+				next.bmax[b] = infinity
+			}
+		}
+		if next.equal(entry) {
+			return entry
+		}
+		entry = next
+	}
+	a.bottomize(entry)
+	return entry
+}
+
+// bottomize drops a state to the sound worst case: no locks definitely
+// held, no names definitely local, every name that is declared local
+// anywhere possibly local, and arrival upper bounds unbounded (lower
+// bounds keep, since arrivals never un-happen).
+func (a *analysis) bottomize(st *wstate) {
+	st.held = map[string]int{}
+	st.defLocal = map[string]bool{}
+	for n := range a.localDecls {
+		st.mayLocal[n] = true
+	}
+	for b := range a.barriers {
+		st.bmax[b] = infinity
+	}
+}
+
+// spinCandidate recognizes the publication idiom
+//
+//	while l == 0 { l = v }    (also `0 == l` and `!l`)
+//
+// for a definitely-local l and a volatile v; validateSpins later checks
+// the program-wide side conditions that make the loop's exit witness the
+// program's unique nonzero write to v.
+func (a *analysis) spinCandidate(th *thread, s *minilang.WhileStmt, loopPos path, entry *wstate) {
+	if a.mute > 0 || len(s.Body) != 1 {
+		return
+	}
+	body, ok := s.Body[0].(*minilang.AssignStmt)
+	if !ok {
+		return
+	}
+	src, ok := body.Expr.(*minilang.VarExpr)
+	if !ok {
+		return
+	}
+	local := ""
+	switch c := s.Cond.(type) {
+	case *minilang.BinExpr:
+		if c.Op != "==" {
+			return
+		}
+		if v, ok := c.L.(*minilang.VarExpr); ok {
+			if n, ok := c.R.(*minilang.NumExpr); ok && n.Value == 0 {
+				local = v.Name
+			}
+		}
+		if local == "" {
+			if n, ok := c.L.(*minilang.NumExpr); ok && n.Value == 0 {
+				if v, ok := c.R.(*minilang.VarExpr); ok {
+					local = v.Name
+				}
+			}
+		}
+	case *minilang.UnExpr:
+		if c.Op != "!" {
+			return
+		}
+		if v, ok := c.E.(*minilang.VarExpr); ok {
+			local = v.Name
+		}
+	}
+	if local == "" || body.Name != local {
+		return
+	}
+	if !entry.defLocal[local] {
+		return
+	}
+	// The loop body must read the volatile unshadowed: v never declared
+	// local anywhere, not a shared name (shared shadows volatile).
+	if a.localDecls[src.Name] || a.shared[src.Name] || !a.volatiles[src.Name] {
+		return
+	}
+	// The loop occurrence itself: the while's construct frame.
+	lp := make(path, len(loopPos))
+	copy(lp, loopPos)
+	a.spins = append(a.spins, &spinCand{
+		loop:     occ{th: th, path: lp, line: s.Line, col: s.Col},
+		local:    local,
+		vol:      src.Name,
+		bodyStmt: body,
+	})
+}
+
+// validateSpins turns candidates into publication edges when the global
+// side conditions hold: the volatile has exactly one write site in the
+// whole program, a nonzero constant, from a single-instance thread; and
+// every other assignment to the spin local is the constant 0, so the
+// loop can only exit after reading that write.
+func (a *analysis) validateSpins() {
+	for _, sp := range a.spins {
+		ws := a.volWrites[sp.vol]
+		if len(ws) != 1 || !ws[0].constNonZero || ws[0].th.multi {
+			continue
+		}
+		ok := true
+		for _, as := range a.assignsByName[sp.local] {
+			if as == sp.bodyStmt {
+				continue
+			}
+			n, isNum := as.Expr.(*minilang.NumExpr)
+			if !isNum || n.Value != 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		a.spinEdges = append(a.spinEdges, spinEdge{write: ws[0].occ, loop: sp.loop})
+	}
+}
+
+// backBlock computes, walking backward, the minimum number of arrivals
+// at each barrier between a statement and its thread's exit, filling the
+// bafter field of the accesses recorded by the forward walk. It returns
+// the state holding at the block's entry.
+func (a *analysis) backBlock(stmts []minilang.Stmt, after map[string]int) map[string]int {
+	cur := cloneInts(after)
+	for i := len(stmts) - 1; i >= 0; i-- {
+		switch s := stmts[i].(type) {
+		case *minilang.AssignStmt:
+			if acc := a.writesByStmt[s]; acc != nil {
+				acc.bafter = cloneInts(cur)
+			}
+			a.backExpr(s.Expr, cur)
+		case *minilang.PrintStmt:
+			a.backExpr(s.Expr, cur)
+		case *minilang.AwaitStmt:
+			if _, ok := a.barriers[s.Barrier]; ok {
+				cur[s.Barrier]++
+			}
+		case *minilang.IfStmt:
+			b1 := a.backBlock(s.Then, cur)
+			b2 := a.backBlock(s.Else, cur)
+			cur = minInts(b1, b2)
+			a.backExpr(s.Cond, cur)
+		case *minilang.WhileStmt:
+			// Body occurrences take the last-iteration (minimal) path;
+			// positions before the loop may skip it entirely.
+			bodyEntry := a.backBlock(s.Body, cur)
+			cur = minInts(cur, bodyEntry)
+			a.backExpr(s.Cond, cur)
+		}
+		// Spawn bodies are separate threads with their own exits;
+		// locals, locks and waits do not arrive at barriers.
+	}
+	return cur
+}
+
+func (a *analysis) backExpr(e minilang.Expr, cur map[string]int) {
+	switch e := e.(type) {
+	case *minilang.VarExpr:
+		if acc := a.readsByExpr[e]; acc != nil {
+			acc.bafter = cloneInts(cur)
+		}
+	case *minilang.BinExpr:
+		a.backExpr(e.L, cur)
+		a.backExpr(e.R, cur)
+	case *minilang.UnExpr:
+		a.backExpr(e.E, cur)
+	}
+}
+
+func minInts(a, b map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range a {
+		if w, ok := b[k]; !ok || w < v {
+			v = w
+		}
+		if v > 0 {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// ----- ordering queries -----
+
+// chainTo returns the spawn site in anc on the path down to t, or nil if
+// anc is not a proper ancestor of t.
+func chainTo(anc, t *thread) *spawnSite {
+	for t != nil && t != anc {
+		if t.parent == anc {
+			return t.spawn
+		}
+		t = t.parent
+	}
+	return nil
+}
+
+func lca(a, b *thread) *thread {
+	anc := map[*thread]bool{}
+	for t := a; t != nil; t = t.parent {
+		anc[t] = true
+	}
+	for t := b; t != nil; t = t.parent {
+		if anc[t] {
+			return t
+		}
+	}
+	return nil
+}
+
+// joinBetween reports whether thread d contains a wait that definitely
+// joins the subtree spawned at sa before the position py (also in d) can
+// run: the wait follows sa on every path, precedes py, and executes
+// whenever sa does (its enclosing constructs all enclose sa too).
+func (a *analysis) joinBetween(d *thread, sa *spawnSite, py path) bool {
+	for _, w := range a.waits[d] {
+		if !defBefore(sa.path, w.path) || !defBefore(w.path, py) {
+			continue
+		}
+		encl := w.path[:len(w.path)-1]
+		if len(encl) > len(sa.path) {
+			continue
+		}
+		covered := true
+		for k := range encl {
+			if encl[k] != sa.path[k] {
+				covered = false
+				break
+			}
+		}
+		if covered {
+			return true
+		}
+	}
+	return false
+}
+
+// pointBefore reports whether every dynamic instance of position x (in
+// thread tx) completes before any instance of position y (in ty) starts,
+// by program order and the spawn/join structure alone.
+func (a *analysis) pointBefore(tx *thread, px path, ty *thread, py path) bool {
+	if tx == ty {
+		return !tx.multi && defBefore(px, py)
+	}
+	if s := chainTo(tx, ty); s != nil {
+		// x runs in an ancestor: before the spawn means before all of
+		// the descendant's work.
+		return defBefore(px, s.path)
+	}
+	if s := chainTo(ty, tx); s != nil {
+		// x runs in a descendant: y follows a covering join of x's
+		// subtree (children join their own children on exit, so joining
+		// the chain's top joins the whole subtree).
+		return a.joinBetween(ty, s, py)
+	}
+	d := lca(tx, ty)
+	if d == nil {
+		return false
+	}
+	sa, sb := chainTo(d, tx), chainTo(d, ty)
+	if sa == nil || sb == nil {
+		return false
+	}
+	return a.joinBetween(d, sa, sb.path)
+}
+
+// barrierOrdered reports whether x happens-before y through a barrier
+// phase: x precedes its thread's (k+1)-th arrival on every path (and
+// that arrival always happens), and y follows its own thread's (k+1)-th
+// arrival. Valid only when the barrier's arriving threads are exactly
+// its declared parties and all single-instance, so rounds are the
+// lockstep pairing of each thread's r-th arrival.
+func (a *analysis) barrierOrdered(x, y *access) bool {
+	if x.th == y.th {
+		return false
+	}
+	for b, parties := range a.barriers {
+		ths := a.awaitThreads[b]
+		if len(ths) != parties {
+			continue
+		}
+		if !ths[x.th] || !ths[y.th] {
+			continue
+		}
+		multi := false
+		for t := range ths {
+			if t.multi {
+				multi = true
+				break
+			}
+		}
+		if multi {
+			continue
+		}
+		k := x.bmax[b]
+		if k >= infinity {
+			continue
+		}
+		if k+1 <= x.bmin[b]+x.bafter[b] && k+1 <= y.bmin[b] {
+			return true
+		}
+	}
+	return false
+}
+
+// spinOrdered reports whether x happens-before y through a validated
+// volatile publication: x definitely precedes the unique nonzero write
+// to the volatile, and y definitely follows a spin loop that cannot exit
+// without having read that write.
+func (a *analysis) spinOrdered(x, y *access) bool {
+	for _, e := range a.spinEdges {
+		if a.pointBefore(x.th, x.path, e.write.th, e.write.path) &&
+			a.pointBefore(e.loop.th, e.loop.path, y.th, y.path) {
+			return true
+		}
+	}
+	return false
+}
+
+// mhp reports whether two access sites may run in parallel.
+func (a *analysis) mhp(x, y *access) bool {
+	if x.th == y.th {
+		// One thread instance is program-ordered; only multi threads
+		// race with themselves (two instances, any two positions).
+		return x.th.multi
+	}
+	if a.pointBefore(x.th, x.path, y.th, y.path) || a.pointBefore(y.th, y.path, x.th, x.path) {
+		return false
+	}
+	if a.barrierOrdered(x, y) || a.barrierOrdered(y, x) {
+		return false
+	}
+	if a.spinOrdered(x, y) || a.spinOrdered(y, x) {
+		return false
+	}
+	return true
+}
+
+func disjoint(a, b []string) bool {
+	seen := map[string]bool{}
+	for _, x := range a {
+		seen[x] = true
+	}
+	for _, x := range b {
+		if seen[x] {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *analysis) site(x *access) Site {
+	return Site{
+		Thread:  x.th.name,
+		Line:    x.line,
+		Col:     x.col,
+		Write:   x.write,
+		Lockset: append([]string{}, x.lockset...),
+	}
+}
+
+func (a *analysis) result() *Result {
+	res := &Result{Threads: len(a.threads), Accesses: len(a.accesses)}
+	for i, x := range a.accesses {
+		for j := i; j < len(a.accesses); j++ {
+			y := a.accesses[j]
+			if x.name != y.name || (!x.write && !y.write) {
+				continue
+			}
+			if i == j {
+				// A site races with itself only across instances of a
+				// multi thread, only if it writes, and only unlocked —
+				// two instances holding the same lock are serialized.
+				if !x.th.multi || !x.write || len(x.lockset) > 0 {
+					continue
+				}
+				res.Warnings = append(res.Warnings, Warning{Var: x.name, A: a.site(x), B: a.site(x), SelfRace: true})
+				continue
+			}
+			if !disjoint(x.lockset, y.lockset) {
+				continue
+			}
+			if !a.mhp(x, y) {
+				continue
+			}
+			wa, wb := a.site(x), a.site(y)
+			if siteLess(wb, wa) {
+				wa, wb = wb, wa
+			}
+			res.Warnings = append(res.Warnings, Warning{Var: x.name, A: wa, B: wb})
+		}
+	}
+	sort.Slice(res.Warnings, func(i, j int) bool {
+		wi, wj := res.Warnings[i], res.Warnings[j]
+		if wi.Var != wj.Var {
+			return wi.Var < wj.Var
+		}
+		if siteLess(wi.A, wj.A) != siteLess(wj.A, wi.A) {
+			return siteLess(wi.A, wj.A)
+		}
+		return siteLess(wi.B, wj.B)
+	})
+	return res
+}
+
+func siteLess(a, b Site) bool {
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	if a.Col != b.Col {
+		return a.Col < b.Col
+	}
+	if a.Write != b.Write {
+		return !a.Write // reads order before writes at the same position
+	}
+	return a.Thread < b.Thread
+}

@@ -1,0 +1,215 @@
+// Package crosscheck cross-validates the static race analyzer against the
+// verified dynamic detector: for a corpus of minilang programs it explores
+// controlled schedules under the v2 detector and checks that every race
+// the dynamic tier ever observes is covered by a static warning on the
+// same variable (soundness — an inclusion the analyzer is designed around,
+// so a violation is an analyzer bug), while measuring what fraction of
+// static warnings some schedule actually confirms (precision — expected
+// to be well below 1, since the lockset discipline rejects consistently-
+// but-differently-locked programs that never race).
+package crosscheck
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/conformance"
+	"repro/internal/core"
+	"repro/internal/minilang"
+	"repro/internal/rtsim"
+	"repro/internal/sched"
+	"repro/internal/staticrace"
+)
+
+// Program is one corpus entry: a named minilang source plus the schedule
+// policies it is safe to explore under. PCT starves spin loops once its
+// change points are spent, so programs with condition-variable-style
+// spinning (pipeline.vft) are random-walk only; the generator never emits
+// spin loops, so generated programs take both policies.
+type Program struct {
+	Name     string
+	Source   string
+	Policies []string
+}
+
+// Corpus assembles the cross-validation corpus: every shipped example
+// under examplesDir (random-walk only, see Program) plus `generated`
+// seed-deterministic programs from minilang.GenSource (PCT and random).
+func Corpus(examplesDir string, generated int) ([]Program, error) {
+	paths, err := filepath.Glob(filepath.Join(examplesDir, "*.vft"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("crosscheck: no examples under %s", examplesDir)
+	}
+	sort.Strings(paths)
+	var corpus []Program
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		corpus = append(corpus, Program{
+			Name:     filepath.Base(p),
+			Source:   string(src),
+			Policies: []string{"random"},
+		})
+	}
+	for i := 0; i < generated; i++ {
+		corpus = append(corpus, Program{
+			Name:     fmt.Sprintf("gen-%03d", i),
+			Source:   minilang.GenSource(int64(i) + 1),
+			Policies: []string{"pct", "random"},
+		})
+	}
+	return corpus, nil
+}
+
+// Options configures one program's exploration.
+type Options struct {
+	// Schedules per policy.
+	Schedules int
+	// SeedBase derives per-schedule seeds via conformance.ScheduleSeed,
+	// so every run is replayable from the printed numbers.
+	SeedBase uint64
+	// Detector names the dynamic detector (default vft-v2, the verified
+	// algorithm).
+	Detector string
+}
+
+// DefaultOptions explores 6 schedules per policy under vft-v2.
+func DefaultOptions() Options {
+	return Options{Schedules: 6, SeedBase: 1, Detector: "vft-v2"}
+}
+
+// Result is the static/dynamic comparison for one program, at shared-
+// variable granularity (the finest level at which the two tiers name the
+// same thing: a static warning cites source positions, a dynamic report
+// cites an epoch).
+type Result struct {
+	Name string
+	// StaticVars are the shared variables with at least one static warning.
+	StaticVars []string
+	// DynamicVars are the shared variables the dynamic detector reported
+	// a race on, under any explored schedule.
+	DynamicVars []string
+	// Missed = DynamicVars \ StaticVars: dynamically observed races with
+	// no static warning. Soundness demands this be empty.
+	Missed []string
+	// Schedules is the total number of schedules explored (all policies).
+	Schedules int
+}
+
+// Sound reports whether every dynamically observed race was statically
+// warned about.
+func (r *Result) Sound() bool { return len(r.Missed) == 0 }
+
+// Check parses and statically analyzes one program, explores controlled
+// schedules under every listed policy, and compares the two tiers.
+func Check(p Program, opts Options) (*Result, error) {
+	prog, err := minilang.Parse(p.Source)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", p.Name, err)
+	}
+	res := &Result{Name: p.Name, StaticVars: staticrace.Analyze(prog).VarsWarned()}
+
+	// Dynamic variable ids follow the interpreter's environment layout:
+	// shared names sorted, id i = sorted name i.
+	names := append([]string(nil), prog.Shared...)
+	sort.Strings(names)
+
+	dyn := map[string]bool{}
+	for pi, policy := range p.Policies {
+		base := opts.SeedBase + uint64(pi)*0x9e3779b97f4a7c15
+		for j := 0; j < opts.Schedules; j++ {
+			seed := conformance.ScheduleSeed(base, j)
+			pol, err := sched.NewPolicy(policy, seed)
+			if err != nil {
+				return nil, err
+			}
+			d, err := core.New(opts.Detector, core.DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			rt := rtsim.NewControlled(d, sched.New(pol))
+			execErr := minilang.ExecOn(prog, rt, io.Discard)
+			rt.Shutdown()
+			if execErr != nil {
+				return nil, fmt.Errorf("%s under %s(seed=%#x): %w", p.Name, policy, seed, execErr)
+			}
+			for _, rep := range rt.Reports() {
+				if int(rep.X) < len(names) {
+					dyn[names[rep.X]] = true
+				}
+			}
+			res.Schedules++
+		}
+	}
+	for v := range dyn {
+		res.DynamicVars = append(res.DynamicVars, v)
+	}
+	sort.Strings(res.DynamicVars)
+	warned := map[string]bool{}
+	for _, v := range res.StaticVars {
+		warned[v] = true
+	}
+	for _, v := range res.DynamicVars {
+		if !warned[v] {
+			res.Missed = append(res.Missed, v)
+		}
+	}
+	return res, nil
+}
+
+// Summary aggregates Results over a corpus.
+type Summary struct {
+	Programs  int
+	Schedules int
+	// StaticPairs counts (program, variable) pairs with a static warning;
+	// ConfirmedPairs those among them some schedule dynamically confirmed;
+	// DynamicPairs all dynamically racy pairs.
+	StaticPairs    int
+	ConfirmedPairs int
+	DynamicPairs   int
+	// Unsound lists every "program: variable" whose dynamic race had no
+	// static warning. Soundness = empty.
+	Unsound []string
+}
+
+// Add folds one program's result into the summary.
+func (s *Summary) Add(r *Result) {
+	s.Programs++
+	s.Schedules += r.Schedules
+	s.StaticPairs += len(r.StaticVars)
+	s.DynamicPairs += len(r.DynamicVars)
+	dyn := map[string]bool{}
+	for _, v := range r.DynamicVars {
+		dyn[v] = true
+	}
+	for _, v := range r.StaticVars {
+		if dyn[v] {
+			s.ConfirmedPairs++
+		}
+	}
+	for _, v := range r.Missed {
+		s.Unsound = append(s.Unsound, fmt.Sprintf("%s: %s", r.Name, v))
+	}
+}
+
+// Precision is the fraction of statically warned (program, variable)
+// pairs that dynamic exploration confirmed. 1 if nothing was warned.
+func (s *Summary) Precision() float64 {
+	if s.StaticPairs == 0 {
+		return 1
+	}
+	return float64(s.ConfirmedPairs) / float64(s.StaticPairs)
+}
+
+func (s *Summary) String() string {
+	return fmt.Sprintf("%d programs, %d schedules: %d static pairs, %d confirmed (precision %.2f), %d dynamic, %d unsound",
+		s.Programs, s.Schedules, s.StaticPairs, s.ConfirmedPairs, s.Precision(), s.DynamicPairs, len(s.Unsound))
+}

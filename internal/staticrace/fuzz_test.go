@@ -1,0 +1,58 @@
+package staticrace
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/minilang"
+)
+
+// FuzzStaticNoPanic checks that Analyze is total: on any program the
+// parser accepts — however degenerate — the analyzer terminates without
+// panicking. vft-lint runs it on user-controlled files before anything
+// else, so this is the same contract FuzzParse establishes one layer
+// down. Seeds are the shipped examples plus shapes aimed at the
+// analyzer's edges: loops around spawns, deeply nested while/if, barriers
+// with mismatched parties, spin-loop candidates, shadowing, and
+// undeclared names.
+func FuzzStaticNoPanic(f *testing.F) {
+	examples, err := filepath.Glob(filepath.Join("..", "..", "examples", "minilang", "*.vft"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(examples) == 0 {
+		f.Fatal("no example programs found for the seed corpus")
+	}
+	for _, path := range examples {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	for _, seed := range []string{
+		"",
+		"shared x\nwhile 1 { spawn { x = 1\n} }\nwait\n",
+		"shared x\nwhile x { while x { while x { x = x + 1\n} } }\n",
+		"shared x\nbarrier b 3\nspawn { await b\nx = 1\n}\nawait b\nwait\n",
+		"shared x\nvolatile v\nspawn { v = 1\n}\nwhile x == 0 { x = v\n}\nprint x\n",
+		"shared x\nlocal x\nx = 1\nspawn { x = 2\n}\nwait\n",
+		"x = y + z\n",
+		"shared x\nlock m\nacquire m\nacquire m\nx = 1\n",
+		"shared x\nif x { spawn { x = 1\n} } else { spawn { x = 2\n} }\nwait\n",
+		"shared x\nspawn { spawn { spawn { x = 1\n} } }\nx = 2\nwait\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := minilang.Parse(src)
+		if err != nil {
+			return
+		}
+		res := Analyze(prog)
+		if res == nil {
+			t.Fatal("Analyze returned nil on a parseable program")
+		}
+	})
+}

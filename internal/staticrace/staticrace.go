@@ -1,0 +1,123 @@
+// Package staticrace is a static lockset / may-happen-in-parallel race
+// analyzer over minilang ASTs — the pre-execution tier that complements
+// the repository's dynamic detectors.
+//
+// Where the dynamic tier (FastTrack/VerifiedFT over rtsim events) is
+// precise for one observed schedule, this analyzer over-approximates all
+// schedules: it computes
+//
+//   - an abstract-thread tree from the program's spawn/wait structure
+//     (a spawn under a loop is a *multi* thread: its instances may run
+//     in parallel with each other),
+//   - a may-happen-in-parallel (MHP) relation between shared-variable
+//     accesses of distinct (or multi) abstract threads, refined by the
+//     fork/join structure, by barrier-phase counting, and by a
+//     volatile spin-publication idiom, and
+//   - Eraser-style locksets per access, flow-sensitive within a block
+//     and joined (intersected) over if branches and while loops,
+//
+// and warns on every pair of MHP accesses to the same shared variable
+// where at least one side is a write and the two locksets are disjoint.
+// Volatile accesses never race (§2 of the paper: they synchronize), and
+// accesses in barrier-separated phases are not MHP.
+//
+// The analysis is deliberately *sound* (for terminating runs): every race
+// any execution can exhibit is covered by a warning, at the price of
+// false positives the cross-validation harness (see the crosscheck
+// subpackage) measures as precision. Every MHP refinement therefore errs
+// toward "parallel" and every lockset join toward "fewer locks".
+package staticrace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/minilang"
+)
+
+// Site is one static shared-variable access: where it is, who runs it,
+// and what locks are definitely held there.
+type Site struct {
+	// Thread names the abstract thread: "main", or a chain like
+	// "main/spawn@7"; a trailing "*" marks a multi thread (spawned in a
+	// loop, so several instances may be live at once).
+	Thread string `json:"thread"`
+	Line   int    `json:"line"`
+	Col    int    `json:"col"`
+	Write  bool   `json:"write"`
+	// Lockset is the sorted set of locks definitely held at the access.
+	Lockset []string `json:"lockset"`
+}
+
+func (s Site) kind() string {
+	if s.Write {
+		return "write"
+	}
+	return "read"
+}
+
+func (s Site) locks() string {
+	return "{" + strings.Join(s.Lockset, ",") + "}"
+}
+
+// Warning is one potential race: two may-happen-in-parallel accesses to
+// the same shared variable, at least one a write, with disjoint locksets.
+type Warning struct {
+	Var string `json:"var"`
+	A   Site   `json:"a"`
+	B   Site   `json:"b"`
+	// SelfRace marks a single static site racing with itself across
+	// instances of a multi thread.
+	SelfRace bool `json:"self_race,omitempty"`
+}
+
+// String renders the warning with both source positions and the lockset
+// evidence, in the style of a compiler diagnostic.
+func (w Warning) String() string {
+	if w.SelfRace {
+		return fmt.Sprintf("%d:%d: race on %s: %s by %s holding %s may run in parallel with itself (thread spawned in a loop)",
+			w.A.Line, w.A.Col, w.Var, w.A.kind(), w.A.Thread, w.A.locks())
+	}
+	return fmt.Sprintf("%d:%d: race on %s: %s by %s holding %s, concurrent %s at %d:%d by %s holding %s",
+		w.A.Line, w.A.Col, w.Var, w.A.kind(), w.A.Thread, w.A.locks(),
+		w.B.kind(), w.B.Line, w.B.Col, w.B.Thread, w.B.locks())
+}
+
+// Result is the analyzer's output.
+type Result struct {
+	Warnings []Warning `json:"warnings"`
+	// Threads counts the abstract threads (main included).
+	Threads int `json:"threads"`
+	// Accesses counts the analyzed static shared-variable access sites.
+	Accesses int `json:"accesses"`
+}
+
+// VarsWarned returns the sorted set of shared variables with at least one
+// warning — the granularity at which the cross-validation harness compares
+// the static tier against dynamically observed races.
+func (r *Result) VarsWarned() []string {
+	seen := map[string]bool{}
+	for _, w := range r.Warnings {
+		seen[w.Var] = true
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Analyze runs the static analysis on a parsed program. It is total: any
+// program Parse accepts is analyzable (including ones the interpreter
+// would reject at runtime, e.g. for redeclared names — name resolution
+// mirrors the interpreter's locals-then-shared-then-volatiles order).
+func Analyze(prog *minilang.Program) *Result {
+	if prog == nil {
+		return &Result{}
+	}
+	a := newAnalysis(prog)
+	a.run()
+	return a.result()
+}

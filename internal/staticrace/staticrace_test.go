@@ -1,0 +1,107 @@
+package staticrace
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/minilang"
+)
+
+// golden pins the analyzer's exact output — positions, locksets, thread
+// names, ordering — on every shipped example. A behavior change that
+// shifts any of these must update this table deliberately.
+var golden = map[string][]string{
+	"account.vft": {
+		"15:9: race on audit: write by main/spawn@8 holding {}, concurrent write at 25:5 by main holding {}",
+		"15:9: race on audit: write by main/spawn@8 holding {}, concurrent read at 25:13 by main holding {}",
+		"15:17: race on audit: read by main/spawn@8 holding {}, concurrent write at 25:5 by main holding {}",
+	},
+	"mislocked.vft": {
+		"15:5: race on x: write by main/spawn@13 holding {a}, concurrent write at 23:1 by main holding {b}",
+		"15:5: race on x: write by main/spawn@13 holding {a}, concurrent read at 23:5 by main holding {b}",
+		"15:5: race on x: write by main/spawn@13 holding {a}, concurrent read at 25:7 by main holding {}",
+		"15:9: race on x: read by main/spawn@13 holding {a}, concurrent write at 23:1 by main holding {b}",
+	},
+	"phases.vft":       {},
+	"philosophers.vft": {},
+	"pipeline.vft":     {},
+	"respawn.vft": {
+		"15:9: race on hits: write by main/spawn@14* holding {} may run in parallel with itself (thread spawned in a loop)",
+		"15:9: race on hits: write by main/spawn@14* holding {}, concurrent read at 15:16 by main/spawn@14* holding {}",
+	},
+	"window.vft": {
+		"19:9: race on x: write by main/spawn@15 holding {}, concurrent write at 23:1 by main holding {}",
+	},
+}
+
+func TestGoldenExamples(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "minilang", "*.vft"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no example programs found")
+	}
+	seen := map[string]bool{}
+	for _, path := range paths {
+		name := filepath.Base(path)
+		seen[name] = true
+		t.Run(name, func(t *testing.T) {
+			want, ok := golden[name]
+			if !ok {
+				t.Fatalf("no golden entry for %s: add one (every shipped example must be pinned)", name)
+			}
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := minilang.Parse(string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := Analyze(prog)
+			if len(res.Warnings) != len(want) {
+				t.Fatalf("got %d warnings, want %d:\ngot:  %v\nwant: %v",
+					len(res.Warnings), len(want), render(res), want)
+			}
+			for i, w := range res.Warnings {
+				if w.String() != want[i] {
+					t.Errorf("warning %d:\ngot:  %s\nwant: %s", i, w.String(), want[i])
+				}
+			}
+		})
+	}
+	for name := range golden {
+		if !seen[name] {
+			t.Errorf("golden entry %s has no example file", name)
+		}
+	}
+}
+
+func render(res *Result) []string {
+	out := make([]string, len(res.Warnings))
+	for i, w := range res.Warnings {
+		out[i] = w.String()
+	}
+	return out
+}
+
+func TestAnalyzeNil(t *testing.T) {
+	res := Analyze(nil)
+	if res == nil || len(res.Warnings) != 0 {
+		t.Fatalf("Analyze(nil) = %v, want empty result", res)
+	}
+}
+
+// TestVarsWarned checks the distinct-variable view used by crosscheck.
+func TestVarsWarned(t *testing.T) {
+	prog, err := minilang.Parse("shared b, a\nspawn { a = 1\nb = 2\n}\na = 3\nb = 4\nwait\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Analyze(prog).VarsWarned()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("VarsWarned = %v, want [a b]", got)
+	}
+}

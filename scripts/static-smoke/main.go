@@ -1,0 +1,121 @@
+// Command static-smoke exercises the static analysis tier end to end the
+// way a pre-commit gate would: it builds vft-lint, runs it over every
+// shipped example program, and verifies the verdicts through the exit
+// codes — racy examples (including the schedule-hidden and falsely-locked
+// ones, which a single dynamic run misses) must warn with positioned
+// diagnostics, race-free ones must pass clean, and -json must emit valid
+// JSON. It is a Go program rather than a shell script so `make
+// static-smoke` works on any machine with just the toolchain.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() { os.Exit(run()) }
+
+func fail(format string, args ...any) int {
+	fmt.Fprintf(os.Stderr, "static-smoke: FAIL: "+format+"\n", args...)
+	return 1
+}
+
+// position matches the file:line:col: prefix every warning must carry.
+var position = regexp.MustCompile(`^[^:]+\.vft:\d+:\d+: race on `)
+
+func run() int {
+	tmp, err := os.MkdirTemp("", "static-smoke")
+	if err != nil {
+		return fail("%v", err)
+	}
+	defer os.RemoveAll(tmp)
+
+	bin := filepath.Join(tmp, "vft-lint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/vft-lint")
+	build.Stdout, build.Stderr = os.Stdout, os.Stderr
+	if err := build.Run(); err != nil {
+		return fail("build: %v", err)
+	}
+
+	cases := []struct {
+		example  string
+		wantExit int
+	}{
+		{"account.vft", 1},   // the paper's racy audit
+		{"window.vft", 1},    // racy, but hidden from a single dynamic run
+		{"respawn.vft", 1},   // a loop-spawned thread racing with itself
+		{"mislocked.vft", 1}, // a deliberate static false positive
+		{"pipeline.vft", 0},  // clean via volatile spin publication + barrier
+		{"philosophers.vft", 0},
+		{"phases.vft", 0}, // clean via barrier-phase separation
+	}
+	for _, c := range cases {
+		path := filepath.Join("examples", "minilang", c.example)
+		if _, err := os.Stat(path); err != nil {
+			return fail("%s: %v", c.example, err)
+		}
+		out, exit, err := runLint(bin, path)
+		if err != nil {
+			return fail("%s: %v", c.example, err)
+		}
+		if exit != c.wantExit {
+			return fail("%s: exit %d, want %d\noutput:\n%s", c.example, exit, c.wantExit, out)
+		}
+		if c.wantExit == 1 {
+			for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+				if !position.MatchString(line) {
+					return fail("%s: warning without a file:line:col position: %q", c.example, line)
+				}
+			}
+		} else if strings.TrimSpace(out) != "" {
+			return fail("%s: expected no output on a clean program, got:\n%s", c.example, out)
+		}
+		fmt.Printf("static-smoke: %-18s exit=%d ok\n", c.example, exit)
+	}
+
+	// -json over a racy and a clean file must parse and carry the verdict.
+	out, exit, err := runLint(bin, "-json",
+		filepath.Join("examples", "minilang", "account.vft"),
+		filepath.Join("examples", "minilang", "phases.vft"))
+	if err != nil {
+		return fail("-json: %v", err)
+	}
+	if exit != 1 {
+		return fail("-json: exit %d, want 1", exit)
+	}
+	var files []struct {
+		File     string            `json:"file"`
+		Warnings []json.RawMessage `json:"warnings"`
+	}
+	if err := json.Unmarshal([]byte(out), &files); err != nil {
+		return fail("-json: invalid JSON: %v\n%s", err, out)
+	}
+	if len(files) != 2 || len(files[0].Warnings) == 0 || len(files[1].Warnings) != 0 {
+		return fail("-json: unexpected shape: %s", out)
+	}
+	fmt.Println("static-smoke: -json ok")
+	fmt.Println("static-smoke: PASS")
+	return 0
+}
+
+// runLint runs the built vft-lint with args, returning combined stdout,
+// the exit code, and any non-exit error.
+func runLint(bin string, args ...string) (string, int, error) {
+	cmd := exec.Command(bin, args...)
+	var sb strings.Builder
+	cmd.Stdout = &sb
+	cmd.Stderr = os.Stderr
+	err := cmd.Run()
+	if err == nil {
+		return sb.String(), 0, nil
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return sb.String(), ee.ExitCode(), nil
+	}
+	return sb.String(), -1, err
+}
