@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race vet lint bench metrics-smoke stream-smoke static-smoke fuzz fuzz-smoke soak coverage clean
+.PHONY: all build test race vet lint bench bench-parallel metrics-smoke stream-smoke static-smoke par-smoke fuzz fuzz-smoke soak coverage clean
 
 all: build
 
@@ -30,6 +30,12 @@ lint: vet
 bench:
 	$(GO) run ./cmd/vft-bench -quick -iters 3
 
+# The sequential-vs-sharded checking comparison (EXPERIMENTS.md E17);
+# BENCH_parallel.json lands in the repo root. Drop -quick to reproduce the
+# committed numbers at the paper-scale trace sizes.
+bench-parallel:
+	$(GO) run ./cmd/vft-bench -parallel 1,2,4,8 -quick -iters 3
+
 # End-to-end check of the live metrics endpoint: runs vft-bench with
 # -metrics-addr and scrapes /metrics + /debug/vars while it serves.
 metrics-smoke:
@@ -45,6 +51,12 @@ stream-smoke:
 static-smoke:
 	$(GO) run ./scripts/static-smoke
 
+# End-to-end check of the parallel checker under the Go race detector:
+# a ~100k-op generated trace must produce byte-identical report lists
+# sequentially and with WithParallelism(4), for every detector variant.
+par-smoke:
+	$(GO) run -race ./scripts/par-smoke
+
 # The differential fuzzers: the sequential trace fuzzer, the controlled
 # schedule explorer, then a bounded run of each coverage-guided target.
 fuzz:
@@ -56,6 +68,7 @@ fuzz:
 	$(GO) test ./internal/minilang -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/spec -run '^$$' -fuzz FuzzPrecision -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/staticrace -run '^$$' -fuzz FuzzStaticNoPanic -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/parcheck -run '^$$' -fuzz FuzzParallelEquivalence -fuzztime $(FUZZTIME)
 
 # Quick pass over every coverage-guided target's checked-in seed corpus
 # (no fuzzing time budget — just the deterministic seeds, as CI does).
@@ -64,6 +77,7 @@ fuzz-smoke:
 	$(GO) test ./internal/minilang -run 'FuzzParse' -count 1
 	$(GO) test ./internal/spec -run 'FuzzPrecision' -count 1
 	$(GO) test ./internal/staticrace -run 'FuzzStaticNoPanic' -count 1
+	$(GO) test ./internal/parcheck -run 'FuzzParallelEquivalence' -count 1
 
 # Long-running schedule exploration (hundreds of schedules per program).
 soak:
@@ -74,4 +88,4 @@ coverage:
 	$(GO) tool cover -func=coverage.out | tail -n 1
 
 clean:
-	rm -f coverage.out BENCH_table1.json
+	rm -f coverage.out BENCH_table1.json BENCH_parallel.json

@@ -20,6 +20,7 @@ import (
 	httppprof "net/http/pprof"
 	"os"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -30,6 +31,7 @@ import (
 	"repro/internal/hb"
 	"repro/internal/minilang"
 	"repro/internal/obs"
+	"repro/internal/parcheck"
 	"repro/internal/rtsim"
 	"repro/internal/sched"
 	"repro/internal/spec"
@@ -205,6 +207,8 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 		"comma-separated detector variants (append +elide for check elision)")
 	programs := fs.String("programs", "", "comma-separated program subset (default: whole suite)")
 	ablation := fs.Bool("ablation", false, "also run the §3 rule-change ablations")
+	parallel := fs.String("parallel", "",
+		"comma-separated worker counts (e.g. 1,2,4,8): run the parallel-checking benchmark (EXPERIMENTS.md E17) instead of Table 1; 1 is the sequential baseline; uses the -detectors variant when exactly one is named, else vft-v2")
 	traceFile := fs.String("trace", "",
 		"benchmark the detectors over this recorded trace (text, binary or gzip) instead of the workload suite")
 	format := fs.String("format", "text", "output format: text or csv")
@@ -224,6 +228,13 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 
 	if *traceFile != "" {
 		return benchTrace(*traceFile, splitList(*detectors), *iters, *warmup, stdout, stderr)
+	}
+	if *parallel != "" {
+		path := *jsonPath
+		if path == "BENCH_table1.json" {
+			path = "BENCH_parallel.json" // the -json default names the other table
+		}
+		return benchParallel(*parallel, splitList(*detectors), *programs, *iters, *warmup, *quick, path, stdout, stderr)
 	}
 
 	opts := harness.Options{
@@ -341,6 +352,55 @@ func benchTrace(path string, detectors []string, iters, warmup int, stdout, stde
 		}
 		fmt.Fprintf(stdout, "%-10s %14.0f ops/sec  (best %v)\n",
 			v, float64(len(low))/best.Seconds(), best)
+	}
+	return 0
+}
+
+// benchParallel is vft-bench -parallel: the sequential-vs-sharded
+// end-to-end comparison of EXPERIMENTS.md E17, written to
+// BENCH_parallel.json unless -json renames or disables it.
+func benchParallel(workerSpec string, detectors []string, programs string, iters, warmup int, quick bool, jsonPath string, stdout, stderr io.Writer) int {
+	var workers []int
+	for _, w := range splitList(workerSpec) {
+		n, err := strconv.Atoi(w)
+		if err != nil || n < 1 {
+			fmt.Fprintf(stderr, "vft-bench: -parallel wants positive worker counts, got %q\n", w)
+			return 2
+		}
+		workers = append(workers, n)
+	}
+	opts := harness.DefaultParallelOptions()
+	opts.Warmup, opts.Iters, opts.Workers, opts.Quick = warmup, iters, workers, quick
+	if len(detectors) == 1 {
+		opts.Variant = detectors[0]
+	}
+	if programs != "" {
+		opts.Programs = splitList(programs)
+	}
+	table, err := harness.RunParallel(opts)
+	if err != nil {
+		fmt.Fprintln(stderr, "vft-bench:", err)
+		return 2
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "vft-bench:", err)
+			return 2
+		}
+		err = table.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "vft-bench:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "vft-bench: wrote %s\n", jsonPath)
+	}
+	if err := table.Format(stdout); err != nil {
+		fmt.Fprintln(stderr, "vft-bench:", err)
+		return 2
 	}
 	return 0
 }
@@ -722,6 +782,8 @@ func RunProg(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	runs := fs.Int("runs", 1, "number of executions (races are schedule-dependent; more runs, more schedules)")
 	traceMode := fs.Bool("trace", false,
 		"treat the input as a trace to re-execute (automatic for binary and gzip inputs)")
+	parallelN := fs.Int("parallel", 1,
+		"check a trace input offline with this many shard workers (0 = all cores) instead of re-executing it; deterministic, and incompatible with -runs > 1 and -static")
 	static := fs.Bool("static", false,
 		"run the static race analyzer on the program before executing it (warnings go to stderr; the exit code still reflects the dynamic runs — use vft-lint to gate on static warnings)")
 	metricsAddr := fs.String("metrics-addr", "",
@@ -768,11 +830,30 @@ func RunProg(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "vft-run: -static applies to program sources, not traces")
 			return 2
 		}
+		if *parallelN != 1 {
+			// The parallel checker replays the recorded interleaving
+			// offline, so repeating it is pointless (it is deterministic,
+			// unlike re-execution) and -runs > 1 is rejected rather than
+			// silently re-measured.
+			if *runs > 1 {
+				fmt.Fprintln(stderr, "vft-run: -parallel replays offline deterministically; -runs must be 1")
+				return 2
+			}
+			if *variant == "none" {
+				fmt.Fprintln(stderr, "vft-run: -parallel needs a detector variant, not 'none'")
+				return 2
+			}
+			return runTraceParallel(br, path, *variant, *parallelN, reg, stdout, stderr)
+		}
 		if (path == "-" || path == "") && *runs > 1 {
 			fmt.Fprintln(stderr, "vft-run: -runs > 1 needs a re-readable file, not stdin")
 			return 2
 		}
 		return runTrace(path, br, *variant, *runs, reg, rtOpts, stdout, stderr)
+	}
+	if *parallelN != 1 {
+		fmt.Fprintln(stderr, "vft-run: -parallel applies to trace inputs (use -trace for text traces)")
+		return 2
 	}
 	src, err := io.ReadAll(br)
 	if err != nil {
@@ -870,6 +951,65 @@ func runTrace(path string, in io.Reader, variant string, runs int, reg *obs.Regi
 		fmt.Fprintf(stdout, "[%s] no races detected over %d run(s)\n", variant, runs)
 	}
 	return 0
+}
+
+// runTraceParallel is vft-run -parallel: materialize the trace and check
+// it offline through the variable-sharded parallel checker. The report
+// set equals the sequential offline replay of the recorded interleaving
+// (schedule-independent, unlike re-execution), printed deduplicated per
+// variable like the other modes. With -metrics-addr, the checker's
+// "parcheck" source lands in the registry.
+func runTraceParallel(in io.Reader, path, variant string, workers int, reg *obs.Registry, stdout, stderr io.Writer) int {
+	src, err := trace.NewDecoder(in)
+	if err != nil {
+		fmt.Fprintln(stderr, "vft-run:", err)
+		return 2
+	}
+	tr, err := trace.ReadAll(src)
+	if err != nil {
+		fmt.Fprintln(stderr, "vft-run:", err)
+		return 2
+	}
+	ids := trace.Scan(tr)
+	var reports []core.Report
+	pprof.Do(context.Background(), pprof.Labels("program", path, "detector", variant), func(context.Context) {
+		reports, err = parcheck.CheckTrace(tr, nil, parcheck.Options{
+			Variant: variant,
+			Workers: workers,
+			Threads: clampTableHint(ids.Threads, 1<<16),
+			Vars:    clampTableHint(ids.Vars, 1<<20),
+			Locks:   clampTableHint(ids.Locks, 1<<20),
+			Metrics: reg,
+		})
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "vft-run:", err)
+		return 2
+	}
+	seen := map[trace.Var]bool{}
+	for _, r := range reports {
+		if !seen[r.X] {
+			seen[r.X] = true
+			fmt.Fprintln(stdout, r)
+		}
+	}
+	if len(reports) > 0 {
+		return 1
+	}
+	fmt.Fprintf(stdout, "[%s] no races detected (parallel offline check, %d ops)\n", variant, len(tr))
+	return 0
+}
+
+// clampTableHint bounds a prescan size hint so hostile sparse ids in an
+// input file cannot force huge eager shadow allocations.
+func clampTableHint(n, max int) int {
+	if n < 1 {
+		return 1
+	}
+	if n > max {
+		return max
+	}
+	return n
 }
 
 // runTraceOnce re-executes one trace stream as a live concurrent program.

@@ -270,6 +270,69 @@ func TestStreamingCommandSmoke(t *testing.T) {
 		}
 	})
 
+	t.Run("vft-run/parallel-racy-stdin", func(t *testing.T) {
+		code, out := runCmdBytes(t, t.TempDir(), bin("vft-run"), gz(encodeBin(racy)),
+			"-parallel", "4", "-")
+		if code != 1 || !strings.Contains(out, "race") {
+			t.Fatalf("exit %d, want 1 with a report\n%s", code, out)
+		}
+	})
+	t.Run("vft-run/parallel-clean-text", func(t *testing.T) {
+		var txt bytes.Buffer
+		trace.Encode(&txt, clean)
+		code, out := runCmdBytes(t, t.TempDir(), bin("vft-run"), txt.Bytes(),
+			"-trace", "-parallel", "0", "-")
+		if code != 0 || !strings.Contains(out, "parallel offline check") {
+			t.Fatalf("exit %d, want 0 with verdict\n%s", code, out)
+		}
+	})
+	t.Run("vft-run/parallel-rejects-runs", func(t *testing.T) {
+		code, out := runCmdBytes(t, t.TempDir(), bin("vft-run"), encodeBin(clean),
+			"-parallel", "2", "-runs", "3", "-")
+		if code != 2 || !strings.Contains(out, "-runs must be 1") {
+			t.Fatalf("exit %d, want 2 with an explanation\n%s", code, out)
+		}
+	})
+	t.Run("vft-run/parallel-rejects-program", func(t *testing.T) {
+		code, out := runCmd(t, t.TempDir(), bin("vft-run"), "thread 0 { wr 0 }\n",
+			"-parallel", "2", "-")
+		if code != 2 || !strings.Contains(out, "trace inputs") {
+			t.Fatalf("exit %d, want 2 with an explanation\n%s", code, out)
+		}
+	})
+
+	t.Run("vft-bench/parallel", func(t *testing.T) {
+		work := t.TempDir()
+		code, out := runCmd(t, work, bin("vft-bench"), "",
+			"-parallel", "1,2", "-quick", "-iters", "1", "-warmup", "0", "-programs", "pmd")
+		if code != 0 || !strings.Contains(out, "Parallel checking") {
+			t.Fatalf("exit %d, want 0 with the table\n%s", code, out)
+		}
+		data, err := os.ReadFile(filepath.Join(work, "BENCH_parallel.json"))
+		if err != nil {
+			t.Fatalf("BENCH_parallel.json not written: %v", err)
+		}
+		var table struct {
+			Variant string `json:"variant"`
+			Workers []int  `json:"workers"`
+			Rows    []struct {
+				Program string             `json:"program"`
+				Ops     int                `json:"ops"`
+				Seconds map[string]float64 `json:"seconds"`
+				Speedup map[string]float64 `json:"speedup"`
+			} `json:"rows"`
+		}
+		if err := json.Unmarshal(data, &table); err != nil {
+			t.Fatalf("invalid JSON: %v", err)
+		}
+		if table.Variant != "vft-v2" || len(table.Rows) != 1 || table.Rows[0].Program != "pmd" {
+			t.Fatalf("unexpected table shape: %+v", table)
+		}
+		if table.Rows[0].Seconds["1"] <= 0 || table.Rows[0].Speedup["2"] <= 0 {
+			t.Fatalf("malformed row: %+v", table.Rows[0])
+		}
+	})
+
 	t.Run("vft-stats/snapshot-gzip-stdin", func(t *testing.T) {
 		snap := []byte(`{"counters":{"demo.events":42}}`)
 		code, out := runCmdBytes(t, t.TempDir(), bin("vft-stats"), gz(snap), "-snapshot", "-")

@@ -183,6 +183,14 @@ func (st *ThreadState) countRetry()     { st.retries++ }
 // release. Per the discipline it is protected by the target lock m itself —
 // handlers run while m is held — so no additional synchronization appears
 // here.
+//
+// The lock owns a mutable clock that Release overwrites in place
+// (Fig. 3's Sm.V := St.V): copying into existing storage keeps the online
+// release path allocation-free at steady state, which the bounded-memory
+// streaming guarantee relies on. The offline parallel checker instead
+// publishes releases as immutable vc.Frozen snapshots — there the
+// snapshots are retained per access, so copy-on-write sharing wins; see
+// internal/parcheck.
 type LockState struct {
 	vc *vc.VC
 }
@@ -215,7 +223,10 @@ func (b *syncBase) DroppedReports() uint64 { return b.sink.droppedCount() }
 
 func (b *syncBase) thread(t epoch.Tid) *ThreadState { return b.threads.Get(int(t)) }
 
-// Acquire implements [Acquire]: St.V := St.V ⊔ Sm.V.
+// Acquire implements [Acquire]: St.V := St.V ⊔ Sm.V. Join's fast paths
+// make the common shapes cheap: a never-released lock joins in O(1) and a
+// re-acquire whose release clock is already ⊑ the thread's clock performs
+// no writes.
 func (b *syncBase) Acquire(t epoch.Tid, m trace.Lock) {
 	st := b.thread(t)
 	st.vc.Join(b.locks.Get(int(m)).vc)

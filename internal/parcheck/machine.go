@@ -1,0 +1,413 @@
+package parcheck
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/epoch"
+	"repro/internal/spec"
+	"repro/internal/trace"
+	"repro/internal/vc"
+)
+
+// access is one read/write event of the lowered stream together with the
+// acting thread's precomputed synchronization context: its vector clock
+// (precise modes) or its held lockset (Eraser mode) at the moment of the
+// access. Because the Fig. 2 access rules never mutate thread clocks —
+// only acquire/release/fork/join do — these snapshots are exactly the
+// values the sequential detector would have observed, which is the
+// correctness foundation of the two-phase split.
+type access struct {
+	idx   int // global position in the lowered stream, for report ordering
+	t     epoch.Tid
+	x     trace.Var
+	write bool
+	clock *vc.Frozen // modeFT, modeDJIT
+	held  *lockSet   // modeEraser
+}
+
+// taggedReport carries a report with its (access index, emission index
+// within the access) key; the merge stage sorts on it to reproduce the
+// sequential sink order.
+type taggedReport struct {
+	idx, sub int
+	rep      core.Report
+}
+
+// checkMode selects the per-variable state machine a shard worker runs.
+type checkMode int
+
+const (
+	// modeFT is the Fig. 2/Fig. 4 epoch state machine shared by the five
+	// precise epoch variants (vft-v1/v1.5/v2, ft-mutex, ft-cas): the fast
+	// paths, locking disciplines and word packings they differ in are
+	// invisible to a single-threaded replay. The one visible difference is
+	// the read rule ordering, selected by variantSpec.priorRead.
+	modeFT checkMode = iota
+	// modeDJIT is the pure vector-clock machine (two clocks per variable).
+	modeDJIT
+	// modeEraser is the lockset state machine (virgin → exclusive →
+	// shared/shared-modified, warn once per variable).
+	modeEraser
+)
+
+// variantSpec is what a detector variant name resolves to: which machine
+// replays its accesses and which discipline quirks of the historical
+// baselines apply.
+type variantSpec struct {
+	mode checkMode
+	// joinInc restores the original FastTrack [Join] increment of the
+	// joined thread's clock, which the FT baselines keep and VerifiedFT
+	// drops (§3).
+	joinInc bool
+	// priorRead selects the historical FT-Mutex/FT-CAS read ordering:
+	// those handlers run the [Write-Read Race] check in every case past
+	// the lock-free [Read Same Epoch] exit — including [Read Shared Same
+	// Epoch] — whereas the VerifiedFT handlers return from the shared
+	// same-epoch case before any race check.
+	priorRead bool
+}
+
+// modeFor maps a detector variant name to its replay specification.
+func modeFor(variant string) (variantSpec, error) {
+	switch variant {
+	case "vft-v1", "vft-v1.5", "vft-v2":
+		return variantSpec{mode: modeFT}, nil
+	case "ft-mutex", "ft-cas":
+		return variantSpec{mode: modeFT, joinInc: true, priorRead: true}, nil
+	case "djit":
+		return variantSpec{mode: modeDJIT}, nil
+	case "eraser":
+		return variantSpec{mode: modeEraser}, nil
+	default:
+		return variantSpec{}, fmt.Errorf("parcheck: unknown detector %q (want one of %v)", variant, core.Variants())
+	}
+}
+
+// ftVar is the per-variable shadow of the epoch machine. The zero value
+// is the initial state: r = w = 0@0 (the minimal epoch Min(0), as the
+// sequential detectors initialize), no read vector.
+type ftVar struct {
+	r, w    epoch.Epoch
+	v       []epoch.Epoch // read vector, allocated by the Share transition
+	reports int
+}
+
+// djitVar is the per-variable shadow of the vector-clock machine; nil
+// slices are minimal clocks.
+type djitVar struct {
+	rvc, wvc []epoch.Epoch
+	reports  int
+}
+
+// eraserVar is the per-variable lockset machine state; the zero value is
+// Virgin.
+type eraserVar struct {
+	state    eraserState
+	owner    epoch.Tid
+	lockset  []trace.Lock // valid once state > exclusive; sorted
+	reported bool
+}
+
+type eraserState uint8
+
+const (
+	virgin eraserState = iota
+	exclusive
+	sharedRO
+	sharedModified
+)
+
+// vget/vset are the Fig. 3 VectorClock.get/set over a raw epoch slice:
+// entries beyond the representation read as minimal and writing grows
+// with minimal fill.
+func vget(v []epoch.Epoch, t epoch.Tid) epoch.Epoch {
+	if int(t) < len(v) {
+		return v[t]
+	}
+	return epoch.Min(t)
+}
+
+func vset(v *[]epoch.Epoch, t epoch.Tid, e epoch.Epoch) {
+	if int(t) >= len(*v) {
+		grown := make([]epoch.Epoch, int(t)+1)
+		copy(grown, *v)
+		for i := len(*v); i < len(grown); i++ {
+			grown[i] = epoch.Min(epoch.Tid(i))
+		}
+		*v = grown
+	}
+	(*v)[t] = e
+}
+
+// firstUnordered returns the first entry of v not covered by the clock,
+// mirroring core's firstUnorderedEntry evidence selection. ok is false
+// when v ⊑ clock (entries beyond v's representation are minimal and
+// always covered).
+func firstUnordered(v []epoch.Epoch, clock *vc.Frozen) (epoch.Epoch, bool) {
+	for _, e := range v {
+		if !clock.EpochLeq(e) {
+			return e, true
+		}
+	}
+	return 0, false
+}
+
+// stepFT replays one access through the epoch machine, line-parallel to
+// core's readLocked/writeLocked (v1.go) with the thread state replaced by
+// the precomputed frozen clock.
+func (w *shardWorker) stepFT(a access) {
+	s := w.ft.get(a.x)
+	e := a.clock.Get(a.t)
+	sub := 0
+	if a.write {
+		// [Write Same Epoch]
+		if s.w == e {
+			return
+		}
+		// [Write-Write Race]
+		if !a.clock.EpochLeq(s.w) {
+			w.emitCapped(&s.reports, a, &sub, core.Report{Rule: spec.WriteWriteRace, T: a.t, X: a.x, Prev: s.w})
+		}
+		if !s.r.IsShared() {
+			// [Read-Write Race]
+			if !a.clock.EpochLeq(s.r) {
+				w.emitCapped(&s.reports, a, &sub, core.Report{Rule: spec.ReadWriteRace, T: a.t, X: a.x, Prev: s.r})
+			}
+		} else {
+			// [Shared-Write Race]
+			if prev, bad := firstUnordered(s.v, a.clock); bad {
+				w.emitCapped(&s.reports, a, &sub, core.Report{Rule: spec.SharedWriteRace, T: a.t, X: a.x, Prev: prev})
+			}
+		}
+		// [Write Exclusive] / [Write Shared] update; also the repair action
+		// after a detected race, so checking continues downstream.
+		s.w = e
+		return
+	}
+	// [Read Same Epoch]
+	if s.r == e {
+		return
+	}
+	// [Read Shared Same Epoch]: the VerifiedFT handlers exit here before
+	// any race check; the historical baselines (priorRead) fall through to
+	// the [Write-Read Race] check first and skip only the state update.
+	sameSharedEpoch := s.r.IsShared() && vget(s.v, a.t) == e
+	if sameSharedEpoch && !w.priorRead {
+		return
+	}
+	// [Write-Read Race]
+	if !a.clock.EpochLeq(s.w) {
+		w.emitCapped(&s.reports, a, &sub, core.Report{Rule: spec.WriteReadRace, T: a.t, X: a.x, Prev: s.w})
+	}
+	if sameSharedEpoch {
+		return
+	}
+	switch {
+	case !s.r.IsShared() && a.clock.EpochLeq(s.r):
+		// [Read Exclusive]
+		s.r = e
+	case !s.r.IsShared():
+		// [Read Share]: v := ⊥V[u := Sx.R, t := E_t]
+		u := s.r.Tid()
+		vset(&s.v, u, s.r)
+		vset(&s.v, a.t, e)
+		s.r = epoch.Shared
+	default:
+		// [Read Shared]
+		vset(&s.v, a.t, e)
+	}
+}
+
+// stepDJIT replays one access through the pure vector-clock machine,
+// mirroring core's DJIT handlers.
+func (w *shardWorker) stepDJIT(a access) {
+	s := w.djit.get(a.x)
+	e := a.clock.Get(a.t)
+	sub := 0
+	if a.write {
+		if prev, bad := firstUnordered(s.wvc, a.clock); bad {
+			w.emitCapped(&s.reports, a, &sub, core.Report{Rule: spec.WriteWriteRace, T: a.t, X: a.x, Prev: prev})
+		}
+		if prev, bad := firstUnordered(s.rvc, a.clock); bad {
+			w.emitCapped(&s.reports, a, &sub, core.Report{Rule: spec.ReadWriteRace, T: a.t, X: a.x, Prev: prev})
+		}
+		vset(&s.wvc, a.t, e)
+		return
+	}
+	if prev, bad := firstUnordered(s.wvc, a.clock); bad {
+		w.emitCapped(&s.reports, a, &sub, core.Report{Rule: spec.WriteReadRace, T: a.t, X: a.x, Prev: prev})
+	}
+	vset(&s.rvc, a.t, e)
+}
+
+// stepEraser replays one access through the lockset machine, mirroring
+// core's Eraser.access. Eraser warns once per variable via the reported
+// flag; its sink is uncapped, so emissions bypass the per-variable cap.
+func (w *shardWorker) stepEraser(a access) {
+	s := w.eraser.get(a.x)
+	switch s.state {
+	case virgin:
+		s.state = exclusive
+		s.owner = a.t
+		return
+	case exclusive:
+		if s.owner == a.t {
+			return
+		}
+		// Second thread: start refining from the accessor's held set.
+		s.lockset = a.held.clone()
+		if a.write {
+			s.state = sharedModified
+		} else {
+			s.state = sharedRO
+		}
+	case sharedRO:
+		s.lockset = intersectSorted(s.lockset, a.held.ms)
+		if a.write {
+			s.state = sharedModified
+		}
+	case sharedModified:
+		s.lockset = intersectSorted(s.lockset, a.held.ms)
+	}
+	if s.state == sharedModified && len(s.lockset) == 0 && !s.reported {
+		s.reported = true
+		w.out = append(w.out, taggedReport{idx: a.idx, sub: 0, rep: core.Report{
+			T: a.t, X: a.x,
+			Msg: fmt.Sprintf("lockset for x%d became empty in state shared-modified", a.x),
+		}})
+	}
+}
+
+// emitCapped records a report subject to the per-variable cap, exactly as
+// core's reportSink does: suppressed reports are counted, not silently
+// lost. varReports is the variable's admitted-report counter; because a
+// variable's accesses all land in one shard in stream order, the cap cuts
+// off at the same access as the sequential sink.
+func (w *shardWorker) emitCapped(varReports *int, a access, sub *int, rep core.Report) {
+	if w.maxPerVar > 0 && *varReports >= w.maxPerVar {
+		w.dropped++
+		return
+	}
+	*varReports++
+	w.out = append(w.out, taggedReport{idx: a.idx, sub: *sub, rep: rep})
+	*sub++
+}
+
+// lockSet is an immutable sorted set of held locks; with/without return
+// new sets so every access can share the acting thread's current set by
+// pointer. The zero value (and nil) is the empty set.
+type lockSet struct {
+	ms []trace.Lock
+}
+
+var emptyLockSet = &lockSet{}
+
+func (s *lockSet) with(m trace.Lock) *lockSet {
+	i := searchLocks(s.ms, m)
+	if i < len(s.ms) && s.ms[i] == m {
+		return s
+	}
+	out := make([]trace.Lock, 0, len(s.ms)+1)
+	out = append(out, s.ms[:i]...)
+	out = append(out, m)
+	out = append(out, s.ms[i:]...)
+	return &lockSet{ms: out}
+}
+
+func (s *lockSet) without(m trace.Lock) *lockSet {
+	i := searchLocks(s.ms, m)
+	if i >= len(s.ms) || s.ms[i] != m {
+		return s
+	}
+	out := make([]trace.Lock, 0, len(s.ms)-1)
+	out = append(out, s.ms[:i]...)
+	out = append(out, s.ms[i+1:]...)
+	return &lockSet{ms: out}
+}
+
+func (s *lockSet) clone() []trace.Lock {
+	out := make([]trace.Lock, len(s.ms))
+	copy(out, s.ms)
+	return out
+}
+
+// searchLocks is sort.Search specialized to the sorted lock slice.
+func searchLocks(ms []trace.Lock, m trace.Lock) int {
+	lo, hi := 0, len(ms)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ms[mid] < m {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// intersectSorted filters dst (sorted, owned by the variable) down to the
+// locks also present in held (sorted, immutable), in place.
+func intersectSorted(dst, held []trace.Lock) []trace.Lock {
+	out := dst[:0]
+	j := 0
+	for _, m := range dst {
+		for j < len(held) && held[j] < m {
+			j++
+		}
+		if j < len(held) && held[j] == m {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// varTable maps variable ids to per-variable machine state inside one
+// shard. Ids dense in the shard (q = x/stride) live in a value slice for
+// cache locality; sparse ids beyond maxDenseVars spill into a map so a
+// hostile id space cannot force huge allocations.
+type varTable[S any] struct {
+	stride int
+	dense  []S
+	sparse map[trace.Var]*S
+}
+
+// maxDenseVars bounds the dense slice per shard (entries, not bytes).
+const maxDenseVars = 1 << 21
+
+func newVarTable[S any](stride, hint int) varTable[S] {
+	n := hint/stride + 1
+	if n > maxDenseVars {
+		n = maxDenseVars
+	}
+	return varTable[S]{stride: stride, dense: make([]S, n)}
+}
+
+func (vt *varTable[S]) get(x trace.Var) *S {
+	q := int(x) / vt.stride
+	if q < len(vt.dense) {
+		return &vt.dense[q]
+	}
+	if q < maxDenseVars {
+		n := 2 * len(vt.dense)
+		if n <= q {
+			n = q + 1
+		}
+		if n > maxDenseVars {
+			n = maxDenseVars
+		}
+		grown := make([]S, n)
+		copy(grown, vt.dense)
+		vt.dense = grown
+		return &vt.dense[q]
+	}
+	if vt.sparse == nil {
+		vt.sparse = map[trace.Var]*S{}
+	}
+	s, ok := vt.sparse[x]
+	if !ok {
+		s = new(S)
+		vt.sparse[x] = s
+	}
+	return s
+}

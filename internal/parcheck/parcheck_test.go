@@ -1,0 +1,259 @@
+package parcheck
+
+import (
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// sequential replays the lowered trace through the sequential detector —
+// the reference the parallel checker must reproduce exactly.
+func sequential(t testing.TB, tr trace.Trace, variant string, maxPerVar int) []core.Report {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.MaxReportsPerVar = maxPerVar
+	d, err := core.New(variant, cfg)
+	if err != nil {
+		t.Fatalf("core.New(%q): %v", variant, err)
+	}
+	src := trace.DesugarSource(trace.ValidateSource(tr.Source()), nil)
+	for {
+		op, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("sequential stream: %v", err)
+		}
+		core.Dispatch(d, op)
+	}
+	return d.Reports()
+}
+
+func parallel(t testing.TB, tr trace.Trace, variant string, workers, maxPerVar int) []core.Report {
+	t.Helper()
+	src := trace.DesugarSource(trace.ValidateSource(tr.Source()), nil)
+	got, err := Check(src, Options{Variant: variant, Workers: workers, MaxReportsPerVar: maxPerVar})
+	if err != nil {
+		t.Fatalf("parallel check (%q, %d workers): %v", variant, workers, err)
+	}
+	// The fused materialized-trace path must agree with the streaming
+	// pipeline op for op, so every equivalence site checks both.
+	fused, err := CheckTrace(tr, nil, Options{Variant: variant, Workers: workers, MaxReportsPerVar: maxPerVar})
+	if err != nil {
+		t.Fatalf("fused parallel check (%q, %d workers): %v", variant, workers, err)
+	}
+	if !reflect.DeepEqual(got, fused) {
+		t.Fatalf("%s with %d workers: CheckTrace diverged from Check:\nstreaming (%d): %+v\nfused     (%d): %+v",
+			variant, workers, len(got), got, len(fused), fused)
+	}
+	return got
+}
+
+func requireEqualReports(t testing.TB, want, got []core.Report, variant string, workers int) {
+	t.Helper()
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("%s with %d workers diverged from sequential:\nsequential (%d): %+v\nparallel   (%d): %+v",
+			variant, workers, len(want), want, len(got), got)
+	}
+}
+
+// TestParallelEquivalenceGenerated is the satellite-3 core: for every
+// detector variant, the parallel checker's report list equals the
+// sequential replay's — same reports, same order, same Seq — across
+// generated feasible traces, worker counts and report caps.
+func TestParallelEquivalenceGenerated(t *testing.T) {
+	cfgs := []trace.GenConfig{
+		trace.DefaultGenConfig(),
+		{Ops: 200, Threads: 8, Vars: 2, Locks: 1, ReadWeight: 4, WriteWeight: 4,
+			AcquireWeight: 2, ForkWeight: 2, JoinWeight: 2, LockedFraction: 200},
+		{Ops: 300, Threads: 3, Vars: 32, Locks: 4, ReadWeight: 5, WriteWeight: 5,
+			AcquireWeight: 3, ForkWeight: 1, JoinWeight: 1, LockedFraction: 800},
+	}
+	workerCounts := []int{1, 2, 3, 4, 8}
+	for _, variant := range core.Variants() {
+		t.Run(variant, func(t *testing.T) {
+			for ci, cfg := range cfgs {
+				for seed := int64(0); seed < 12; seed++ {
+					tr := trace.Generate(rand.New(rand.NewSource(seed+int64(ci)*100)), cfg)
+					for _, cap := range []int{0, 1} {
+						want := sequential(t, tr, variant, cap)
+						for _, w := range workerCounts {
+							got := parallel(t, tr, variant, w, cap)
+							requireEqualReports(t, want, got, variant, w)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelEquivalenceExtendedOps runs the lowering pipeline over
+// volatiles and barriers: the pseudo-lock acquire/release pairs they lower
+// to must drive the parallel prepass exactly as they drive the sequential
+// sync handlers.
+func TestParallelEquivalenceExtendedOps(t *testing.T) {
+	tr := trace.Trace{
+		trace.ForkOp(0, 1),
+		trace.ForkOp(0, 2),
+		trace.Wr(0, 0),
+		trace.VWr(0, 9),
+		trace.VRd(1, 9),
+		trace.Rd(1, 0), // ordered by the volatile: no race
+		trace.BarrierOp(0, 5),
+		trace.BarrierOp(1, 5),
+		trace.Wr(2, 1), // not at the barrier: races with t0 below
+		trace.Wr(0, 1),
+		trace.JoinOp(0, 1),
+		trace.JoinOp(0, 2),
+	}
+	for _, variant := range core.Variants() {
+		want := sequential(t, tr, variant, 0)
+		for _, w := range []int{1, 2, 4} {
+			got := parallel(t, tr, variant, w, 0)
+			requireEqualReports(t, want, got, variant, w)
+		}
+	}
+}
+
+// TestParallelEmptyTrace: like the sequential path, no races means an
+// empty, non-nil report list.
+func TestParallelEmptyTrace(t *testing.T) {
+	got, err := Check(trace.Trace{}.Source(), Options{Workers: 4})
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if got == nil || len(got) != 0 {
+		t.Fatalf("want empty non-nil report list, got %#v", got)
+	}
+}
+
+// TestParallelStreamError: a mid-stream feasibility error surfaces and all
+// reports from the consumed prefix are discarded, matching CheckSource.
+func TestParallelStreamError(t *testing.T) {
+	tr := trace.Trace{
+		trace.ForkOp(0, 1),
+		trace.Wr(0, 0),
+		trace.Wr(1, 0), // a race the discard must swallow
+		trace.Acq(0, 0),
+		trace.Acq(1, 0), // infeasible: lock already held
+	}
+	src := trace.DesugarSource(trace.ValidateSource(tr.Source()), nil)
+	got, err := Check(src, Options{Workers: 4})
+	if err == nil {
+		t.Fatal("want feasibility error, got nil")
+	}
+	if got != nil {
+		t.Fatalf("want nil reports on error, got %+v", got)
+	}
+}
+
+// TestFusedInfeasibleErrorParity: the fused path's inline validation must
+// produce the identical *InfeasibleError — same index, op, rule, message —
+// the ValidateSource stage would have.
+func TestFusedInfeasibleErrorParity(t *testing.T) {
+	infeasible := []trace.Trace{
+		{trace.Acq(0, 0), trace.Acq(0, 0)},                   // re-acquire
+		{trace.Rel(0, 3)},                                    // release unheld
+		{trace.Wr(1, 0)},                                     // act before fork
+		{trace.ForkOp(0, 1), trace.JoinOp(0, 1)},             // no op between fork/join
+		{trace.ForkOp(0, 1), trace.ForkOp(0, 1)},             // double fork
+		{trace.VWr(0, 5), trace.Wr(2, 0)},                    // error past an extended op
+		{trace.BarrierOp(0, 1), trace.Acq(0, 1<<30)},         // lock id out of range
+		{trace.ForkOp(0, 1), trace.Wr(1, 0), trace.Wr(2, 1)}, // unforked thread acting
+	}
+	for i, tr := range infeasible {
+		src := trace.DesugarSource(trace.ValidateSource(tr.Source()), nil)
+		_, wantErr := Check(src, Options{Workers: 2})
+		if wantErr == nil {
+			t.Fatalf("case %d: streaming path accepted an infeasible trace", i)
+		}
+		_, gotErr := CheckTrace(tr, nil, Options{Workers: 2})
+		if !reflect.DeepEqual(wantErr, gotErr) {
+			t.Errorf("case %d: error diverged:\nstreaming: %v\nfused:     %v", i, wantErr, gotErr)
+		}
+	}
+}
+
+// TestFusedBarrierParties: a non-default participant count must group
+// barrier rounds in the fused lowering exactly as DesugarSource does.
+func TestFusedBarrierParties(t *testing.T) {
+	parties := map[trace.Lock]int{5: 3}
+	tr := trace.Trace{
+		trace.ForkOp(0, 1),
+		trace.ForkOp(0, 2),
+		trace.Wr(2, 0),
+		trace.BarrierOp(0, 5),
+		trace.BarrierOp(1, 5),
+		trace.BarrierOp(2, 5), // completes the round of 3
+		trace.Rd(0, 0),        // ordered by the barrier: no race
+		trace.Wr(1, 1),
+		trace.BarrierOp(0, 5), // incomplete second round, dropped
+		trace.Rd(2, 1),        // not ordered: races with t1
+		trace.JoinOp(0, 1),
+		trace.JoinOp(0, 2),
+	}
+	for _, variant := range core.Variants() {
+		src := trace.DesugarSource(trace.ValidateSource(tr.Source()), parties)
+		want, err := Check(src, Options{Variant: variant, Workers: 3})
+		if err != nil {
+			t.Fatalf("%s streaming: %v", variant, err)
+		}
+		got, err := CheckTrace(tr, parties, Options{Variant: variant, Workers: 3})
+		if err != nil {
+			t.Fatalf("%s fused: %v", variant, err)
+		}
+		requireEqualReports(t, want, got, variant, 3)
+	}
+}
+
+// TestParallelUnknownVariant mirrors core.New's error contract.
+func TestParallelUnknownVariant(t *testing.T) {
+	if _, err := Check(trace.Trace{}.Source(), Options{Variant: "nope"}); err == nil {
+		t.Fatal("want error for unknown variant")
+	}
+}
+
+// TestParallelDefaults: zero-value Options mean vft-v2 with GOMAXPROCS
+// workers.
+func TestParallelDefaults(t *testing.T) {
+	tr := trace.Trace{
+		trace.ForkOp(0, 1),
+		trace.Wr(0, 0),
+		trace.Wr(1, 0),
+	}
+	src := trace.DesugarSource(trace.ValidateSource(tr.Source()), nil)
+	got, err := Check(src, Options{})
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if len(got) != 1 || got[0].Detector != "vft-v2" {
+		t.Fatalf("want one vft-v2 report, got %+v", got)
+	}
+}
+
+// FuzzParallelEquivalence drives the equivalence property from arbitrary
+// bytes: FromBytes repairs any input into a feasible trace, and the
+// parallel checker must match the sequential replay on it for a variant
+// and worker count also drawn from the input.
+func FuzzParallelEquivalence(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(1))
+	f.Add([]byte{0, 4, 0, 1, 0, 0, 1, 1, 0, 2, 5, 0}, uint8(2))
+	f.Add([]byte{9, 9, 2, 2, 3, 3, 0, 0, 1, 1, 4, 4, 5, 5, 0, 1}, uint8(3))
+	variants := core.Variants()
+	f.Fuzz(func(t *testing.T, data []byte, pick uint8) {
+		tr := trace.FromBytes(data)
+		variant := variants[int(pick)%len(variants)]
+		workers := 1 + int(pick)%4
+		maxPerVar := int(pick) % 2
+		want := sequential(t, tr, variant, maxPerVar)
+		got := parallel(t, tr, variant, workers, maxPerVar)
+		requireEqualReports(t, want, got, variant, workers)
+	})
+}

@@ -66,6 +66,13 @@ func (t *Table[T]) Len() int {
 }
 
 // Snapshot returns the current entries; the slice must not be mutated.
+//
+// Snapshot is safe to call while other goroutines grow the table: grow
+// fully populates the new slice (copying old entries and running init for
+// new ids) before publishing it with a single atomic store, so a snapshot
+// is always either the previous slice or a complete new one — never a
+// partially-initialized view. Entry pointers are shared across growths,
+// so objects reached through an old snapshot are the live objects.
 func (t *Table[T]) Snapshot() []*T {
 	return *t.p.Load()
 }

@@ -108,6 +108,57 @@ func TestConcurrentGetUniqueness(t *testing.T) {
 	}
 }
 
+// Snapshots taken while other goroutines force repeated growth must always
+// be fully populated (no nil entries, every payload carrying its own id)
+// and must agree with the growers on object identity. Run with -race: this
+// is the stress test behind Snapshot's concurrent-growth guarantee, which
+// the parallel checker's stats pass relies on.
+func TestSnapshotDuringGrow(t *testing.T) {
+	tb := newTable(1)
+	const growers = 4
+	const maxID = 2048
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for g := 0; g < growers; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := g; i < maxID; i += growers {
+				tb.Get(i)
+			}
+		}()
+	}
+	go func() { wg.Wait(); close(done) }()
+	snapshots := 0
+	for {
+		s := tb.Snapshot()
+		snapshots++
+		for i, p := range s {
+			if p == nil {
+				t.Fatalf("snapshot %d: nil entry at id %d (len %d)", snapshots, i, len(s))
+			}
+			if p.id != i {
+				t.Fatalf("snapshot %d: entry %d has id %d", snapshots, i, p.id)
+			}
+		}
+		select {
+		case <-done:
+			if final := tb.Snapshot(); len(final) < maxID {
+				t.Fatalf("final snapshot len %d, want >= %d", len(final), maxID)
+			}
+			// Identity: entries in the final snapshot are what Get returns.
+			for _, i := range []int{0, 1, maxID / 2, maxID - 1} {
+				if tb.Snapshot()[i] != tb.Get(i) {
+					t.Fatalf("snapshot entry %d differs from Get", i)
+				}
+			}
+			return
+		default:
+		}
+	}
+}
+
 func BenchmarkGetHot(b *testing.B) {
 	tb := newTable(64)
 	b.RunParallel(func(pb *testing.PB) {

@@ -1,0 +1,58 @@
+package trace
+
+// IDSpace is the shadow-table sizing a trace's lowered form will touch:
+// one entry per thread, data variable and lowered lock id. It is computed
+// by a cheap O(n) prescan of the raw (un-lowered) trace, so CheckTrace
+// can pre-size a detector's shadow tables and never grow them mid-run.
+type IDSpace struct {
+	// Threads is max(tid)+1 over every acting and forked/joined thread.
+	Threads int
+	// Vars is max(x)+1 over the data (non-volatile) accesses. Volatile
+	// variables do not count: lowering turns them into pseudo-locks.
+	Vars int
+	// Locks covers the lowered lock id space under DesugarSource's parity
+	// mapping: a real lock m becomes 2m and the k-th pseudo-lock (one per
+	// distinct volatile variable or barrier) becomes 2k+1. The bound
+	// over-approximates when a barrier never completes a round (its
+	// pseudo-lock is then never allocated), which only costs a spare
+	// table entry.
+	Locks int
+}
+
+// Scan computes the IDSpace of tr.
+func Scan(tr Trace) IDSpace {
+	maxT, maxX, maxM := -1, -1, -1
+	volatiles := map[Var]struct{}{}
+	barriers := map[Lock]struct{}{}
+	for _, op := range tr {
+		if int(op.T) > maxT {
+			maxT = int(op.T)
+		}
+		switch op.Kind {
+		case Read, Write:
+			if int(op.X) > maxX {
+				maxX = int(op.X)
+			}
+		case Acquire, Release:
+			if int(op.M) > maxM {
+				maxM = int(op.M)
+			}
+		case Fork, Join:
+			if int(op.U) > maxT {
+				maxT = int(op.U)
+			}
+		case VolatileRead, VolatileWrite:
+			volatiles[op.X] = struct{}{}
+		case Barrier:
+			barriers[op.M] = struct{}{}
+		}
+	}
+	s := IDSpace{Threads: maxT + 1, Vars: maxX + 1}
+	if maxM >= 0 {
+		s.Locks = 2*maxM + 1 // real lock m lowers to id 2m
+	}
+	if pseudo := len(volatiles) + len(barriers); pseudo > 0 && 2*pseudo > s.Locks {
+		s.Locks = 2 * pseudo // k-th pseudo-lock lowers to id 2k+1
+	}
+	return s
+}

@@ -50,6 +50,13 @@ const (
 // presumes. The validator additionally rejects self-forks, self-joins and
 // real lock ids that collide with the pseudo-lock space, none of which
 // §2's traces can express.
+//
+// Validation sits on the critical path of every check — sequentially it
+// runs in front of the detector, and in the parallel checker it is part
+// of the serial prepass Amdahl's law punishes — so the per-id state lives
+// in dense slices indexed by id, one byte per thread and one slot per
+// lock, with a map spill for ids outside the dense window (huge or
+// negative) so the accepted language is exactly the map implementation's.
 type Validator struct {
 	// MaxLock is the exclusive upper bound on acceptable lock ids; zero
 	// means the default real-lock space (so Desugar's pseudo-locks can
@@ -57,90 +64,159 @@ type Validator struct {
 	// already-lowered stream raise it.
 	MaxLock Lock
 
-	n      int
-	phase  map[epoch.Tid]threadPhase
-	acted  map[epoch.Tid]bool // has the thread performed any op yet?
-	holder map[Lock]epoch.Tid
-	held   map[Lock]bool
+	n int
+
+	// threads packs a thread's lifecycle into one byte: the low two bits
+	// hold the threadPhase, actedBit records whether it has performed any
+	// op yet. Index is the tid for tids inside the dense window.
+	threads []uint8
+	locks   []lockSlot
+
+	// Spill state for ids outside [0, denseValidatorIDs).
+	threadsHi map[epoch.Tid]uint8
+	locksHi   map[Lock]lockSlot
 }
+
+// lockSlot is a lock's validation state: who holds it, if anyone.
+type lockSlot struct {
+	held   bool
+	holder epoch.Tid
+}
+
+const (
+	phaseMask = 0b011
+	actedBit  = 0b100
+
+	// denseValidatorIDs bounds the slice-indexed id window; beyond it (or
+	// below zero) state spills to maps so hostile sparse ids cannot force
+	// huge allocations.
+	denseValidatorIDs = 1 << 16
+)
 
 // NewValidator returns a Validator in the initial state (main thread
 // running, no locks held, no operation seen).
 func NewValidator() *Validator {
-	return &Validator{
-		phase:  map[epoch.Tid]threadPhase{0: phaseRunning},
-		acted:  map[epoch.Tid]bool{},
-		holder: map[Lock]epoch.Tid{},
-		held:   map[Lock]bool{},
-	}
+	return &Validator{threads: []uint8{uint8(phaseRunning)}}
 }
 
 // Count returns how many operations have been accepted so far.
 func (v *Validator) Count() int { return v.n }
+
+// thread reads a thread's packed lifecycle byte. The unsigned compare
+// routes negative tids to the spill map along with the huge ones.
+func (v *Validator) thread(t epoch.Tid) uint8 {
+	if uint32(t) < uint32(len(v.threads)) {
+		return v.threads[t]
+	}
+	if uint32(t) < denseValidatorIDs {
+		return 0 // inside the window but never touched: zero value
+	}
+	return v.threadsHi[t]
+}
+
+func (v *Validator) setThread(t epoch.Tid, s uint8) {
+	if uint32(t) < denseValidatorIDs {
+		for int(t) >= len(v.threads) {
+			v.threads = append(v.threads, 0)
+		}
+		v.threads[t] = s
+		return
+	}
+	if v.threadsHi == nil {
+		v.threadsHi = map[epoch.Tid]uint8{}
+	}
+	v.threadsHi[t] = s
+}
+
+func (v *Validator) lock(m Lock) lockSlot {
+	if uint32(m) < uint32(len(v.locks)) {
+		return v.locks[m]
+	}
+	if uint32(m) < denseValidatorIDs {
+		return lockSlot{}
+	}
+	return v.locksHi[m]
+}
+
+func (v *Validator) setLock(m Lock, s lockSlot) {
+	if uint32(m) < denseValidatorIDs {
+		for int(m) >= len(v.locks) {
+			v.locks = append(v.locks, lockSlot{})
+		}
+		v.locks[m] = s
+		return
+	}
+	if v.locksHi == nil {
+		v.locksHi = map[Lock]lockSlot{}
+	}
+	v.locksHi[m] = s
+}
+
+func (v *Validator) fail(op Op, rule int, msg string) error {
+	return &InfeasibleError{Index: v.n, Op: op, Rule: rule, Msg: msg}
+}
 
 // Check validates the next operation of the stream against the state
 // accumulated so far. On violation it returns an *InfeasibleError whose
 // Index is the operation's position (0-based) and leaves the validator
 // unchanged; the op is not admitted.
 func (v *Validator) Check(op Op) error {
-	fail := func(rule int, msg string) error {
-		return &InfeasibleError{Index: v.n, Op: op, Rule: rule, Msg: msg}
-	}
-	maxLock := v.MaxLock
-	if maxLock == 0 {
-		maxLock = maxRealLock
-	}
-
 	// Constraint (4), first half: the acting thread must be running.
-	switch v.phase[op.T] {
+	ts := v.thread(op.T)
+	switch threadPhase(ts & phaseMask) {
 	case phaseUnstarted:
-		return fail(4, fmt.Sprintf("thread %d acts before being forked", op.T))
+		return v.fail(op, 4, fmt.Sprintf("thread %d acts before being forked", op.T))
 	case phaseJoined:
-		return fail(4, fmt.Sprintf("thread %d acts after being joined", op.T))
+		return v.fail(op, 4, fmt.Sprintf("thread %d acts after being joined", op.T))
 	}
 
 	switch op.Kind {
 	case Acquire:
+		maxLock := v.MaxLock
+		if maxLock == 0 {
+			maxLock = maxRealLock
+		}
 		if op.M >= maxLock {
-			return fail(1, "lock id exceeds the real-lock space")
+			return v.fail(op, 1, "lock id exceeds the real-lock space")
 		}
-		if v.held[op.M] {
-			return fail(1, fmt.Sprintf("lock m%d already held by thread %d", op.M, v.holder[op.M]))
+		if s := v.lock(op.M); s.held {
+			return v.fail(op, 1, fmt.Sprintf("lock m%d already held by thread %d", op.M, s.holder))
 		}
-		v.held[op.M] = true
-		v.holder[op.M] = op.T
+		v.setLock(op.M, lockSlot{held: true, holder: op.T})
 	case Release:
-		if !v.held[op.M] || v.holder[op.M] != op.T {
-			return fail(2, fmt.Sprintf("thread %d releases lock m%d it does not hold", op.T, op.M))
+		if s := v.lock(op.M); !s.held || s.holder != op.T {
+			return v.fail(op, 2, fmt.Sprintf("thread %d releases lock m%d it does not hold", op.T, op.M))
 		}
-		v.held[op.M] = false
+		v.setLock(op.M, lockSlot{holder: op.T})
 	case Fork:
 		if op.U == op.T {
-			return fail(3, "self-fork")
+			return v.fail(op, 3, "self-fork")
 		}
-		if v.phase[op.U] != phaseUnstarted {
-			return fail(3, fmt.Sprintf("thread %d forked more than once (or is main)", op.U))
+		if threadPhase(v.thread(op.U)&phaseMask) != phaseUnstarted {
+			return v.fail(op, 3, fmt.Sprintf("thread %d forked more than once (or is main)", op.U))
 		}
-		v.phase[op.U] = phaseRunning
-		v.acted[op.U] = false
+		v.setThread(op.U, uint8(phaseRunning))
 	case Join:
 		if op.U == op.T {
-			return fail(4, "self-join")
+			return v.fail(op, 4, "self-join")
 		}
 		// §2 permits several threads to join the same terminated
 		// thread (constraint (4) only forbids operations *of u* after
 		// a join), so a join on an already-joined thread is legal;
 		// only joining a never-forked thread is not.
-		if v.phase[op.U] == phaseUnstarted {
-			return fail(4, fmt.Sprintf("join on thread %d which was never forked", op.U))
+		us := v.thread(op.U)
+		if threadPhase(us&phaseMask) == phaseUnstarted {
+			return v.fail(op, 4, fmt.Sprintf("join on thread %d which was never forked", op.U))
 		}
 		// Constraint (5): u must have acted between fork and join.
-		if !v.acted[op.U] {
-			return fail(5, fmt.Sprintf("no operation of thread %d between fork and join", op.U))
+		if us&actedBit == 0 {
+			return v.fail(op, 5, fmt.Sprintf("no operation of thread %d between fork and join", op.U))
 		}
-		v.phase[op.U] = phaseJoined
+		v.setThread(op.U, us&actedBit|uint8(phaseJoined))
 	}
-	v.acted[op.T] = true
+	if ts&actedBit == 0 {
+		v.setThread(op.T, ts|actedBit)
+	}
 	v.n++
 	return nil
 }

@@ -27,6 +27,10 @@ import (
 type VC struct {
 	v []epoch.Epoch
 	m Metrics
+
+	// frozen caches the last Freeze snapshot; any mutation clears it. See
+	// Freeze in frozen.go.
+	frozen *Frozen
 }
 
 // Metrics counts a clock's structural costs. Because a VC is not safe for
@@ -42,6 +46,11 @@ type Metrics struct {
 	// JoinScanned counts entries compared across all Joins — the O(threads)
 	// work epochs exist to avoid on the access paths.
 	JoinScanned uint64
+	// Freezes counts Freeze calls that had to copy the representation;
+	// FreezeReuses counts the calls answered by the cached snapshot. Their
+	// ratio is the copy-on-write win of the Frozen layer.
+	Freezes      uint64
+	FreezeReuses uint64
 }
 
 // Add accumulates other into m.
@@ -49,6 +58,8 @@ func (m *Metrics) Add(other Metrics) {
 	m.Grows += other.Grows
 	m.Joins += other.Joins
 	m.JoinScanned += other.JoinScanned
+	m.Freezes += other.Freezes
+	m.FreezeReuses += other.FreezeReuses
 }
 
 // Metrics returns the clock's structural counters. Call under the same
@@ -93,6 +104,7 @@ func (c *VC) Set(t epoch.Tid, e epoch.Epoch) {
 	if e.Tid() != t {
 		panic("vc: Set would break well-formedness: epoch tid mismatch")
 	}
+	c.frozen = nil // the cached snapshot no longer reflects the clock
 	c.ensureCapacity(int(t) + 1)
 	c.v[t] = e
 }
@@ -139,12 +151,26 @@ func (c *VC) EpochLeq(e epoch.Epoch) bool {
 }
 
 // Join merges other into c pointwise: c := c ⊔ other.
+//
+// Two fast paths keep the common synchronization shapes cheap: an empty
+// other (a never-released lock) returns without scanning, and entries of
+// other already covered by c are skipped without writing — so a join
+// whose argument is entirely ⊑ c (re-acquiring a lock the thread itself
+// released last, barrier re-arrivals) mutates nothing, grows nothing, and
+// preserves c's cached Freeze snapshot.
 func (c *VC) Join(other *VC) {
 	c.m.Joins++
+	if len(other.v) == 0 {
+		return
+	}
 	c.m.JoinScanned += uint64(len(other.v))
-	for i := 0; i < len(other.v); i++ {
+	for i, oe := range other.v {
 		t := epoch.Tid(i)
-		c.Set(t, c.Get(t).Max(other.v[i]))
+		// Same-tid epochs order by their clock bits, so the raw comparison
+		// is the pointwise order (both sides are well-formed entries for t).
+		if oe > c.Get(t) {
+			c.Set(t, oe)
+		}
 	}
 }
 

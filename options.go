@@ -34,6 +34,10 @@ type settings struct {
 	cfg     Config
 	parties map[LockID]int
 	metrics *Metrics
+	// parallel is the CheckTrace/CheckSource worker count: 1 = the
+	// sequential replay, 0 = parallel with GOMAXPROCS workers, n > 1 =
+	// parallel with n workers.
+	parallel int
 }
 
 // Option configures New.
@@ -43,7 +47,8 @@ type Option interface{ applyNew(*settings) }
 type CheckOption interface{ applyCheck(*settings) }
 
 // CommonOption is an option accepted by both New and CheckTrace
-// (WithMaxReportsPerVar, WithMetrics).
+// (WithMaxReportsPerVar, WithMetrics, WithThreads, WithVars, WithLocks,
+// WithConfig).
 type CommonOption interface {
 	Option
 	CheckOption
@@ -101,26 +106,49 @@ func WithMetrics(m *Metrics) CommonOption {
 	return commonOption(func(s *settings) { s.metrics = m })
 }
 
+// WithParallelism sets the number of shard workers CheckTrace and
+// CheckSource use to replay the trace (default 1: the sequential
+// replay). Any other value selects the two-phase parallel offline
+// checker: a sequential synchronization prepass annotates every access
+// with an interned clock snapshot, then read/write events are sharded by
+// variable across n workers, each running the unmodified per-variable
+// state machine. n <= 0 means GOMAXPROCS. The report list is identical
+// to the sequential replay's — same reports, same order, same Seq
+// numbering — for every detector variant.
+//
+// In parallel mode a WithMetrics registry receives the checker's own
+// "parcheck" source (shard balance, queue depth, intern hit rate)
+// instead of per-handler latency samples and detector counters.
+func WithParallelism(n int) CheckOption {
+	return checkOption(func(s *settings) {
+		if n <= 0 {
+			n = 0 // resolve to GOMAXPROCS at check time
+		}
+		s.parallel = n
+	})
+}
+
 // WithThreads hints the thread shadow-table size (tables grow on demand).
-func WithThreads(n int) Option {
-	return newOption(func(s *settings) { s.cfg.Threads = n })
+func WithThreads(n int) CommonOption {
+	return commonOption(func(s *settings) { s.cfg.Threads = n })
 }
 
 // WithVars hints the variable shadow-table size.
-func WithVars(n int) Option {
-	return newOption(func(s *settings) { s.cfg.Vars = n })
+func WithVars(n int) CommonOption {
+	return commonOption(func(s *settings) { s.cfg.Vars = n })
 }
 
 // WithLocks hints the lock shadow-table size.
-func WithLocks(n int) Option {
-	return newOption(func(s *settings) { s.cfg.Locks = n })
+func WithLocks(n int) CommonOption {
+	return commonOption(func(s *settings) { s.cfg.Locks = n })
 }
 
 // WithConfig replaces the whole shadow-table configuration at once; later
 // WithThreads/WithVars/WithLocks/WithMaxReportsPerVar options still apply
-// on top.
-func WithConfig(cfg Config) Option {
-	return newOption(func(s *settings) { s.cfg = cfg })
+// on top. For CheckTrace it also overrides the automatic pre-sizing
+// prescan.
+func WithConfig(cfg Config) CommonOption {
+	return commonOption(func(s *settings) { s.cfg = cfg })
 }
 
 // Unwrap returns the detector underneath the latency sampler WithMetrics

@@ -50,6 +50,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/epoch"
 	"repro/internal/hb"
+	"repro/internal/parcheck"
 	"repro/internal/rtsim"
 	"repro/internal/spec"
 	"repro/internal/trace"
@@ -233,13 +234,14 @@ func ValidateTrace(tr Trace) error { return trace.Validate(tr) }
 // latency-sampled and the detector's counters are frozen into the registry
 // under the variant name when the stream ends.
 func CheckSource(src Source, opts ...CheckOption) ([]Report, error) {
-	s := settings{variant: V2}
+	s := settings{variant: V2, cfg: core.DefaultConfig(), parallel: 1}
 	for _, o := range opts {
 		o.applyCheck(&s)
 	}
-	cfg := core.DefaultConfig()
-	cfg.MaxReportsPerVar = s.cfg.MaxReportsPerVar
-	d, err := core.New(s.variant, cfg)
+	if s.parallel != 1 {
+		return checkParallel(src, s)
+	}
+	d, err := core.New(s.variant, s.cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -269,6 +271,29 @@ func CheckSource(src Source, opts ...CheckOption) ([]Report, error) {
 	return det.Reports(), nil
 }
 
+// checkParallel is CheckSource's WithParallelism arm: the same
+// validation/lowering pipeline feeds the two-phase variable-sharded
+// checker instead of a sequential detector. The report list is identical
+// to the sequential replay's by construction (see internal/parcheck).
+func checkParallel(src Source, s settings) ([]Report, error) {
+	pipe := trace.DesugarSource(trace.ValidateSource(src), s.parties)
+	return parcheck.Check(pipe, parcheckOptions(s))
+}
+
+// parcheckOptions maps resolved check settings onto the parallel
+// checker's option set.
+func parcheckOptions(s settings) parcheck.Options {
+	return parcheck.Options{
+		Variant:          s.variant,
+		Workers:          s.parallel,
+		MaxReportsPerVar: s.cfg.MaxReportsPerVar,
+		Threads:          s.cfg.Threads,
+		Vars:             s.cfg.Vars,
+		Locks:            s.cfg.Locks,
+		Metrics:          s.metrics,
+	}
+}
+
 // CheckReader decodes a trace stream from r — sniffing gzip, the binary
 // format and the text format, like the CLI tools — and checks it with
 // CheckSource. The stream is never materialized.
@@ -290,11 +315,57 @@ func CheckReader(r io.Reader, opts ...CheckOption) ([]Report, error) {
 //		verifiedft.WithBarrierParties(map[verifiedft.LockID]int{0: 4}),
 //		verifiedft.WithMetrics(m))
 //
-// It is a thin wrapper over CheckSource on a slice-backed Source, so the
-// materialized and streaming paths cannot drift: identical operation
-// sequences produce identical reports whichever entry point sees them.
+// Sequentially it is a thin wrapper over CheckSource on a slice-backed
+// Source, so the materialized and streaming paths cannot drift: identical
+// operation sequences produce identical reports whichever entry point
+// sees them. Because the trace is materialized, CheckTrace first runs a
+// cheap O(n) id-space prescan and pre-sizes the shadow tables so they
+// never grow mid-run; explicit WithThreads/WithVars/WithLocks/WithConfig
+// options override the prescan. With WithParallelism, the materialized
+// form additionally lets the checker fuse validation and lowering into
+// the parallel prepass (parcheck.CheckTrace) — same reports, same errors,
+// without the streaming pipeline's per-op dispatch on the serial phase.
 func CheckTrace(tr Trace, opts ...CheckOption) ([]Report, error) {
-	return CheckSource(tr.Source(), opts...)
+	sized := make([]CheckOption, 0, len(opts)+1)
+	sized = append(sized, withIDSpace(trace.Scan(tr)))
+	sized = append(sized, opts...)
+	s := settings{variant: V2, cfg: core.DefaultConfig(), parallel: 1}
+	for _, o := range sized {
+		o.applyCheck(&s)
+	}
+	if s.parallel != 1 {
+		return parcheck.CheckTrace(tr, s.parties, parcheckOptions(s))
+	}
+	return CheckSource(tr.Source(), sized...)
+}
+
+// Pre-sizing caps: a prescan hint eagerly allocates that many shadow
+// entries, so hostile traces with huge sparse ids must not translate into
+// huge tables. Beyond the cap, tables fall back to growing on demand.
+const (
+	maxThreadHint = 1 << 16 // the whole Tid space
+	maxVarHint    = 1 << 20
+	maxLockHint   = 1 << 20
+)
+
+// withIDSpace seeds the shadow-table hints from a trace prescan. It is
+// prepended to the user's options so explicit sizing options win.
+func withIDSpace(ids trace.IDSpace) CheckOption {
+	return checkOption(func(s *settings) {
+		s.cfg.Threads = clampHint(ids.Threads, maxThreadHint)
+		s.cfg.Vars = clampHint(ids.Vars, maxVarHint)
+		s.cfg.Locks = clampHint(ids.Locks, maxLockHint)
+	})
+}
+
+func clampHint(n, max int) int {
+	if n < 1 {
+		return 1
+	}
+	if n > max {
+		return max
+	}
+	return n
 }
 
 // CheckTraceWith is CheckTrace with an explicit detector variant.
@@ -315,9 +386,8 @@ func HasRace(tr Trace) (bool, error) {
 	return hb.Analyze(tr.Desugar(nil)).HasRace(), nil
 }
 
-// Version identifies this implementation. 2.1.0 adds the streaming
-// ingestion pipeline: the Source abstraction, CheckSource/CheckReader, and
-// the binary trace codec; CheckTrace is now a wrapper over the streaming
-// path (shadow tables grow on demand instead of being pre-sized from the
-// trace).
-const Version = "2.1.0"
+// Version identifies this implementation. 2.2.0 adds variable-sharded
+// parallel trace checking (WithParallelism, internal/parcheck) with
+// interned copy-on-write clock snapshots, and restores shadow-table
+// pre-sizing to CheckTrace via a cheap id-space prescan.
+const Version = "2.2.0"
