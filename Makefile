@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race vet lint bench bench-parallel metrics-smoke stream-smoke static-smoke par-smoke fuzz fuzz-smoke soak coverage clean
+.PHONY: all build test race vet lint bench bench-parallel metrics-smoke stream-smoke static-smoke par-smoke server-smoke fuzz fuzz-smoke soak coverage clean
 
 all: build
 
@@ -57,6 +57,14 @@ static-smoke:
 par-smoke:
 	$(GO) run -race ./scripts/par-smoke
 
+# End-to-end check of the multi-tenant ingestion service under the Go
+# race detector: concurrent tenants streaming all three wire encodings
+# must read back reports byte-identical to offline CheckTrace, saturation
+# must answer 429 + Retry-After, and a drain/save/restart cycle must
+# preserve every tenant's reports.
+server-smoke:
+	$(GO) run -race ./scripts/server-smoke
+
 # The differential fuzzers: the sequential trace fuzzer, the controlled
 # schedule explorer, then a bounded run of each coverage-guided target.
 fuzz:
@@ -69,6 +77,7 @@ fuzz:
 	$(GO) test ./internal/spec -run '^$$' -fuzz FuzzPrecision -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/staticrace -run '^$$' -fuzz FuzzStaticNoPanic -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/parcheck -run '^$$' -fuzz FuzzParallelEquivalence -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/ingest -run '^$$' -fuzz FuzzIngestHTTP -fuzztime $(FUZZTIME)
 
 # Quick pass over every coverage-guided target's checked-in seed corpus
 # (no fuzzing time budget — just the deterministic seeds, as CI does).
@@ -78,6 +87,7 @@ fuzz-smoke:
 	$(GO) test ./internal/spec -run 'FuzzPrecision' -count 1
 	$(GO) test ./internal/staticrace -run 'FuzzStaticNoPanic' -count 1
 	$(GO) test ./internal/parcheck -run 'FuzzParallelEquivalence' -count 1
+	$(GO) test ./internal/ingest -run 'FuzzIngestHTTP' -count 1
 
 # Long-running schedule exploration (hundreds of schedules per program).
 soak:

@@ -1,0 +1,163 @@
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/ingest"
+	"repro/internal/obs"
+)
+
+// serverSignals is the shutdown trigger, a variable so tests can drive a
+// drain without delivering a real signal to the test process.
+var serverSignals = func() (<-chan os.Signal, func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGTERM, syscall.SIGINT)
+	return ch, func() { signal.Stop(ch) }
+}
+
+// Server implements vft-server: the long-running multi-tenant
+// trace-ingestion service (see internal/ingest). It listens on -addr,
+// serves the /v1 API plus the usual observability mux, and on SIGTERM or
+// SIGINT drains — every accepted upload completes, new uploads get 503 —
+// then optionally persists tenant state to -state so a restart resumes
+// with the same reports. Exit codes: 0 clean serve-and-drain, 2 error.
+func Server(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vft-server", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "localhost:8070", "listen address")
+	statePath := fs.String("state", "",
+		"tenant-state file: loaded at startup if present, written after drain ('' disables)")
+	maxInFlight := fs.Int("max-inflight", 0,
+		"max concurrently checked uploads (0 = 2×GOMAXPROCS); beyond it POSTs get 429")
+	queueWait := fs.Duration("queue-wait", 0,
+		"how long a saturated upload may wait for a slot before 429 (0 = reject immediately)")
+	retryAfter := fs.Duration("retry-after", time.Second,
+		"Retry-After advertised on 429/503 responses")
+	maxBody := fs.Int64("max-body", 0,
+		"per-upload wire-byte cap (0 = 128 MiB); beyond it 413")
+	maxOps := fs.Int("max-ops", 0,
+		"per-upload decoded-operation cap (0 = 50M); beyond it 413")
+	shards := fs.Int("shards", 0,
+		"parcheck shard workers per upload (0 = GOMAXPROCS)")
+	maxReportsPerVar := fs.Int("max-reports-per-var", 0,
+		"cap race reports per variable within one upload (0 = unlimited)")
+	reportQuota := fs.Int("tenant-report-quota", 0,
+		"distinct aggregated races retained per tenant (0 = unlimited)")
+	tenantBytes := fs.Int64("tenant-max-bytes", 0,
+		"cumulative wire-byte quota per tenant (0 = unlimited)")
+	tenantStreams := fs.Int("tenant-max-streams", 0,
+		"cumulative upload quota per tenant (0 = unlimited)")
+	retention := fs.Int("upload-retention", 0,
+		"per-upload verbatim report lists retained per tenant (0 = 64)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second,
+		"how long to wait for in-flight uploads on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "vft-server: usage: vft-server [flags] (no arguments)")
+		return 2
+	}
+
+	reg := obs.NewRegistry()
+	obs.Publish("vft-server", reg)
+	srv := ingest.New(ingest.Config{
+		MaxInFlight:       *maxInFlight,
+		QueueWait:         *queueWait,
+		RetryAfter:        *retryAfter,
+		MaxBodyBytes:      *maxBody,
+		MaxOpsPerUpload:   *maxOps,
+		ShardWorkers:      *shards,
+		MaxReportsPerVar:  *maxReportsPerVar,
+		TenantReportQuota: *reportQuota,
+		TenantMaxBytes:    *tenantBytes,
+		TenantMaxStreams:  *tenantStreams,
+		UploadRetention:   *retention,
+		Metrics:           reg,
+	})
+
+	if *statePath != "" {
+		f, err := os.Open(*statePath)
+		switch {
+		case err == nil:
+			err = srv.LoadState(f)
+			f.Close()
+			if err != nil {
+				fmt.Fprintln(stderr, "vft-server:", err)
+				return 2
+			}
+			fmt.Fprintf(stderr, "vft-server: restored tenant state from %s\n", *statePath)
+		case os.IsNotExist(err):
+			// First boot: nothing to restore.
+		default:
+			fmt.Fprintln(stderr, "vft-server:", err)
+			return 2
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "vft-server:", err)
+		return 2
+	}
+	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	fmt.Fprintf(stdout, "vft-server: serving on http://%s (POST /v1/traces, GET /v1/reports; /metrics, /healthz)\n",
+		ln.Addr())
+
+	sig, stopSignals := serverSignals()
+	defer stopSignals()
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(stderr, "vft-server:", err)
+		return 2
+	case <-sig:
+	}
+
+	fmt.Fprintln(stdout, "vft-server: draining (accepted uploads complete, new uploads get 503)")
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	err = srv.Drain(ctx)
+	cancel()
+	if err != nil {
+		fmt.Fprintln(stderr, "vft-server:", err)
+		return 2
+	}
+	// Drained: stop the listener. In-flight requests are already done, so
+	// a short shutdown window only covers response flushing.
+	ctx, cancel = context.WithTimeout(context.Background(), 5*time.Second)
+	if err := hs.Shutdown(ctx); err != nil {
+		hs.Close()
+	}
+	cancel()
+
+	if *statePath != "" {
+		f, err := os.Create(*statePath)
+		if err == nil {
+			err = srv.SaveState(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "vft-server:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "vft-server: saved tenant state to %s\n", *statePath)
+	}
+	snap := srv.Registry().Snapshot()
+	fmt.Fprintf(stdout, "vft-server: drained cleanly (%d uploads completed, %d rejected saturated, %d bytes read)\n",
+		snap.Counters["ingest.uploads.completed"],
+		snap.Counters["ingest.rejected.saturated"],
+		snap.Counters["ingest.bytes.read"])
+	return 0
+}

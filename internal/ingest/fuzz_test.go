@@ -1,0 +1,90 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+// FuzzIngestHTTP throws arbitrary request bodies (and tenant/variant
+// parameters) at the ingestion handler. The invariants are the service's
+// hard API contract, independent of what the bytes decode to:
+//
+//   - the handler never panics;
+//   - every response is well-formed JSON with a JSON Content-Type;
+//   - every non-200 response carries an "error" string;
+//   - the status code is one the API documents.
+//
+// Limits are set small so coverage-guided exploration spends its budget
+// on the decode/validate/check error surface rather than on big uploads.
+func FuzzIngestHTTP(f *testing.F) {
+	// Seeds: one per wire encoding the decoder sniffs, plus truncated,
+	// garbage and empty bodies and hostile parameter values.
+	valid := racyTrace()
+	f.Add("t0", "vft-v2", encodeBody(f, valid, "text"))
+	f.Add("t1", "vft-v1", encodeBody(f, valid, "binary"))
+	f.Add("t2", "djit", encodeBody(f, valid, "gzip"))
+	bin := encodeBody(f, valid, "binary")
+	f.Add("t3", "eraser", bin[:len(bin)-3])
+	f.Add("t4", "", []byte("rd 0 0\nbogus"))
+	f.Add("bad/tenant", "vft-v2", []byte{0x1f, 0x8b, 0xff, 0x00}) // gzip magic, broken stream
+	f.Add("", "nope", []byte{})
+	f.Add(strings.Repeat("x", 80), "vft-v2", []byte("VFTb\x01garbage"))
+
+	allowed := map[int]bool{
+		http.StatusOK:                    true,
+		http.StatusBadRequest:            true,
+		http.StatusRequestEntityTooLarge: true,
+		http.StatusTooManyRequests:       true,
+		http.StatusServiceUnavailable:    true,
+	}
+
+	f.Fuzz(func(t *testing.T, tenant, variant string, body []byte) {
+		// A fresh small-limit server per input: no cross-input quota state,
+		// so failures minimize deterministically.
+		s := New(Config{
+			MaxInFlight:     2,
+			MaxBodyBytes:    1 << 16,
+			MaxOpsPerUpload: 4096,
+			ShardWorkers:    2,
+		})
+		q := url.Values{}
+		q.Set("tenant", tenant)
+		if variant != "" {
+			q.Set("variant", variant)
+		}
+		req := httptest.NewRequest(http.MethodPost, "/v1/traces?"+q.Encode(), bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, req) // must not panic
+
+		if !allowed[rec.Code] {
+			t.Fatalf("undocumented status %d for tenant=%q variant=%q body=%q",
+				rec.Code, tenant, variant, body)
+		}
+		if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Fatalf("Content-Type = %q, want application/json", ct)
+		}
+		var m map[string]any
+		if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+			t.Fatalf("response not JSON (%v): %q", err, rec.Body.Bytes())
+		}
+		if rec.Code != http.StatusOK {
+			if _, ok := m["error"].(string); !ok {
+				t.Fatalf("%d response lacks \"error\": %v", rec.Code, m)
+			}
+		} else {
+			// Accepted uploads must echo the normalized identity fields and
+			// a races count matching the reports list.
+			if m["tenant"] != tenant {
+				t.Fatalf("tenant echoed as %v, want %q", m["tenant"], tenant)
+			}
+			if int(m["races"].(float64)) != len(m["reports"].([]any)) {
+				t.Fatalf("races=%v but %d reports", m["races"], len(m["reports"].([]any)))
+			}
+		}
+	})
+}

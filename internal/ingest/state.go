@@ -1,0 +1,97 @@
+package ingest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Drain/restart persistence: a drained server can serialize every
+// tenant's retained state to a writer and a fresh server can load it
+// before serving, so a rolling restart presents tenants with the same
+// /v1/reports they would have seen from the old process. The format is
+// versioned JSON of the wire types — the same shapes the API serves — so
+// a state file is also a debuggable artifact.
+
+// stateVersion identifies the persisted format.
+const stateVersion = 1
+
+// persistedTenant is one tenant's serialized state.
+type persistedTenant struct {
+	Name       string          `json:"name"`
+	NextUpload int             `json:"next_upload"`
+	Streams    int             `json:"streams"`
+	Bytes      int64           `json:"bytes"`
+	Dropped    uint64          `json:"dropped"`
+	Aggregated []Aggregate     `json:"aggregated"`
+	Uploads    []*UploadResult `json:"uploads"`
+}
+
+// persistedState is the whole server's serialized state.
+type persistedState struct {
+	Version int               `json:"version"`
+	Tenants []persistedTenant `json:"tenants"`
+}
+
+// SaveState writes the server's tenant state to w. Call it only at
+// quiescence — after Drain has returned — so no upload is mid-commit;
+// saving a serving server is a data race by construction.
+func (s *Server) SaveState(w io.Writer) error {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.tenants))
+	for n := range s.tenants {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	st := persistedState{Version: stateVersion}
+	for _, n := range names {
+		t := s.tenants[n]
+		st.Tenants = append(st.Tenants, persistedTenant{
+			Name:       t.name,
+			NextUpload: t.nextID,
+			Streams:    t.streams,
+			Bytes:      t.bytes,
+			Dropped:    t.depot.Dropped(),
+			Aggregated: t.depot.Aggregates(),
+			Uploads:    t.uploads,
+		})
+	}
+	s.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(st)
+}
+
+// LoadState restores tenant state saved by SaveState into a fresh server.
+// Call it before serving; it replaces any tenants already present.
+func (s *Server) LoadState(r io.Reader) error {
+	var st persistedState
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		return fmt.Errorf("ingest: load state: %w", err)
+	}
+	if st.Version != stateVersion {
+		return fmt.Errorf("ingest: load state: version %d, want %d", st.Version, stateVersion)
+	}
+	tenants := make(map[string]*tenant, len(st.Tenants))
+	for _, pt := range st.Tenants {
+		if !validTenant(pt.Name) {
+			return fmt.Errorf("ingest: load state: invalid tenant name %q", pt.Name)
+		}
+		d := NewDepot(s.cfg.TenantReportQuota)
+		d.restore(pt.Aggregated, pt.Dropped)
+		tenants[pt.Name] = &tenant{
+			name:    pt.Name,
+			nextID:  pt.NextUpload,
+			streams: pt.Streams,
+			bytes:   pt.Bytes,
+			depot:   d,
+			uploads: pt.Uploads,
+		}
+	}
+	s.mu.Lock()
+	s.tenants = tenants
+	s.gTenants.Set(uint64(len(tenants)))
+	s.mu.Unlock()
+	return nil
+}

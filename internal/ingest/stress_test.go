@@ -1,0 +1,146 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	verifiedft "repro"
+	"repro/internal/trace"
+)
+
+// TestStressConcurrentTenants is the race-stress workload from the issue:
+// 8 tenants, each streaming 4 concurrent uploads of 100k-operation
+// generated traces, all in flight at once against one server. Each upload
+// reuses one of 4 shared seeds whose offline truth is computed once, so
+// the check is full per-upload report parity with sequential CheckTrace —
+// under `go test -race` this is the service's heaviest concurrency audit.
+// At quiescence the level gauges must read exactly zero and every
+// accepted upload must have completed.
+func TestStressConcurrentTenants(t *testing.T) {
+	tenants, uploadsPer, ops := 8, 4, 100_000
+	if testing.Short() {
+		tenants, uploadsPer, ops = 3, 2, 10_000
+	}
+
+	// Shared workload: uploadsPer seeds, each a generated feasible trace,
+	// binary-encoded once and checked offline once.
+	cfg := trace.DefaultGenConfig()
+	cfg.Ops = ops
+	cfg.Threads = 8
+	cfg.Vars = 64
+	cfg.Locks = 4
+	bodies := make([][]byte, uploadsPer)
+	wantJSON := make([][]byte, uploadsPer)
+	for i := range bodies {
+		tr := trace.Generate(rand.New(rand.NewSource(int64(1000+i))), cfg)
+		reports, err := verifiedft.CheckTrace(tr, verifiedft.WithVariant(verifiedft.V2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantJSON[i], err = json.Marshal(FromCoreAll(reports))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := trace.EncodeBinary(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		bodies[i] = buf.Bytes()
+	}
+
+	srv := New(Config{
+		MaxInFlight: tenants * uploadsPer, // everything in flight at once
+		QueueWait:   time.Minute,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	errc := make(chan error, tenants*uploadsPer)
+	for ti := 0; ti < tenants; ti++ {
+		for ui := 0; ui < uploadsPer; ui++ {
+			wg.Add(1)
+			go func(ti, ui int) {
+				defer wg.Done()
+				tenant := fmt.Sprintf("stress-%d", ti)
+				code, resp, err := uploadRaw(ts, "/v1/traces?tenant="+tenant+"&variant=vft-v2",
+					bytes.NewReader(bodies[ui]))
+				if err != nil {
+					errc <- fmt.Errorf("%s seed %d: %v", tenant, ui, err)
+					return
+				}
+				if code != http.StatusOK {
+					errc <- fmt.Errorf("%s seed %d: status %d: %s", tenant, ui, code, resp)
+					return
+				}
+				got, err := uploadedReports(resp)
+				if err != nil {
+					errc <- fmt.Errorf("%s seed %d: %v", tenant, ui, err)
+					return
+				}
+				if !bytes.Equal(got, wantJSON[ui]) {
+					errc <- fmt.Errorf("%s seed %d: reports diverge from sequential CheckTrace (%d vs %d bytes)",
+						tenant, ui, len(got), len(wantJSON[ui]))
+				}
+			}(ti, ui)
+		}
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	snap := srv.Registry().Snapshot()
+	total := uint64(tenants * uploadsPer)
+	if got := snap.Counters["ingest.uploads.accepted"]; got != total {
+		t.Fatalf("accepted = %d, want %d", got, total)
+	}
+	if got := snap.Counters["ingest.uploads.completed"]; got != total {
+		t.Fatalf("completed = %d, want %d", got, total)
+	}
+	for _, g := range []string{"ingest.inflight", "ingest.queue.depth"} {
+		if v := snap.Gauges[g]; v != 0 {
+			t.Fatalf("%s = %d at quiescence, want 0", g, v)
+		}
+	}
+	if got := snap.Counters["ingest.rejected.saturated"]; got != 0 {
+		t.Fatalf("rejected.saturated = %d with everything admitted", got)
+	}
+	// Every tenant checked the identical workload: distinct counts agree.
+	var distinct []int
+	for ti := 0; ti < tenants; ti++ {
+		resp, err := ts.Client().Get(fmt.Sprintf("%s/v1/reports?tenant=stress-%d", ts.URL, ti))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep struct {
+			Distinct int `json:"distinct"`
+			Uploads  int `json:"uploads"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&rep)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Uploads != uploadsPer {
+			t.Fatalf("tenant %d uploads = %d, want %d", ti, rep.Uploads, uploadsPer)
+		}
+		distinct = append(distinct, rep.Distinct)
+	}
+	for ti := 1; ti < tenants; ti++ {
+		if distinct[ti] != distinct[0] {
+			t.Fatalf("distinct counts diverged across tenants: %v", distinct)
+		}
+	}
+}

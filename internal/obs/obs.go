@@ -138,6 +138,12 @@ func (g *Gauge) Max(v uint64) {
 // Add adds n to the gauge.
 func (g *Gauge) Add(n uint64) { g.v.Add(n) }
 
+// Sub subtracts n from the gauge. Add/Sub pairs turn a gauge into a
+// level instrument (in-flight requests, queue depth): increments on entry,
+// decrements on exit, zero at quiescence. Callers must keep Subs matched
+// with prior Adds; an excess Sub wraps, exactly like an atomic counter.
+func (g *Gauge) Sub(n uint64) { g.v.Add(^(n - 1)) }
+
 // Value returns the current value.
 func (g *Gauge) Value() uint64 { return g.v.Load() }
 

@@ -75,6 +75,33 @@ func TestGauge(t *testing.T) {
 	if got := g.Value(); got != 25 {
 		t.Fatalf("Add(5) = %d, want 25", got)
 	}
+	g.Sub(25)
+	if got := g.Value(); got != 0 {
+		t.Fatalf("Sub back to zero = %d, want 0", got)
+	}
+}
+
+// TestGaugeAddSubLevel uses a gauge as a level instrument (the ingestion
+// server's in-flight/queue-depth pattern): concurrent matched Add/Sub
+// pairs must leave exactly zero at quiescence.
+func TestGaugeAddSubLevel(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(3)
+				g.Sub(2)
+				g.Sub(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 0 {
+		t.Fatalf("matched Add/Sub pairs left %d, want 0", got)
+	}
 }
 
 // TestHistogramBuckets pins the power-of-two bucket boundaries: value 0 in

@@ -64,6 +64,13 @@ type Options struct {
 	// successful run: shard balance, queue depth, intern hit rate, freeze
 	// reuse, and op/report accounting.
 	Metrics *obs.Registry
+	// StatsSink, when non-nil, is called once with the same snapshot a
+	// Metrics registry would receive. Unlike Metrics — which registers a
+	// new frozen source per run and therefore suits one-shot tools — a
+	// sink lets a long-running caller (the ingestion service, which checks
+	// thousands of uploads per registry lifetime) fold each run's stats
+	// into its own accumulators without growing the registry per check.
+	StatsSink func(obs.Snapshot)
 }
 
 // batchSize is the shard-queue granularity: large enough to amortize
@@ -242,8 +249,14 @@ func run(opts Options, streamFn func(*prepassState) error) ([]core.Report, error
 		reports = append(reports, r)
 	}
 
-	if opts.Metrics != nil {
-		opts.Metrics.RegisterSource("parcheck", p.stats(ws, uint64(total)).Source())
+	if opts.Metrics != nil || opts.StatsSink != nil {
+		snap := p.stats(ws, uint64(total))
+		if opts.Metrics != nil {
+			opts.Metrics.RegisterSource("parcheck", snap.Source())
+		}
+		if opts.StatsSink != nil {
+			opts.StatsSink(snap)
+		}
 	}
 	return reports, nil
 }

@@ -1,6 +1,9 @@
 package trace
 
-import "io"
+import (
+	"fmt"
+	"io"
+)
 
 // Source is a pull iterator over trace operations — the streaming
 // counterpart of Trace. Next returns the next operation of the stream, or
@@ -77,3 +80,45 @@ func (h *headSource) Next() (Op, error) {
 // The underlying source is not drained past n, so a bounded prefix of an
 // unbounded stream stays bounded.
 func Head(src Source, n int) Source { return &headSource{src: src, left: n} }
+
+// TooLongError is the terminal error of a Limit source: the stream
+// exceeded the caller's operation budget. The limit is carried so callers
+// (an ingestion service enforcing per-tenant stream quotas) can report it.
+type TooLongError struct {
+	Limit int
+}
+
+func (e *TooLongError) Error() string {
+	return fmt.Sprintf("trace: stream exceeds %d operations", e.Limit)
+}
+
+// limitSource fails a Source past n operations.
+type limitSource struct {
+	src  Source
+	n    int
+	left int
+}
+
+func (l *limitSource) Next() (Op, error) {
+	op, err := l.src.Next()
+	if err != nil {
+		return op, err
+	}
+	if l.left <= 0 {
+		return Op{}, &TooLongError{Limit: l.n}
+	}
+	l.left--
+	return op, nil
+}
+
+// Limit returns a Source that yields src's operations but fails with a
+// *TooLongError as soon as the stream runs past n operations. Unlike Head,
+// which silently truncates, Limit makes an over-budget stream an error —
+// the right contract for enforcing upload quotas, where checking a silent
+// prefix would misreport the trace's races. n <= 0 means no limit.
+func Limit(src Source, n int) Source {
+	if n <= 0 {
+		return src
+	}
+	return &limitSource{src: src, n: n, left: n}
+}

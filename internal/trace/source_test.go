@@ -25,6 +25,27 @@ func TestSliceSourceReadAllHead(t *testing.T) {
 	}
 }
 
+// TestLimit: within budget Limit is transparent; past it the stream fails
+// with a typed *TooLongError (it never silently truncates like Head).
+func TestLimit(t *testing.T) {
+	tr := Trace{Wr(0, 0), Rd(0, 1), Wr(0, 2)}
+	back, err := ReadAll(Limit(tr.Source(), 3))
+	if err != nil || !reflect.DeepEqual(tr, back) {
+		t.Fatalf("Limit(3) over 3 ops: %v, %v", back, err)
+	}
+	got, err := ReadAll(Limit(tr.Source(), 2))
+	var tooLong *TooLongError
+	if !errors.As(err, &tooLong) || tooLong.Limit != 2 {
+		t.Fatalf("Limit(2) over 3 ops: err %v, want *TooLongError{2}", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("Limit(2) yielded %d ops before failing, want 2", len(got))
+	}
+	if all, err := ReadAll(Limit(tr.Source(), 0)); err != nil || len(all) != 3 {
+		t.Fatalf("Limit(0) must disable the limit: %v, %v", all, err)
+	}
+}
+
 // TestValidateSourceMatchesValidate: the incremental validator accepts and
 // rejects exactly what the slice fold does, with identical errors.
 func TestValidateSourceMatchesValidate(t *testing.T) {

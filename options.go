@@ -83,6 +83,18 @@ func WithBarrierParties(parties map[LockID]int) CheckOption {
 // WithMaxReportsPerVar caps race reports per variable, RoadRunner's
 // warn-once discipline (0 = unlimited). Suppressed reports are counted, not
 // silently lost: they appear as reports.dropped in the detector's stats.
+//
+// Quota precedence when checking through the ingestion service
+// (internal/ingest, cmd/vft-server): this per-variable cap applies first,
+// while the upload is being checked — a report it suppresses is never
+// seen downstream. The reports that survive are then deduplicated into
+// the tenant's depot (identical races collapse into one aggregate with a
+// repetition count), and only then does the tenant-wide report quota
+// apply, bounding *distinct* aggregated races: a fresh race beyond that
+// quota is dropped and counted, while repeats of already-retained races
+// keep aggregating regardless. The two caps are therefore complementary,
+// not redundant — this one bounds per-upload noise from one hot variable,
+// the tenant quota bounds long-term distinct-race retention.
 func WithMaxReportsPerVar(n int) CommonOption {
 	return commonOption(func(s *settings) { s.cfg.MaxReportsPerVar = n })
 }
