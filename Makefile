@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race vet lint bench bench-parallel metrics-smoke stream-smoke static-smoke par-smoke server-smoke fuzz fuzz-smoke soak coverage clean
+.PHONY: all build test race vet lint bench bench-parallel metrics-smoke stream-smoke static-smoke par-smoke server-smoke chan-smoke fuzz fuzz-smoke soak coverage clean
 
 all: build
 
@@ -65,10 +65,18 @@ par-smoke:
 server-smoke:
 	$(GO) run -race ./scripts/server-smoke
 
+# End-to-end check of trace format v2's Go-synchronization kinds: two
+# channel-heavy traces round-trip text -> binary-v2 -> vft-run -parallel
+# -> vft-server upload, each leg's reports diffed against an offline
+# CheckTrace with the same channel capacities.
+chan-smoke:
+	$(GO) run -race ./scripts/chan-smoke
+
 # The differential fuzzers: the sequential trace fuzzer, the controlled
 # schedule explorer, then a bounded run of each coverage-guided target.
 fuzz:
 	$(GO) run ./cmd/vft-fuzz -n 2000
+	$(GO) run ./cmd/vft-fuzz -n 2000 -gosync
 	$(GO) run ./cmd/vft-fuzz -n 200 -schedules 25
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzFromBytes -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME)

@@ -68,6 +68,32 @@ func serveMetrics(addr, name string, reg *obs.Registry, stderr io.Writer) (func(
 	return func() { srv.Close() }, nil
 }
 
+// parseChanCaps parses a -chancaps flag value: comma-separated id:cap
+// pairs ("0:2,3:1"). Channels absent from the map default to capacity 0,
+// an unbuffered channel. Empty input yields nil (all defaults).
+func parseChanCaps(s string) (map[trace.Lock]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	caps := map[trace.Lock]int{}
+	for _, pair := range strings.Split(s, ",") {
+		id, val, ok := strings.Cut(pair, ":")
+		if !ok {
+			return nil, fmt.Errorf("-chancaps: %q is not an id:cap pair", pair)
+		}
+		i, err := strconv.Atoi(id)
+		if err != nil || i < 0 {
+			return nil, fmt.Errorf("-chancaps: bad channel id %q", id)
+		}
+		c, err := strconv.Atoi(val)
+		if err != nil || c < 0 {
+			return nil, fmt.Errorf("-chancaps: bad capacity %q for channel %d", val, i)
+		}
+		caps[trace.Lock(i)] = c
+	}
+	return caps, nil
+}
+
 // Race implements vft-race: check a trace (file argument, or stdin via
 // "-" or no argument) for races. Inputs may be text, binary or gzip; the
 // encoding is sniffed from the stream. The multi-variant cross-check and
@@ -82,7 +108,14 @@ func Race(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	oracle := fs.Bool("oracle", false, "also compare against the happens-before oracle")
 	explain := fs.Bool("explain", false, "explain every conflicting pair: a happens-before witness chain or RACE")
 	parties := fs.Int("parties", 2, "participant count for barrier lowering")
+	chancaps := fs.String("chancaps", "",
+		"per-channel buffer capacities as comma-separated id:cap pairs, e.g. 0:2,1:0 (absent channels are unbuffered)")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	caps, err := parseChanCaps(*chancaps)
+	if err != nil {
+		fmt.Fprintln(stderr, "vft-race:", err)
 		return 2
 	}
 
@@ -103,17 +136,18 @@ func Race(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "vft-race:", err)
 		return 2
 	}
-	if err := trace.Validate(tr); err != nil {
-		fmt.Fprintln(stderr, "vft-race:", err)
-		return 2
-	}
 	partyMap := map[trace.Lock]int{}
 	for _, op := range tr {
 		if op.Kind == trace.Barrier {
 			partyMap[op.M] = *parties
 		}
 	}
-	low := tr.Desugar(partyMap)
+	ext := &trace.Extensions{BarrierParties: partyMap, ChanCapacity: caps}
+	if err := trace.ValidateExt(tr, ext); err != nil {
+		fmt.Fprintln(stderr, "vft-race:", err)
+		return 2
+	}
+	low := tr.Desugar(ext)
 
 	variants := []string{*variant}
 	if *all {
@@ -602,6 +636,8 @@ func Fuzz(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	threads := fs.Int("threads", 4, "maximum threads per trace")
 	seed := fs.Int64("seed", 1, "base RNG seed")
 	racy := fs.Bool("racy", false, "disable the generator's locking bias (more races)")
+	gosync := fs.Bool("gosync", false,
+		"mix Go synchronization (channels, atomics, once) into the generated traces and lower it onto the core language before the differential check")
 	shrink := fs.Bool("shrink", true, "delta-minimize a diverging trace before printing it")
 	schedules := fs.Int("schedules", 0, "controlled schedules to explore per trace (0: sequential check only)")
 	policy := fs.String("sched-policy", "pct",
@@ -621,11 +657,15 @@ func Fuzz(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 
 	cfg := trace.DefaultGenConfig()
+	if *gosync {
+		cfg = trace.GoSyncGenConfig()
+	}
 	cfg.Ops = *ops
 	cfg.Threads = *threads
 	if *racy {
 		cfg.LockedFraction = 0
 	}
+	ext := cfg.Extensions()
 
 	races, clean := 0, 0
 	var explored harness.ScheduleStats
@@ -633,6 +673,13 @@ func Fuzz(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		traceSeed := *seed + int64(i)
 		rng := rand.New(rand.NewSource(traceSeed))
 		tr := trace.Generate(rng, cfg)
+		if *gosync {
+			// The differential stack compares detectors on the §2 core
+			// language; lower the Go-synchronization kinds first. The
+			// lowering is what's under test here: a bug in it surfaces
+			// as a divergence on the lowered trace.
+			tr = tr.Desugar(ext)
+		}
 		if err := CheckOne(tr); err != nil {
 			if *shrink {
 				tr = Shrink(tr)
@@ -790,12 +837,23 @@ func RunProg(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		"serve metrics over HTTP on this address: live rtsim event counts during the run, frozen detector stats after each run")
 	metricsLinger := fs.Duration("metrics-linger", 0,
 		"keep the metrics endpoint up this long after the last run")
+	chancaps := fs.String("chancaps", "",
+		"per-channel buffer capacities for trace inputs, comma-separated id:cap pairs (absent channels are unbuffered)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 1 {
 		fmt.Fprintln(stderr, "vft-run: usage: vft-run [-d variant] [-runs N] [-trace] program.vft | trace | -")
 		return 2
+	}
+	caps, err := parseChanCaps(*chancaps)
+	if err != nil {
+		fmt.Fprintln(stderr, "vft-run:", err)
+		return 2
+	}
+	var ext *trace.Extensions
+	if caps != nil {
+		ext = &trace.Extensions{ChanCapacity: caps}
 	}
 	path := fs.Arg(0)
 	in, closeIn, err := openInput(path, stdin)
@@ -843,13 +901,13 @@ func RunProg(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 				fmt.Fprintln(stderr, "vft-run: -parallel needs a detector variant, not 'none'")
 				return 2
 			}
-			return runTraceParallel(br, path, *variant, *parallelN, reg, stdout, stderr)
+			return runTraceParallel(br, path, *variant, *parallelN, ext, reg, stdout, stderr)
 		}
 		if (path == "-" || path == "") && *runs > 1 {
 			fmt.Fprintln(stderr, "vft-run: -runs > 1 needs a re-readable file, not stdin")
 			return 2
 		}
-		return runTrace(path, br, *variant, *runs, reg, rtOpts, stdout, stderr)
+		return runTrace(path, br, *variant, *runs, ext, reg, rtOpts, stdout, stderr)
 	}
 	if *parallelN != 1 {
 		fmt.Fprintln(stderr, "vft-run: -parallel applies to trace inputs (use -trace for text traces)")
@@ -923,7 +981,7 @@ func RunProg(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 // decode → validate → desugar → rtsim.Replay on a fresh runtime, never
 // materializing the trace. The first run consumes in; later runs reopen
 // path (the caller has already ruled out stdin when runs > 1).
-func runTrace(path string, in io.Reader, variant string, runs int, reg *obs.Registry, rtOpts []rtsim.Option, stdout, stderr io.Writer) int {
+func runTrace(path string, in io.Reader, variant string, runs int, ext *trace.Extensions, reg *obs.Registry, rtOpts []rtsim.Option, stdout, stderr io.Writer) int {
 	raced := false
 	for i := 0; i < runs; i++ {
 		r := in
@@ -935,7 +993,7 @@ func runTrace(path string, in io.Reader, variant string, runs int, reg *obs.Regi
 			}
 			r = f
 		}
-		racedOnce, code := runTraceOnce(r, path, variant, reg, rtOpts, stdout, stderr)
+		racedOnce, code := runTraceOnce(r, path, variant, ext, reg, rtOpts, stdout, stderr)
 		if f, ok := r.(*os.File); ok && i > 0 {
 			f.Close()
 		}
@@ -959,7 +1017,7 @@ func runTrace(path string, in io.Reader, variant string, runs int, reg *obs.Regi
 // (schedule-independent, unlike re-execution), printed deduplicated per
 // variable like the other modes. With -metrics-addr, the checker's
 // "parcheck" source lands in the registry.
-func runTraceParallel(in io.Reader, path, variant string, workers int, reg *obs.Registry, stdout, stderr io.Writer) int {
+func runTraceParallel(in io.Reader, path, variant string, workers int, ext *trace.Extensions, reg *obs.Registry, stdout, stderr io.Writer) int {
 	src, err := trace.NewDecoder(in)
 	if err != nil {
 		fmt.Fprintln(stderr, "vft-run:", err)
@@ -973,7 +1031,7 @@ func runTraceParallel(in io.Reader, path, variant string, workers int, reg *obs.
 	ids := trace.Scan(tr)
 	var reports []core.Report
 	pprof.Do(context.Background(), pprof.Labels("program", path, "detector", variant), func(context.Context) {
-		reports, err = parcheck.CheckTrace(tr, nil, parcheck.Options{
+		reports, err = parcheck.CheckTrace(tr, ext, parcheck.Options{
 			Variant: variant,
 			Workers: workers,
 			Threads: clampTableHint(ids.Threads, 1<<16),
@@ -1014,7 +1072,7 @@ func clampTableHint(n, max int) int {
 
 // runTraceOnce re-executes one trace stream as a live concurrent program.
 // Like a program run, reports are deduplicated per variable for printing.
-func runTraceOnce(in io.Reader, path, variant string, reg *obs.Registry, rtOpts []rtsim.Option, stdout, stderr io.Writer) (bool, int) {
+func runTraceOnce(in io.Reader, path, variant string, ext *trace.Extensions, reg *obs.Registry, rtOpts []rtsim.Option, stdout, stderr io.Writer) (bool, int) {
 	src, err := trace.NewDecoder(in)
 	if err != nil {
 		fmt.Fprintln(stderr, "vft-run:", err)
@@ -1028,7 +1086,7 @@ func runTraceOnce(in io.Reader, path, variant string, reg *obs.Registry, rtOpts 
 		}
 	}
 	rt := rtsim.New(d, rtOpts...)
-	pipe := trace.DesugarSource(trace.ValidateSource(src), nil)
+	pipe := trace.DesugarSource(trace.ValidateSource(src, ext), ext)
 	pprof.Do(context.Background(), pprof.Labels("program", path, "detector", variant), func(context.Context) {
 		err = rtsim.Replay(rt, pipe)
 	})

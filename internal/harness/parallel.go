@@ -129,7 +129,7 @@ func RunParallel(opts ParallelOptions) (*ParallelTable, error) {
 func timeCheck(tr trace.Trace, ids trace.IDSpace, opts ParallelOptions, workers int) (time.Duration, int, error) {
 	check := func() (int, error) {
 		if workers == 1 {
-			src := trace.DesugarSource(trace.ValidateSource(tr.Source()), nil)
+			src := trace.DesugarSource(trace.ValidateSource(tr.Source(), nil), nil)
 			cfg := core.Config{Threads: ids.Threads, Vars: ids.Vars, Locks: ids.Locks}
 			d, err := core.New(opts.Variant, cfg)
 			if err != nil {

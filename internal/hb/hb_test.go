@@ -243,9 +243,58 @@ func TestDesugaredBarrierOrders(t *testing.T) {
 		trace.BarrierOp(1, 0),
 		trace.Rd(1, 0),
 	}
-	low := tr.Desugar(map[trace.Lock]int{0: 2})
+	low := tr.Desugar(&trace.Extensions{BarrierParties: map[trace.Lock]int{0: 2}})
 	if rep := Analyze(low); rep.HasRace() {
 		t.Fatalf("barrier ordering missed: %v", rep.Races)
+	}
+}
+
+// TestDesugaredChannelOrders: the HB oracle agrees the lowered channel
+// edges are real — a message-passing publish is race-free, but a buffered
+// channel's slot edges do NOT over-order unrelated later work (send k
+// only synchronizes with recv k, not with recv k-1's thread state).
+func TestDesugaredChannelOrders(t *testing.T) {
+	ext := &trace.Extensions{ChanCapacity: map[trace.Lock]int{0: 1}}
+	publish := trace.Trace{
+		trace.ForkOp(0, 1),
+		trace.Wr(0, 0), // data
+		trace.SendOp(0, 0),
+		trace.RecvOp(1, 0),
+		trace.Rd(1, 0),
+	}
+	if rep := Analyze(publish.Desugar(ext)); rep.HasRace() {
+		t.Fatalf("channel publish ordering missed: %v", rep.Races)
+	}
+	// The same shape with the access after the send: the edge runs from
+	// the send, so a later write is unordered with the receiver's read.
+	late := trace.Trace{
+		trace.ForkOp(0, 1),
+		trace.SendOp(0, 0),
+		trace.RecvOp(1, 0),
+		trace.Wr(0, 0),
+		trace.Rd(1, 0),
+	}
+	if rep := Analyze(late.Desugar(ext)); !rep.HasRace() {
+		t.Fatal("write after send must not be ordered before the receive")
+	}
+}
+
+// TestDesugaredOnceAtomicOrder: first Once executor publishes; atomics
+// form release/acquire edges per location.
+func TestDesugaredOnceAtomicOrder(t *testing.T) {
+	tr := trace.Trace{
+		trace.ForkOp(0, 1),
+		trace.Wr(0, 0),
+		trace.OnceOp(0, 2),
+		trace.OnceOp(1, 2),
+		trace.Rd(1, 0),
+		trace.Wr(1, 1),
+		trace.AStore(1, 3),
+		trace.ALoad(0, 3),
+		trace.Rd(0, 1),
+	}
+	if rep := Analyze(tr.Desugar(nil)); rep.HasRace() {
+		t.Fatalf("once/atomic ordering missed: %v", rep.Races)
 	}
 }
 

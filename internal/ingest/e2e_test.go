@@ -60,6 +60,21 @@ func buildCorpus(t testing.TB) []corpusEntry {
 			trace.JoinOp(0, 1),
 		},
 	})
+	entries = append(entries, corpusEntry{
+		// Go synchronization (trace format v2), feasible with no chancap
+		// parameter: an unbuffered-channel rendezvous, an atomic, a once.
+		name: "gosync-ops",
+		tr: trace.Trace{
+			trace.ForkOp(0, 1), trace.ForkOp(0, 2),
+			trace.AStore(0, 5),
+			trace.SendOp(1, 0), trace.RecvOp(0, 0), // rendezvous
+			trace.ALoad(1, 5),
+			trace.OnceOp(1, 2), trace.OnceOp(2, 2),
+			trace.Wr(1, 0), trace.Wr(2, 0), // racy pair
+			trace.CloseOp(0, 0), trace.RecvOp(2, 0),
+			trace.JoinOp(0, 1), trace.JoinOp(0, 2),
+		},
+	})
 	for i := range entries {
 		e := &entries[i]
 		trace.MustValidate(e.tr)

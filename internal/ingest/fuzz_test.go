@@ -25,15 +25,23 @@ func FuzzIngestHTTP(f *testing.F) {
 	// Seeds: one per wire encoding the decoder sniffs, plus truncated,
 	// garbage and empty bodies and hostile parameter values.
 	valid := racyTrace()
-	f.Add("t0", "vft-v2", encodeBody(f, valid, "text"))
-	f.Add("t1", "vft-v1", encodeBody(f, valid, "binary"))
-	f.Add("t2", "djit", encodeBody(f, valid, "gzip"))
+	f.Add("t0", "vft-v2", "", encodeBody(f, valid, "text"))
+	f.Add("t1", "vft-v1", "", encodeBody(f, valid, "binary"))
+	f.Add("t2", "djit", "", encodeBody(f, valid, "gzip"))
 	bin := encodeBody(f, valid, "binary")
-	f.Add("t3", "eraser", bin[:len(bin)-3])
-	f.Add("t4", "", []byte("rd 0 0\nbogus"))
-	f.Add("bad/tenant", "vft-v2", []byte{0x1f, 0x8b, 0xff, 0x00}) // gzip magic, broken stream
-	f.Add("", "nope", []byte{})
-	f.Add(strings.Repeat("x", 80), "vft-v2", []byte("VFTb\x01garbage"))
+	f.Add("t3", "eraser", "", bin[:len(bin)-3])
+	f.Add("t4", "", "", []byte("rd 0 0\nbogus"))
+	f.Add("bad/tenant", "vft-v2", "", []byte{0x1f, 0x8b, 0xff, 0x00}) // gzip magic, broken stream
+	f.Add("", "nope", "", []byte{})
+	f.Add(strings.Repeat("x", 80), "vft-v2", "", []byte("VFTb\x01garbage"))
+	// Trace format v2: Go-synchronization kinds, the chancap parameter
+	// (valid and hostile), and a future-version header.
+	f.Add("t5", "vft-v2", "0:2", encodeBody(f, bufferedChanTrace(), "binary"))
+	f.Add("t6", "vft-v2", "", encodeBody(f, bufferedChanTrace(), "text"))
+	f.Add("t7", "vft-v2", "", []byte("send 0 c0\nrecv 1 c0\nonce 0 o1\narmw 1 a2\n"))
+	f.Add("t8", "vft-v2", "0:-1,zzz", encodeBody(f, valid, "text"))
+	f.Add("t9", "vft-v2", strings.Repeat("0:2,", 40), []byte{})
+	f.Add("t10", "vft-v2", "", []byte("VFTb\x03"))
 
 	allowed := map[int]bool{
 		http.StatusOK:                    true,
@@ -43,7 +51,7 @@ func FuzzIngestHTTP(f *testing.F) {
 		http.StatusServiceUnavailable:    true,
 	}
 
-	f.Fuzz(func(t *testing.T, tenant, variant string, body []byte) {
+	f.Fuzz(func(t *testing.T, tenant, variant, chancap string, body []byte) {
 		// A fresh small-limit server per input: no cross-input quota state,
 		// so failures minimize deterministically.
 		s := New(Config{
@@ -56,6 +64,9 @@ func FuzzIngestHTTP(f *testing.F) {
 		q.Set("tenant", tenant)
 		if variant != "" {
 			q.Set("variant", variant)
+		}
+		if chancap != "" {
+			q.Set("chancap", chancap)
 		}
 		req := httptest.NewRequest(http.MethodPost, "/v1/traces?"+q.Encode(), bytes.NewReader(body))
 		rec := httptest.NewRecorder()

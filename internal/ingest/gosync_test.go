@@ -1,0 +1,120 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	verifiedft "repro"
+	"repro/internal/trace"
+)
+
+// bufferedChanTrace needs chancap=0:2 to be feasible: two sends fill the
+// buffer before any receive.
+func bufferedChanTrace() trace.Trace {
+	return trace.Trace{
+		trace.ForkOp(0, 1),
+		trace.Wr(0, 0),
+		trace.SendOp(0, 0), trace.SendOp(0, 0),
+		trace.RecvOp(1, 0),
+		trace.Rd(1, 0), // ordered by the channel: no race
+		trace.Wr(1, 1), trace.Wr(0, 1), // racy pair
+		trace.RecvOp(1, 0),
+		trace.JoinOp(0, 1),
+	}
+}
+
+// TestServerChanCapParity: the chancap query parameter reaches the
+// validation and lowering stages, and the upload's reports are
+// byte-identical to an offline CheckTrace with the same capacities —
+// the vft-server leg of the v2 acceptance criterion.
+func TestServerChanCapParity(t *testing.T) {
+	tr := bufferedChanTrace()
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, variant := range verifiedft.Variants() {
+		offline, err := verifiedft.CheckTrace(tr,
+			verifiedft.WithVariant(variant),
+			verifiedft.WithChanCapacities(map[verifiedft.LockID]int{0: 2}))
+		if err != nil {
+			t.Fatalf("%s offline: %v", variant, err)
+		}
+		wantJSON, err := json.Marshal(FromCoreAll(offline))
+		if err != nil {
+			t.Fatal(err)
+		}
+		url := fmt.Sprintf("/v1/traces?tenant=chan&variant=%s&chancap=0:2", variant)
+		code, resp, err := uploadRaw(ts, url, bytes.NewReader(encodeBody(t, tr, "binary")))
+		if err != nil || code != http.StatusOK {
+			t.Fatalf("%s upload: %d %v %s", variant, code, err, resp)
+		}
+		got, err := uploadedReports(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := json.Compact(&buf, wantJSON); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, buf.Bytes()) {
+			t.Fatalf("%s: upload reports diverge from offline:\n got %s\nwant %s",
+				variant, got, buf.Bytes())
+		}
+	}
+
+	// Without the parameter the same stream is infeasible (the second
+	// send blocks an acting thread): a 400, not a silent mis-check.
+	code, resp, err := uploadRaw(ts, "/v1/traces?tenant=chan",
+		bytes.NewReader(encodeBody(t, tr, "binary")))
+	if err != nil || code != http.StatusBadRequest {
+		t.Fatalf("capacity-less upload: %d %v %s", code, err, resp)
+	}
+}
+
+// TestServerRejectsBadExtParams: malformed chancap/parties values are a
+// 400 at admission, before any body is read.
+func TestServerRejectsBadExtParams(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for _, q := range []string{
+		"chancap=zero", "chancap=0", "chancap=0:-1", "chancap=x:2",
+		"parties=1:0", "parties=oops",
+	} {
+		code, resp, err := uploadRaw(ts, "/v1/traces?tenant=t&"+q,
+			strings.NewReader("rd 0 0\n"))
+		if err != nil || code != http.StatusBadRequest {
+			t.Fatalf("%s: %d %v %s", q, code, err, resp)
+		}
+	}
+}
+
+// TestServerFutureFormatVersion: a binary trace from a newer writer gets
+// the "upgrade this server" answer, not "corrupt trace".
+func TestServerFutureFormatVersion(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	code, resp, err := uploadRaw(ts, "/v1/traces?tenant=t",
+		bytes.NewReader([]byte("VFTb\x03")))
+	if err != nil || code != http.StatusBadRequest {
+		t.Fatalf("future-version upload: %d %v %s", code, err, resp)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(resp, &m); err != nil {
+		t.Fatal(err)
+	}
+	msg, _ := m["error"].(string)
+	if !strings.Contains(msg, "upgrade this server") {
+		t.Fatalf("future-version error %q does not say to upgrade", msg)
+	}
+	if strings.Contains(msg, "bad magic") {
+		t.Fatalf("future version misreported as corruption: %q", msg)
+	}
+}

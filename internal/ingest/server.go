@@ -7,7 +7,7 @@
 // The flow per upload is the offline checker's flow, wrapped in admission
 // control:
 //
-//	POST /v1/traces?tenant=T&variant=V
+//	POST /v1/traces?tenant=T&variant=V[&parties=id:n,...][&chancap=id:c,...]
 //	  → admission (drain flag, in-flight slots, tenant quotas)
 //	  → trace.NewDecoder (sniffs gzip / binary "VFTb" / text)
 //	  → trace.Limit (per-upload operation budget)
@@ -41,6 +41,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -446,6 +447,12 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 			"unknown detector variant %q (one of %v)", variant, core.Variants())
 		return
 	}
+	ext, err := parseExtensions(q.Get("parties"), q.Get("chancap"))
+	if err != nil {
+		s.cRejInvalid.Inc(0)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	if s.draining.Load() {
 		s.cRejDraining.Inc(0)
 		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
@@ -478,7 +485,7 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 
 	start := time.Now()
 	body := &bodyReader{r: r.Body, max: s.cfg.MaxBodyBytes}
-	res, herr := s.check(body, variant)
+	res, herr := s.check(body, variant, ext)
 	s.cBytes.Add(slot, uint64(body.n))
 	ten.mu.Lock()
 	ten.bytes += body.n
@@ -494,6 +501,13 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		if errors.As(herr, &tooLong) {
 			s.cRejLarge.Inc(slot)
 			s.writeError(w, http.StatusRequestEntityTooLarge, "%v", herr)
+			return
+		}
+		var tooNew *trace.UnsupportedVersionError
+		if errors.As(herr, &tooNew) {
+			s.cRejInvalid.Inc(slot)
+			s.writeError(w, http.StatusBadRequest,
+				"%v: upgrade this server to ingest it", herr)
 			return
 		}
 		s.cRejInvalid.Inc(slot)
@@ -529,15 +543,58 @@ func (s *Server) admitTenant(t *tenant) error {
 	return nil
 }
 
+// parseExtensions folds the parties= and chancap= query parameters into
+// the trace extensions the validator and lowering consume. Both use the
+// same grammar: comma-separated id:value pairs ("0:4,2:1"), where the id
+// is a barrier or channel id and the value a participant count or buffer
+// capacity. Empty parameters yield nil — the all-defaults extensions.
+func parseExtensions(parties, chancap string) (*trace.Extensions, error) {
+	pm, err := parseIntPairs(parties, "parties", 1)
+	if err != nil {
+		return nil, err
+	}
+	cm, err := parseIntPairs(chancap, "chancap", 0)
+	if err != nil {
+		return nil, err
+	}
+	if pm == nil && cm == nil {
+		return nil, nil
+	}
+	return &trace.Extensions{BarrierParties: pm, ChanCapacity: cm}, nil
+}
+
+func parseIntPairs(s, name string, min int) (map[trace.Lock]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	m := make(map[trace.Lock]int)
+	for _, pair := range strings.Split(s, ",") {
+		id, val, ok := strings.Cut(pair, ":")
+		if !ok {
+			return nil, fmt.Errorf("%s: %q is not an id:value pair", name, pair)
+		}
+		i, err := strconv.Atoi(id)
+		if err != nil || i < 0 {
+			return nil, fmt.Errorf("%s: bad id %q", name, id)
+		}
+		v, err := strconv.Atoi(val)
+		if err != nil || v < min {
+			return nil, fmt.Errorf("%s: bad value %q for id %d (min %d)", name, val, i, min)
+		}
+		m[trace.Lock(i)] = v
+	}
+	return m, nil
+}
+
 // check runs one stream through decode → limit → validate → desugar →
 // parcheck and returns the upload result (Tenant/Upload/Bytes unset).
-func (s *Server) check(body io.Reader, variant string) (*UploadResult, error) {
+func (s *Server) check(body io.Reader, variant string, ext *trace.Extensions) (*UploadResult, error) {
 	dec, err := trace.NewDecoder(body)
 	if err != nil {
 		return nil, err
 	}
 	counted := &countingSource{src: trace.Limit(dec, s.cfg.MaxOpsPerUpload)}
-	pipe := trace.DesugarSource(trace.ValidateSource(counted), nil)
+	pipe := trace.DesugarSource(trace.ValidateSource(counted, ext), ext)
 	reports, err := parcheck.Check(pipe, parcheck.Options{
 		Variant:          variant,
 		Workers:          s.cfg.ShardWorkers,

@@ -137,18 +137,20 @@ func Check(src trace.Source, opts Options) ([]core.Report, error) {
 }
 
 // CheckTrace is the materialized-trace fast path: it checks a raw (not
-// yet validated or lowered) trace by fusing the §2 feasibility validation
+// yet validated or lowered) trace by fusing the feasibility validation
 // and extended-op lowering of the CheckSource pipeline into the prepass
 // loop itself. The three per-op virtual Next() hops of the composable
 // stages are the dominant serial cost the prepass would otherwise pay, so
 // fusing them is what lets phase 2's parallelism show up end-to-end.
-// parties has DesugarSource's meaning (barrier participant counts); the
-// lowering — parity lock remap, pseudo-lock allocation order, barrier
-// round grouping, incomplete rounds dropped — matches it operation for
-// operation, and the first infeasible op yields the identical
-// *InfeasibleError the streaming pipeline would have produced.
-func CheckTrace(tr trace.Trace, parties map[trace.Lock]int, opts Options) ([]core.Report, error) {
-	return run(opts, func(p *prepassState) error { return p.streamTrace(tr, parties) })
+// ext has DesugarSource's meaning (barrier participant counts, channel
+// capacities; nil for all defaults); the lowering — parity lock remap,
+// pseudo-lock allocation order, barrier round and channel communication
+// grouping, incomplete rounds and still-blocked sends dropped — is the
+// shared trace.Lowerer itself, so it matches the streaming pipeline
+// operation for operation, and the first infeasible op yields the
+// identical *InfeasibleError the streaming pipeline would have produced.
+func CheckTrace(tr trace.Trace, ext *trace.Extensions, opts Options) ([]core.Report, error) {
+	return run(opts, func(p *prepassState) error { return p.streamTrace(tr, ext) })
 }
 
 // run is the shared two-phase engine: spawn the shard workers, drive the
@@ -451,89 +453,40 @@ func (p *prepassState) stream(src trace.Source) error {
 //   - validation sees the raw (pre-lowering) ops in order, exactly like
 //     ValidateSource in front of DesugarSource, so an infeasible trace
 //     produces the identical error at the identical raw index;
-//   - real locks remap by parity (m → 2m) and the k-th pseudo-lock is
-//     2k+1, in DesugarSource's allocation order (volatiles and barriers
-//     draw from one counter in first-use order);
-//   - a barrier round completes when its parties-th participant arrives
-//     (default 2), releasing then re-acquiring the per-barrier round lock
-//     for every participant in arrival order; incomplete rounds at end of
-//     trace are dropped.
+//   - the lowering is the shared trace.Lowerer in its parity numbering
+//     (real lock m → 2m, k-th pseudo-lock → 2k+1, first-use allocation
+//     order) — the same code DesugarSource runs, dispatching into the
+//     prepass handlers instead of a queue, so the two paths cannot drift.
 //
 // idx counts lowered ops, mirroring the stream path, so the merge order
 // of reports is identical whichever entry point saw the trace.
-func (p *prepassState) streamTrace(tr trace.Trace, parties map[trace.Lock]int) error {
+func (p *prepassState) streamTrace(tr trace.Trace, ext *trace.Extensions) error {
 	v := trace.NewValidator()
-	var (
-		idx        int
-		nextPseudo trace.Lock
-		pseudo     map[[2]int32]trace.Lock
-		arrivals   map[trace.Lock][]epoch.Tid
-	)
-	pseudoFor := func(class, id int32) trace.Lock {
-		if pseudo == nil {
-			pseudo = map[[2]int32]trace.Lock{}
+	v.Ext = ext
+	low := trace.NewParityLowerer(ext)
+	idx := 0
+	emit := func(op trace.Op) {
+		switch op.Kind {
+		case trace.Read:
+			p.emitAccess(idx, op.T, op.X, false)
+		case trace.Write:
+			p.emitAccess(idx, op.T, op.X, true)
+		case trace.Acquire:
+			p.acquire(op.T, op.M)
+		case trace.Release:
+			p.release(op.T, op.M)
+		case trace.Fork:
+			p.fork(op.T, op.U)
+		case trace.Join:
+			p.join(op.T, op.U)
 		}
-		key := [2]int32{class, id}
-		m, ok := pseudo[key]
-		if !ok {
-			m = 2*nextPseudo + 1
-			nextPseudo++
-			pseudo[key] = m
-		}
-		return m
+		idx++
 	}
 	for _, op := range tr {
 		if err := v.Check(op); err != nil {
 			return err
 		}
-		switch op.Kind {
-		case trace.Read:
-			p.emitAccess(idx, op.T, op.X, false)
-			idx++
-		case trace.Write:
-			p.emitAccess(idx, op.T, op.X, true)
-			idx++
-		case trace.Acquire:
-			p.acquire(op.T, 2*op.M)
-			idx++
-		case trace.Release:
-			p.release(op.T, 2*op.M)
-			idx++
-		case trace.Fork:
-			p.fork(op.T, op.U)
-			idx++
-		case trace.Join:
-			p.join(op.T, op.U)
-			idx++
-		case trace.VolatileRead, trace.VolatileWrite:
-			m := pseudoFor(0, int32(op.X))
-			p.acquire(op.T, m)
-			p.release(op.T, m)
-			idx += 2
-		case trace.Barrier:
-			n := parties[op.M]
-			if n <= 0 {
-				n = 2
-			}
-			if arrivals == nil {
-				arrivals = map[trace.Lock][]epoch.Tid{}
-			}
-			arrivals[op.M] = append(arrivals[op.M], op.T)
-			if len(arrivals[op.M]) == n {
-				round := pseudoFor(1, int32(op.M))
-				for _, t := range arrivals[op.M] {
-					p.acquire(t, round)
-					p.release(t, round)
-					idx += 2
-				}
-				for _, t := range arrivals[op.M] {
-					p.acquire(t, round)
-					p.release(t, round)
-					idx += 2
-				}
-				arrivals[op.M] = nil
-			}
-		}
+		low.Lower(op, emit)
 	}
 	// ops.total counts lowered ops, as the stream path does; idx tracked
 	// exactly that.

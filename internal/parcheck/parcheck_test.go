@@ -20,7 +20,7 @@ func sequential(t testing.TB, tr trace.Trace, variant string, maxPerVar int) []c
 	if err != nil {
 		t.Fatalf("core.New(%q): %v", variant, err)
 	}
-	src := trace.DesugarSource(trace.ValidateSource(tr.Source()), nil)
+	src := trace.DesugarSource(trace.ValidateSource(tr.Source(), nil), nil)
 	for {
 		op, err := src.Next()
 		if err == io.EOF {
@@ -36,7 +36,7 @@ func sequential(t testing.TB, tr trace.Trace, variant string, maxPerVar int) []c
 
 func parallel(t testing.TB, tr trace.Trace, variant string, workers, maxPerVar int) []core.Report {
 	t.Helper()
-	src := trace.DesugarSource(trace.ValidateSource(tr.Source()), nil)
+	src := trace.DesugarSource(trace.ValidateSource(tr.Source(), nil), nil)
 	got, err := Check(src, Options{Variant: variant, Workers: workers, MaxReportsPerVar: maxPerVar})
 	if err != nil {
 		t.Fatalf("parallel check (%q, %d workers): %v", variant, workers, err)
@@ -143,7 +143,7 @@ func TestParallelStreamError(t *testing.T) {
 		trace.Acq(0, 0),
 		trace.Acq(1, 0), // infeasible: lock already held
 	}
-	src := trace.DesugarSource(trace.ValidateSource(tr.Source()), nil)
+	src := trace.DesugarSource(trace.ValidateSource(tr.Source(), nil), nil)
 	got, err := Check(src, Options{Workers: 4})
 	if err == nil {
 		t.Fatal("want feasibility error, got nil")
@@ -168,7 +168,7 @@ func TestFusedInfeasibleErrorParity(t *testing.T) {
 		{trace.ForkOp(0, 1), trace.Wr(1, 0), trace.Wr(2, 1)}, // unforked thread acting
 	}
 	for i, tr := range infeasible {
-		src := trace.DesugarSource(trace.ValidateSource(tr.Source()), nil)
+		src := trace.DesugarSource(trace.ValidateSource(tr.Source(), nil), nil)
 		_, wantErr := Check(src, Options{Workers: 2})
 		if wantErr == nil {
 			t.Fatalf("case %d: streaming path accepted an infeasible trace", i)
@@ -183,7 +183,7 @@ func TestFusedInfeasibleErrorParity(t *testing.T) {
 // TestFusedBarrierParties: a non-default participant count must group
 // barrier rounds in the fused lowering exactly as DesugarSource does.
 func TestFusedBarrierParties(t *testing.T) {
-	parties := map[trace.Lock]int{5: 3}
+	ext := &trace.Extensions{BarrierParties: map[trace.Lock]int{5: 3}}
 	tr := trace.Trace{
 		trace.ForkOp(0, 1),
 		trace.ForkOp(0, 2),
@@ -199,12 +199,12 @@ func TestFusedBarrierParties(t *testing.T) {
 		trace.JoinOp(0, 2),
 	}
 	for _, variant := range core.Variants() {
-		src := trace.DesugarSource(trace.ValidateSource(tr.Source()), parties)
+		src := trace.DesugarSource(trace.ValidateSource(tr.Source(), ext), ext)
 		want, err := Check(src, Options{Variant: variant, Workers: 3})
 		if err != nil {
 			t.Fatalf("%s streaming: %v", variant, err)
 		}
-		got, err := CheckTrace(tr, parties, Options{Variant: variant, Workers: 3})
+		got, err := CheckTrace(tr, ext, Options{Variant: variant, Workers: 3})
 		if err != nil {
 			t.Fatalf("%s fused: %v", variant, err)
 		}
@@ -227,7 +227,7 @@ func TestParallelDefaults(t *testing.T) {
 		trace.Wr(0, 0),
 		trace.Wr(1, 0),
 	}
-	src := trace.DesugarSource(trace.ValidateSource(tr.Source()), nil)
+	src := trace.DesugarSource(trace.ValidateSource(tr.Source(), nil), nil)
 	got, err := Check(src, Options{})
 	if err != nil {
 		t.Fatalf("Check: %v", err)

@@ -13,7 +13,7 @@ import (
 // codec, built for long traces (a 1M-op trace is ~4 MB instead of ~10 MB of
 // text, and decodes several times faster; see BenchmarkBinaryDecode):
 //
-//	header:  the 5 magic bytes "VFTb\x01" (format name + version)
+//	header:  the 5 magic bytes "VFTb" + version (\x01 or \x02)
 //	per op:  uvarint length n, then an n-byte record:
 //	           byte    kind   (the Kind constant)
 //	           uvarint thread (the acting thread id)
@@ -25,17 +25,58 @@ import (
 // can append fields without breaking old readers. The format has no
 // trailer: a stream ends at a record boundary (anything else is
 // io.ErrUnexpectedEOF), which suits pipes and append-only capture files.
+//
+// Version 2 extends version 1 with the Go synchronization kinds (channel
+// send/recv/close, atomic load/store/RMW, once-do); the record layout is
+// unchanged. The decoder accepts both versions — a v1 stream decodes to
+// the identical Trace it always did, and a v1 stream containing a v2 kind
+// byte is rejected as an unknown kind, exactly as before. The encoder
+// writes v2 by default; SetVersion(1) pins the old header for consumers
+// that predate v2 (encoding a v2 kind then fails instead of smuggling it
+// past an old reader). A version this build does not know yields a typed
+// *UnsupportedVersionError, distinguishing "upgrade the reader" from
+// corruption.
 
-// binaryMagic opens every binary trace stream: format name plus a version
-// byte, chosen to be unambiguous against both the text codec (no text op
-// starts with 'V') and gzip (0x1f 0x8b).
-const binaryMagic = "VFTb\x01"
+// binaryMagicPrefix opens every binary trace stream, followed by one
+// version byte. It is chosen to be unambiguous against both the text
+// codec (no text op starts with 'V') and gzip (0x1f 0x8b).
+const binaryMagicPrefix = "VFTb"
+
+const (
+	// BinaryVersion1 is the original six+three-kind wire format.
+	BinaryVersion1 = 1
+	// BinaryVersion2 adds the Go synchronization kinds.
+	BinaryVersion2 = 2
+	// MaxBinaryVersion is the newest version this build reads and writes.
+	MaxBinaryVersion = BinaryVersion2
+)
+
+// maxKindForVersion bounds the kind byte each format version may carry.
+func maxKindForVersion(v int) Kind {
+	if v <= BinaryVersion1 {
+		return Barrier
+	}
+	return OnceDo
+}
+
+// UnsupportedVersionError reports a binary trace whose header names a
+// format version newer than this build understands. It is the "upgrade
+// the reader" error, as opposed to the corruption errors: the stream is a
+// well-formed trace from a newer writer.
+type UnsupportedVersionError struct {
+	Got int // version the stream declares
+	Max int // newest version this build supports
+}
+
+func (e *UnsupportedVersionError) Error() string {
+	return fmt.Sprintf("trace: binary format version %d not supported (max %d): produced by a newer writer; upgrade this reader", e.Got, e.Max)
+}
 
 // IsBinary reports whether head (the first bytes of a stream; 4 suffice)
 // begins a binary trace, any version. Tools use it to tell trace inputs
 // from program sources without trusting file extensions.
 func IsBinary(head []byte) bool {
-	return len(head) >= 4 && string(head[:4]) == binaryMagic[:4]
+	return len(head) >= 4 && string(head[:4]) == binaryMagicPrefix
 }
 
 // maxBinaryRecord bounds a record's declared length: kind byte plus two
@@ -43,9 +84,18 @@ func IsBinary(head []byte) bool {
 // up front keeps a hostile length prefix from driving a huge allocation.
 const maxBinaryRecord = 1 + 2*binary.MaxVarintLen32
 
-// EncodeBinary writes tr in the binary format.
+// EncodeBinary writes tr in the binary format (the current version).
 func EncodeBinary(w io.Writer, tr Trace) error {
+	return EncodeBinaryVersion(w, tr, MaxBinaryVersion)
+}
+
+// EncodeBinaryVersion writes tr in the binary format pinned to the given
+// version; encoding a kind the version cannot carry fails.
+func EncodeBinaryVersion(w io.Writer, tr Trace, version int) error {
 	enc := NewBinaryEncoder(w)
+	if err := enc.SetVersion(version); err != nil {
+		return err
+	}
 	for _, op := range tr {
 		if err := enc.Encode(op); err != nil {
 			return err
@@ -59,14 +109,30 @@ func EncodeBinary(w io.Writer, tr Trace) error {
 // trace. The header is emitted lazily before the first record (or by
 // Flush, so even an empty stream is well-formed).
 type BinaryEncoder struct {
-	w      *bufio.Writer
-	opened bool
-	buf    [binary.MaxVarintLen64 + maxBinaryRecord]byte
+	w       *bufio.Writer
+	version int
+	opened  bool
+	buf     [binary.MaxVarintLen64 + maxBinaryRecord]byte
 }
 
-// NewBinaryEncoder returns an encoder writing to w. Call Flush when done.
+// NewBinaryEncoder returns an encoder writing to w in the current format
+// version (SetVersion pins an older one). Call Flush when done.
 func NewBinaryEncoder(w io.Writer) *BinaryEncoder {
-	return &BinaryEncoder{w: bufio.NewWriter(w)}
+	return &BinaryEncoder{w: bufio.NewWriter(w), version: MaxBinaryVersion}
+}
+
+// SetVersion pins the format version the encoder writes. It must be
+// called before the first Encode; versions outside [1, MaxBinaryVersion]
+// are rejected.
+func (e *BinaryEncoder) SetVersion(v int) error {
+	if e.opened {
+		return fmt.Errorf("trace: encode: SetVersion(%d) after the header was written", v)
+	}
+	if v < BinaryVersion1 || v > MaxBinaryVersion {
+		return &UnsupportedVersionError{Got: v, Max: MaxBinaryVersion}
+	}
+	e.version = v
+	return nil
 }
 
 func (e *BinaryEncoder) open() error {
@@ -74,8 +140,10 @@ func (e *BinaryEncoder) open() error {
 		return nil
 	}
 	e.opened = true
-	_, err := e.w.WriteString(binaryMagic)
-	return err
+	if _, err := e.w.WriteString(binaryMagicPrefix); err != nil {
+		return err
+	}
+	return e.w.WriteByte(byte(e.version))
 }
 
 // Encode appends one operation to the stream.
@@ -83,11 +151,15 @@ func (e *BinaryEncoder) Encode(op Op) error {
 	if err := e.open(); err != nil {
 		return err
 	}
+	if op.Kind > maxKindForVersion(e.version) {
+		return fmt.Errorf("trace: encode: kind %v needs format version %d (encoder pinned to %d)",
+			op.Kind, BinaryVersion2, e.version)
+	}
 	var arg uint64
 	switch op.Kind {
-	case Read, Write, VolatileRead, VolatileWrite:
+	case Read, Write, VolatileRead, VolatileWrite, AtomicLoad, AtomicStore, AtomicRMW:
 		arg = uint64(uint32(op.X))
-	case Acquire, Release, Barrier:
+	case Acquire, Release, Barrier, ChanSend, ChanRecv, ChanClose, OnceDo:
 		arg = uint64(uint32(op.M))
 	case Fork, Join:
 		arg = uint64(uint32(op.U))
@@ -117,23 +189,31 @@ func (e *BinaryEncoder) Flush() error {
 	return e.w.Flush()
 }
 
-// BinaryDecoder reads the binary format as a Source.
+// BinaryDecoder reads the binary format as a Source, accepting every
+// version up to MaxBinaryVersion.
 type BinaryDecoder struct {
-	r      *bufio.Reader
-	n      int // records decoded, for error positions
-	opened bool
-	err    error // sticky
-	buf    [maxBinaryRecord]byte
+	r       *bufio.Reader
+	n       int // records decoded, for error positions
+	version int
+	opened  bool
+	err     error // sticky
+	buf     [maxBinaryRecord]byte
 }
 
 // NewBinaryDecoder returns a Source decoding the binary format from r.
-// The magic header is checked on the first Next call.
+// The magic header is checked on the first Next call; a header declaring
+// a version newer than MaxBinaryVersion fails with a typed
+// *UnsupportedVersionError.
 func NewBinaryDecoder(r io.Reader) *BinaryDecoder {
 	if br, ok := r.(*bufio.Reader); ok {
 		return &BinaryDecoder{r: br}
 	}
 	return &BinaryDecoder{r: bufio.NewReader(r)}
 }
+
+// Version returns the format version the stream's header declared, or 0
+// before the first Next call.
+func (d *BinaryDecoder) Version() int { return d.version }
 
 func (d *BinaryDecoder) fail(format string, args ...any) (Op, error) {
 	d.err = fmt.Errorf("trace: binary op #%d: %s", d.n, fmt.Sprintf(format, args...))
@@ -147,13 +227,19 @@ func (d *BinaryDecoder) Next() (Op, error) {
 		return Op{}, d.err
 	}
 	if !d.opened {
-		hdr := make([]byte, len(binaryMagic))
+		hdr := make([]byte, len(binaryMagicPrefix)+1)
 		if _, err := io.ReadFull(d.r, hdr); err != nil {
 			return d.fail("reading header: %v", err)
 		}
-		if string(hdr) != binaryMagic {
-			return d.fail("bad magic %q (not a binary trace, or unsupported version)", hdr)
+		if string(hdr[:len(binaryMagicPrefix)]) != binaryMagicPrefix {
+			return d.fail("bad magic %q (not a binary trace)", hdr)
 		}
+		v := int(hdr[len(binaryMagicPrefix)])
+		if v < BinaryVersion1 || v > MaxBinaryVersion {
+			d.err = &UnsupportedVersionError{Got: v, Max: MaxBinaryVersion}
+			return Op{}, d.err
+		}
+		d.version = v
 		d.opened = true
 	}
 	ln, err := binary.ReadUvarint(d.r)
@@ -175,7 +261,7 @@ func (d *BinaryDecoder) Next() (Op, error) {
 		return d.fail("reading %d-byte record: %v", ln, err)
 	}
 	kind := Kind(rec[0])
-	if kind > Barrier {
+	if kind > maxKindForVersion(d.version) {
 		return d.fail("unknown kind %d", rec[0])
 	}
 	t, w, ok := decodeUvarint32(rec[1:])
@@ -191,9 +277,9 @@ func (d *BinaryDecoder) Next() (Op, error) {
 	}
 	op := Op{Kind: kind, T: epoch.Tid(t)}
 	switch kind {
-	case Read, Write, VolatileRead, VolatileWrite:
+	case Read, Write, VolatileRead, VolatileWrite, AtomicLoad, AtomicStore, AtomicRMW:
 		op.X = Var(arg)
-	case Acquire, Release, Barrier:
+	case Acquire, Release, Barrier, ChanSend, ChanRecv, ChanClose, OnceDo:
 		op.M = Lock(arg)
 	case Fork, Join:
 		op.U = epoch.Tid(arg)

@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"compress/gzip"
+	"errors"
 	"io"
 	"math/rand"
 	"os"
@@ -25,6 +26,13 @@ var allKindsTrace = Trace{
 	BarrierOp(0, 2),
 	BarrierOp(1, 2),
 	JoinOp(0, 1),
+	SendOp(0, 3),
+	RecvOp(1, 3),
+	CloseOp(0, 3),
+	ALoad(1, 12),
+	AStore(0, 12),
+	ARMW(1, 400), // multi-byte atomic location
+	OnceOp(0, 9),
 	Wr(0, 1<<20),   // large var id
 	ForkOp(0, 200), // multi-byte tid
 	Wr(200, 5),
@@ -50,8 +58,8 @@ func TestBinaryEmptyStream(t *testing.T) {
 	if err := EncodeBinary(&buf, nil); err != nil {
 		t.Fatal(err)
 	}
-	if buf.Len() != len(binaryMagic) {
-		t.Fatalf("empty trace encodes to %d bytes, want header only (%d)", buf.Len(), len(binaryMagic))
+	if buf.Len() != len(binaryMagicPrefix)+1 {
+		t.Fatalf("empty trace encodes to %d bytes, want header only (%d)", buf.Len(), len(binaryMagicPrefix)+1)
 	}
 	if !IsBinary(buf.Bytes()) {
 		t.Fatal("IsBinary rejects its own header")
@@ -160,7 +168,8 @@ func TestBinaryDecoderErrors(t *testing.T) {
 		want string // substring of the error
 	}{
 		{"bad-magic", []byte("VFTZ\x01xxxx"), "bad magic"},
-		{"wrong-version", []byte("VFTb\x02"), "bad magic"},
+		{"future-version", []byte("VFTb\x03"), "version 3 not supported"},
+		{"version-zero", []byte("VFTb\x00"), "version 0 not supported"},
 		{"truncated-header", []byte("VF"), "reading header"},
 		{"truncated-record", good[:len(good)-1], "op #1"},
 		{"oversized-length", append(encode(nil), 0xff, 0xff, 0x01), "out of range"},
@@ -180,6 +189,33 @@ func TestBinaryDecoderErrors(t *testing.T) {
 			// The error must be sticky: a second Next returns it again.
 		})
 	}
+
+	// A future version is not "corrupt": it carries the typed error CLIs
+	// and the ingest server turn into "upgrade this reader", and the
+	// message itself must say so rather than claim a bad magic.
+	t.Run("future-version-typed", func(t *testing.T) {
+		_, err := ReadAll(NewBinaryDecoder(bytes.NewReader([]byte("VFTb\x03"))))
+		var uve *UnsupportedVersionError
+		if !errors.As(err, &uve) {
+			t.Fatalf("want *UnsupportedVersionError, got %v", err)
+		}
+		if uve.Got != 3 || uve.Max != MaxBinaryVersion {
+			t.Fatalf("UnsupportedVersionError = %+v, want Got=3 Max=%d", uve, MaxBinaryVersion)
+		}
+		if strings.Contains(err.Error(), "bad magic") {
+			t.Fatalf("future version misreported as corruption: %v", err)
+		}
+		// The sniffing NewDecoder routes any binary version to the binary
+		// decoder instead of misparsing the stream as text, so the typed
+		// error survives format autodetection too.
+		src, derr := NewDecoder(bytes.NewReader([]byte("VFTb\x03")))
+		if derr == nil {
+			_, derr = ReadAll(src)
+		}
+		if !errors.As(derr, &uve) {
+			t.Fatalf("NewDecoder route: want *UnsupportedVersionError, got %v", derr)
+		}
+	})
 
 	t.Run("truncation-is-unexpected-eof", func(t *testing.T) {
 		d := NewBinaryDecoder(bytes.NewReader(good[:len(good)-1]))

@@ -22,10 +22,17 @@ import (
 //	vrd <tid> <var>
 //	vwr <tid> <var>
 //	barrier <tid> <barrier>
+//	send <tid> <chan>
+//	recv <tid> <chan>
+//	close <tid> <chan>
+//	aload <tid> <atomic>
+//	astore <tid> <atomic>
+//	armw <tid> <atomic>
+//	once <tid> <once>
 //
 // Blank lines and lines starting with '#' are ignored. Operand prefixes
-// 'x', 'm', 'b' and 't' are accepted and stripped, so the paper-style
-// "rd t1 x3" also parses.
+// 'x', 'm', 'b', 't', 'c', 'a' and 'o' are accepted and stripped, so the
+// paper-style "rd t1 x3" (and "send t1 c2") also parses.
 
 // Encode writes tr in the text format.
 func Encode(w io.Writer, tr Trace) error {
@@ -33,14 +40,12 @@ func Encode(w io.Writer, tr Trace) error {
 	for _, op := range tr {
 		var line string
 		switch op.Kind {
-		case Read, Write, VolatileRead, VolatileWrite:
+		case Read, Write, VolatileRead, VolatileWrite, AtomicLoad, AtomicStore, AtomicRMW:
 			line = fmt.Sprintf("%s %d %d\n", op.Kind, op.T, op.X)
-		case Acquire, Release:
+		case Acquire, Release, Barrier, ChanSend, ChanRecv, ChanClose, OnceDo:
 			line = fmt.Sprintf("%s %d %d\n", op.Kind, op.T, op.M)
 		case Fork, Join:
 			line = fmt.Sprintf("%s %d %d\n", op.Kind, op.T, op.U)
-		case Barrier:
-			line = fmt.Sprintf("%s %d %d\n", op.Kind, op.T, op.M)
 		default:
 			return fmt.Errorf("trace: encode: unknown kind %v", op.Kind)
 		}
@@ -116,6 +121,20 @@ func (d *TextDecoder) Next() (Op, error) {
 			return VWr(tid, Var(arg)), nil
 		case "barrier":
 			return BarrierOp(tid, Lock(arg)), nil
+		case "send":
+			return SendOp(tid, Lock(arg)), nil
+		case "recv":
+			return RecvOp(tid, Lock(arg)), nil
+		case "close":
+			return CloseOp(tid, Lock(arg)), nil
+		case "aload":
+			return ALoad(tid, Var(arg)), nil
+		case "astore":
+			return AStore(tid, Var(arg)), nil
+		case "armw":
+			return ARMW(tid, Var(arg)), nil
+		case "once":
+			return OnceOp(tid, Lock(arg)), nil
 		default:
 			return d.fail("unknown operation %q", fields[0])
 		}
@@ -143,11 +162,11 @@ func Decode(r io.Reader) (Trace, error) {
 	return tr, nil
 }
 
-// parseOperand parses "3", "x3", "m3", "b3" or "t3" as 3.
+// parseOperand parses "3", "x3", "m3", "b3", "t3", "c3", "a3" or "o3" as 3.
 func parseOperand(s string) (int, error) {
 	if len(s) > 1 {
 		switch s[0] {
-		case 'x', 'm', 'b', 't':
+		case 'x', 'm', 'b', 't', 'c', 'a', 'o':
 			s = s[1:]
 		}
 	}
@@ -187,11 +206,14 @@ func NewDecoder(r io.Reader) (Source, error) {
 		}
 		br = bufio.NewReader(zr)
 	}
-	head, err := br.Peek(len(binaryMagic))
+	head, err := br.Peek(len(binaryMagicPrefix) + 1)
 	if err != nil && err != io.EOF {
 		return nil, fmt.Errorf("trace: sniffing input: %v", err)
 	}
-	if string(head) == binaryMagic {
+	if IsBinary(head) {
+		// Any version routes to the binary decoder; an unsupported
+		// version then fails with a typed *UnsupportedVersionError
+		// instead of being misread as text.
 		return NewBinaryDecoder(br), nil
 	}
 	return NewTextDecoder(br), nil

@@ -2,29 +2,26 @@ package trace
 
 // desugarSource is the streaming lowering stage; see DesugarSource.
 type desugarSource struct {
-	src     Source
-	parties map[Lock]int
+	src Source
+	l   *Lowerer
 
 	// queue holds lowered operations not yet handed out; head indexes the
 	// next one. A single pulled op expands to at most a few ops (volatile:
-	// 2) or one barrier round (4×parties), so the queue is bounded by the
-	// largest party count, never by stream length.
+	// 2; unbuffered rendezvous: 8) or one barrier round (4×parties), so
+	// the queue is bounded by the largest party count, never by stream
+	// length.
 	queue []Op
 	head  int
-
-	nextPseudo Lock              // pseudo-locks allocated so far
-	pseudo     map[[2]int32]Lock // (kindClass, id) -> pseudo-lock
-	arrivals   map[Lock][]Op     // pending ops of the current round, per barrier
 
 	err error // sticky
 }
 
 // DesugarSource returns a Source lowering the extended trace language to
 // the six-kind core language on the fly, without materializing the stream.
-// The lowering is the same as Trace.Desugar — volatile accesses become
-// acquire/release pairs on a per-volatile pseudo-lock, and each completed
-// barrier round serializes its participants through a per-barrier round
-// lock — with one difference forced by streaming: pseudo-lock numbering.
+// The lowering is the same as Trace.Desugar — see Lowerer for the per-kind
+// rules; ext supplies barrier participant counts and channel buffer
+// capacities (nil: 2-party barriers, unbuffered channels) — with one
+// difference forced by streaming: pseudo-lock numbering.
 //
 // Trace.Desugar numbers pseudo-locks densely just above the trace's
 // largest real lock id, which requires a whole-trace pre-scan. A stream's
@@ -39,43 +36,17 @@ type desugarSource struct {
 // under lock renaming, so the two lowerings are interchangeable for
 // analysis.
 //
-// Barrier rounds are grouped by counting arrivals per barrier against the
-// participant count in parties (absent entries default to 2), exactly as
-// Trace.Desugar does; a round left incomplete when the stream ends is
-// dropped, also matching the slice lowering. Feed the stage *raw* (not
-// yet lowered) streams: run ValidateSource before, not after, this stage,
-// since the parity remap intentionally exceeds the real-lock id bound the
-// validator enforces.
-func DesugarSource(src Source, parties map[Lock]int) Source {
-	return &desugarSource{
-		src:      src,
-		parties:  parties,
-		pseudo:   map[[2]int32]Lock{},
-		arrivals: map[Lock][]Op{},
-	}
+// Barrier rounds and blocked channel sends left incomplete when the
+// stream ends are dropped, matching the slice lowering. Feed the stage
+// *raw* (not yet lowered) streams: run ValidateSource before, not after,
+// this stage, since the parity remap intentionally exceeds the real-lock
+// id bound the validator enforces.
+func DesugarSource(src Source, ext *Extensions) Source {
+	return &desugarSource{src: src, l: NewParityLowerer(ext)}
 }
 
-// realLock maps a source-trace lock id into the even half of the lowered
-// id space.
-func realLock(m Lock) Lock { return 2 * m }
-
-func (s *desugarSource) pseudoFor(class, id int32) Lock {
-	key := [2]int32{class, id}
-	m, ok := s.pseudo[key]
-	if !ok {
-		m = 2*s.nextPseudo + 1
-		s.nextPseudo++
-		s.pseudo[key] = m
-	}
-	return m
-}
-
-func (s *desugarSource) push(ops ...Op) {
-	if s.head == len(s.queue) {
-		s.queue = s.queue[:0]
-		s.head = 0
-	}
-	s.queue = append(s.queue, ops...)
+func (s *desugarSource) push(op Op) {
+	s.queue = append(s.queue, op)
 }
 
 func (s *desugarSource) Next() (Op, error) {
@@ -88,41 +59,13 @@ func (s *desugarSource) Next() (Op, error) {
 		if s.err != nil {
 			return Op{}, s.err
 		}
+		s.queue = s.queue[:0]
+		s.head = 0
 		op, err := s.src.Next()
 		if err != nil {
 			s.err = err
 			continue
 		}
-		switch op.Kind {
-		case VolatileRead, VolatileWrite:
-			m := s.pseudoFor(0, int32(op.X))
-			s.push(Acq(op.T, m), Rel(op.T, m))
-		case Barrier:
-			n := s.parties[op.M]
-			if n <= 0 {
-				n = 2
-			}
-			s.arrivals[op.M] = append(s.arrivals[op.M], op)
-			if len(s.arrivals[op.M]) == n {
-				// Complete round: every participant releases, then every
-				// participant acquires, a fresh round lock. Serializing
-				// through one lock creates the all-pairs ordering a
-				// barrier provides.
-				round := s.pseudoFor(1, int32(op.M))
-				for _, a := range s.arrivals[op.M] {
-					s.push(Acq(a.T, round), Rel(a.T, round))
-				}
-				for _, a := range s.arrivals[op.M] {
-					s.push(Acq(a.T, round), Rel(a.T, round))
-				}
-				s.arrivals[op.M] = nil
-			}
-		case Acquire:
-			return Acq(op.T, realLock(op.M)), nil
-		case Release:
-			return Rel(op.T, realLock(op.M)), nil
-		default:
-			return op, nil
-		}
+		s.l.Lower(op, s.push)
 	}
 }

@@ -1,0 +1,56 @@
+package trace
+
+// Extensions carries the out-of-band parameters of the extended trace
+// language — facts about the program the trace itself cannot express. A
+// nil *Extensions is valid everywhere one is accepted and means "all
+// defaults": every barrier has two parties and every channel is
+// unbuffered.
+//
+// The lowering (Desugar, DesugarSource, parcheck's fused prepass) and the
+// feasibility validator both consult the same Extensions; feeding a trace
+// through validation and lowering with different Extensions values is a
+// caller bug, as it can make the validator admit a trace the lowering
+// mis-shapes (e.g. a send the validator thinks completes into a buffer
+// slot while the lowering treats the channel as unbuffered).
+type Extensions struct {
+	// BarrierParties is the participant count per barrier id; absent
+	// entries (and entries < 1) default to 2.
+	BarrierParties map[Lock]int
+
+	// ChanCapacity is the buffer capacity per channel id; absent entries
+	// (and entries < 0) default to 0, an unbuffered channel.
+	ChanCapacity map[Lock]int
+}
+
+// Parties returns the participant count of barrier b (default 2). Safe on
+// a nil receiver.
+func (e *Extensions) Parties(b Lock) int {
+	if e == nil {
+		return 2
+	}
+	if n := e.BarrierParties[b]; n > 0 {
+		return n
+	}
+	return 2
+}
+
+// Capacity returns the buffer capacity of channel c (default 0,
+// unbuffered). Safe on a nil receiver.
+func (e *Extensions) Capacity(c Lock) int {
+	if e == nil {
+		return 0
+	}
+	if n := e.ChanCapacity[c]; n > 0 {
+		return n
+	}
+	return 0
+}
+
+// barrierExt wraps a bare parties map as an *Extensions; nil maps stay a
+// nil *Extensions so default paths take the nil fast path.
+func barrierExt(parties map[Lock]int) *Extensions {
+	if parties == nil {
+		return nil
+	}
+	return &Extensions{BarrierParties: parties}
+}

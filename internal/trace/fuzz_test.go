@@ -27,6 +27,8 @@ func FuzzDecode(f *testing.F) {
 	f.Add("rd 0 0\nwr 1 3\n")
 	f.Add("# comment\nfork t0 t1\nacq 1 m0\n")
 	f.Add("barrier 0 0\nvrd 0 9\n")
+	f.Add("send 0 c0\nrecv 1 c0\nclose 0 c0\n")
+	f.Add("aload 0 a2\nastore 1 a2\narmw 0 a2\nonce 1 o3\n")
 	f.Add("garbage in\n\n\x00\xff")
 	f.Fuzz(func(t *testing.T, input string) {
 		tr, err := Decode(strings.NewReader(input))
@@ -64,7 +66,13 @@ func FuzzBinaryRoundTrip(f *testing.F) {
 		Rd(0, 0), Wr(1, 3), Acq(0, 1), Rel(0, 1), ForkOp(0, 1), JoinOp(0, 1),
 		VRd(2, 7), VWr(2, 7), BarrierOp(3, 0), Wr(5, 1<<20),
 	}))
-	f.Add([]byte(binaryMagic))
+	f.Add(seed(Trace{
+		SendOp(0, 0), RecvOp(1, 0), CloseOp(0, 0),
+		ALoad(0, 5), AStore(1, 5), ARMW(0, 5), OnceOp(1, 2),
+	}))
+	f.Add([]byte(binaryMagicPrefix + "\x01"))
+	f.Add([]byte(binaryMagicPrefix + "\x02")) // v2 header, empty stream
+	f.Add([]byte(binaryMagicPrefix + "\x03")) // future version: typed rejection
 	f.Add([]byte("VFTb\x01\x03\x00\x00\x00"))
 	f.Add([]byte("not a binary trace"))
 	f.Add(seed(Trace{Wr(0, 0)})[:6]) // truncated mid-record

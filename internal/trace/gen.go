@@ -27,6 +27,19 @@ type GenConfig struct {
 	// produce more race-free traces. The generator does not guarantee
 	// race freedom either way — the oracle decides.
 	LockedFraction int
+
+	// Go-synchronization traffic (trace format v2). All weights default
+	// to zero, in which case the generator draws from the rng exactly as
+	// it did before these fields existed — existing (seed, cfg) pairs
+	// reproduce their traces bit for bit.
+	Chans   int // number of channels; 0 disables channel traffic
+	ChanCap int // channel c gets buffer capacity c % (ChanCap+1); 0: all unbuffered
+	Atomics int // number of atomic locations
+	Onces   int // number of once ids
+
+	ChanWeight   int // weight of a channel action (send/recv/close mix)
+	AtomicWeight int // weight of an atomic load/store/RMW
+	OnceWeight   int // weight of a once-do
 }
 
 // DefaultGenConfig returns a configuration producing small, varied traces
@@ -44,6 +57,37 @@ func DefaultGenConfig() GenConfig {
 		JoinWeight:     1,
 		LockedFraction: 500,
 	}
+}
+
+// GoSyncGenConfig returns a configuration that mixes the Go
+// synchronization kinds — channel traffic over unbuffered and buffered
+// channels, atomics, onces — into the default core mix, for exercising
+// the v2 lowering end to end.
+func GoSyncGenConfig() GenConfig {
+	cfg := DefaultGenConfig()
+	cfg.Chans = 3
+	cfg.ChanCap = 2 // capacities 0, 1, 2 across the three channels
+	cfg.Atomics = 2
+	cfg.Onces = 2
+	cfg.ChanWeight = 4
+	cfg.AtomicWeight = 2
+	cfg.OnceWeight = 1
+	return cfg
+}
+
+// Extensions returns the out-of-band lowering parameters matching the
+// configuration's channel-capacity assignment (channel c has capacity
+// c % (ChanCap+1)), or nil when every channel is unbuffered — pass it
+// wherever the generated trace is validated, lowered or checked.
+func (cfg GenConfig) Extensions() *Extensions {
+	if cfg.Chans == 0 || cfg.ChanCap <= 0 {
+		return nil
+	}
+	caps := make(map[Lock]int, cfg.Chans)
+	for c := 0; c < cfg.Chans; c++ {
+		caps[Lock(c)] = c % (cfg.ChanCap + 1)
+	}
+	return &Extensions{ChanCapacity: caps}
 }
 
 // Generate produces a random feasible trace. The result always passes
@@ -118,6 +162,17 @@ type generator struct {
 	lockHeld map[Lock]bool
 	joined   []epoch.Tid // threads already joined (re-joinable per §2)
 	next     epoch.Tid   // next unforked tid
+
+	chans map[Lock]*genChan // channel state (constraint 6 bookkeeping)
+}
+
+// genChan mirrors the validator's per-channel state: a blocked sender
+// leaves running until a receive completes its send.
+type genChan struct {
+	sends   int
+	recvs   int
+	closed  bool
+	blocked []epoch.Tid
 }
 
 func (g *generator) init() {
@@ -139,7 +194,8 @@ func (g *generator) emit(op Op) {
 func (g *generator) step() {
 	t := g.running[g.rng.Intn(len(g.running))]
 	w := g.cfg
-	total := w.ReadWeight + w.WriteWeight + w.AcquireWeight + w.ForkWeight + w.JoinWeight
+	total := w.ReadWeight + w.WriteWeight + w.AcquireWeight + w.ForkWeight + w.JoinWeight +
+		w.ChanWeight + w.AtomicWeight + w.OnceWeight
 	if total == 0 {
 		total, w.ReadWeight = 1, 1
 	}
@@ -153,8 +209,14 @@ func (g *generator) step() {
 		g.lockCycle(t)
 	case pick < w.ReadWeight+w.WriteWeight+w.AcquireWeight+w.ForkWeight:
 		g.fork(t)
-	default:
+	case pick < w.ReadWeight+w.WriteWeight+w.AcquireWeight+w.ForkWeight+w.JoinWeight:
 		g.join(t)
+	case pick < w.ReadWeight+w.WriteWeight+w.AcquireWeight+w.ForkWeight+w.JoinWeight+w.ChanWeight:
+		g.chanOp(t)
+	case pick < w.ReadWeight+w.WriteWeight+w.AcquireWeight+w.ForkWeight+w.JoinWeight+w.ChanWeight+w.AtomicWeight:
+		g.atomicOp(t)
+	default:
+		g.onceOp(t)
 	}
 }
 
@@ -270,6 +332,120 @@ func (g *generator) join(t epoch.Tid) {
 			break
 		}
 	}
+}
+
+// capOf returns the buffer capacity of channel c under the config's
+// deterministic assignment; it must agree with GenConfig.Extensions.
+func (g *generator) capOf(c Lock) int {
+	if g.cfg.ChanCap <= 0 {
+		return 0
+	}
+	return int(c) % (g.cfg.ChanCap + 1)
+}
+
+func (g *generator) chanFor(c Lock) *genChan {
+	if g.chans == nil {
+		g.chans = map[Lock]*genChan{}
+	}
+	st, ok := g.chans[c]
+	if !ok {
+		st = &genChan{}
+		g.chans[c] = st
+	}
+	return st
+}
+
+// chanOp performs one feasible channel action on a random channel,
+// tracking the same state the validator does: a send that cannot complete
+// blocks its thread (removing it from running until a receive pairs with
+// it), which the generator only risks while at least one other thread
+// stays runnable. Sends and receives are weighted over closes; with no
+// feasible action the step degrades to a plain read, like a busy lock.
+func (g *generator) chanOp(t epoch.Tid) {
+	if g.cfg.Chans == 0 {
+		g.access(t, Read)
+		return
+	}
+	c := Lock(g.rng.Intn(g.cfg.Chans))
+	st := g.chanFor(c)
+	capacity := g.capOf(c)
+	const (
+		doSend = iota
+		doRecv
+		doClose
+	)
+	var moves []int
+	completes := capacity > 0 && st.sends-st.recvs < capacity && len(st.blocked) == 0
+	if !st.closed && (completes || len(g.running) > 1) {
+		moves = append(moves, doSend, doSend)
+	}
+	if st.sends-st.recvs > 0 || len(st.blocked) > 0 || st.closed {
+		moves = append(moves, doRecv, doRecv)
+	}
+	if !st.closed && len(st.blocked) == 0 {
+		moves = append(moves, doClose)
+	}
+	if len(moves) == 0 {
+		g.access(t, Read)
+		return
+	}
+	switch moves[g.rng.Intn(len(moves))] {
+	case doSend:
+		g.emit(SendOp(t, c))
+		if completes {
+			st.sends++
+			return
+		}
+		st.blocked = append(st.blocked, t)
+		for i, r := range g.running {
+			if r == t {
+				g.running = append(g.running[:i], g.running[i+1:]...)
+				break
+			}
+		}
+	case doRecv:
+		g.emit(RecvOp(t, c))
+		if st.sends-st.recvs > 0 || len(st.blocked) > 0 {
+			st.recvs++
+			if len(st.blocked) > 0 {
+				u := st.blocked[0]
+				st.blocked = st.blocked[1:]
+				st.sends++
+				g.running = append(g.running, u)
+			}
+		}
+		// Otherwise the channel is closed and drained: a zero-value
+		// receive, no sequence number consumed.
+	default:
+		g.emit(CloseOp(t, c))
+		st.closed = true
+	}
+}
+
+// atomicOp emits one atomic load, store or RMW on a random location.
+func (g *generator) atomicOp(t epoch.Tid) {
+	if g.cfg.Atomics == 0 {
+		g.access(t, Read)
+		return
+	}
+	a := Var(g.rng.Intn(g.cfg.Atomics))
+	switch g.rng.Intn(3) {
+	case 0:
+		g.emit(ALoad(t, a))
+	case 1:
+		g.emit(AStore(t, a))
+	default:
+		g.emit(ARMW(t, a))
+	}
+}
+
+// onceOp emits a once-do on a random once id (always feasible).
+func (g *generator) onceOp(t epoch.Tid) {
+	if g.cfg.Onces == 0 {
+		g.access(t, Read)
+		return
+	}
+	g.emit(OnceOp(t, Lock(g.rng.Intn(g.cfg.Onces))))
 }
 
 // drain releases every held lock so the generated trace ends quiescent.

@@ -12,10 +12,13 @@ type IDSpace struct {
 	Vars int
 	// Locks covers the lowered lock id space under DesugarSource's parity
 	// mapping: a real lock m becomes 2m and the k-th pseudo-lock (one per
-	// distinct volatile variable or barrier) becomes 2k+1. The bound
+	// distinct volatile variable, barrier, atomic location or once id,
+	// and up to 2+capacity per channel) becomes 2k+1. The bound
 	// over-approximates when a barrier never completes a round (its
 	// pseudo-lock is then never allocated), which only costs a spare
-	// table entry.
+	// table entry, and under-approximates for channels whose buffer
+	// capacity exceeds the assumed single slot lock — shadow tables grow
+	// on demand, so an extra slot lock only costs one mid-run growth.
 	Locks int
 }
 
@@ -24,6 +27,9 @@ func Scan(tr Trace) IDSpace {
 	maxT, maxX, maxM := -1, -1, -1
 	volatiles := map[Var]struct{}{}
 	barriers := map[Lock]struct{}{}
+	atomics := map[Var]struct{}{}
+	onces := map[Lock]struct{}{}
+	chans := map[Lock]struct{}{}
 	for _, op := range tr {
 		if int(op.T) > maxT {
 			maxT = int(op.T)
@@ -45,13 +51,22 @@ func Scan(tr Trace) IDSpace {
 			volatiles[op.X] = struct{}{}
 		case Barrier:
 			barriers[op.M] = struct{}{}
+		case AtomicLoad, AtomicStore, AtomicRMW:
+			atomics[op.X] = struct{}{}
+		case OnceDo:
+			onces[op.M] = struct{}{}
+		case ChanSend, ChanRecv, ChanClose:
+			chans[op.M] = struct{}{}
 		}
 	}
 	s := IDSpace{Threads: maxT + 1, Vars: maxX + 1}
 	if maxM >= 0 {
 		s.Locks = 2*maxM + 1 // real lock m lowers to id 2m
 	}
-	if pseudo := len(volatiles) + len(barriers); pseudo > 0 && 2*pseudo > s.Locks {
+	// Per channel: close lock + rendezvous lock + one assumed slot lock
+	// (the capacity is out-of-band, so deeper buffers grow on demand).
+	pseudo := len(volatiles) + len(barriers) + len(atomics) + len(onces) + 3*len(chans)
+	if pseudo > 0 && 2*pseudo > s.Locks {
 		s.Locks = 2 * pseudo // k-th pseudo-lock lowers to id 2k+1
 	}
 	return s

@@ -5,9 +5,12 @@
 //
 // The core language has six operation kinds — rd, wr, acq, rel, fork, join —
 // over thread ids, variables and locks. Following §7, the extended language
-// adds volatile accesses and barriers; Desugar lowers those to core
-// operations so the Fig. 2 specification and the happens-before oracle only
-// ever see the six-kind core language.
+// adds volatile accesses and barriers, and — trace format v2 — the Go
+// synchronization kinds: channel send/recv/close, atomic load/store/RMW and
+// once-do, with the happens-before semantics of the Go memory model.
+// Desugar lowers all of those to core operations so the Fig. 2
+// specification and the happens-before oracle only ever see the six-kind
+// core language.
 package trace
 
 import (
@@ -47,12 +50,57 @@ const (
 	// Barrier op per participating thread into a release/acquire pair on
 	// a per-round pseudo-lock.
 	Barrier
+
+	// The remaining kinds model Go synchronization (trace format v2):
+	// channels, sync/atomic and sync.Once, with the happens-before
+	// semantics of the Go memory model as formalized in "Ready, set, Go!".
+	// Like volatiles and barriers they lower onto pseudo-lock
+	// acquire/release pairs, so the verified Fig. 2 state machines check
+	// them without modification.
+
+	// ChanSend is send(t,c): thread t sends on channel c. A send is the
+	// *initiation*: on a channel with free buffer capacity it completes
+	// immediately, otherwise the thread blocks until a matching receive
+	// (during which it may not act — the validator enforces that). The
+	// k-th send happens-before the k-th receive.
+	ChanSend
+	// ChanRecv is recv(t,c): thread t receives from channel c. A receive
+	// of the k-th value happens-after the k-th send, and on a channel of
+	// capacity C it happens-before the (k+C)-th send completes; on an
+	// unbuffered channel the rendezvous orders sender and receiver both
+	// ways. A receive on a closed, drained channel yields the zero value
+	// and happens-after the close.
+	ChanRecv
+	// ChanClose is close(t,c): thread t closes channel c. The close
+	// happens-before every zero-value receive. Closing a closed channel,
+	// or one with blocked senders, is infeasible (it panics in Go), as is
+	// any later send.
+	ChanClose
+
+	// AtomicLoad, AtomicStore and AtomicRMW are sync/atomic operations on
+	// atomic location a. The Go memory model gives the atomics of one
+	// location a total release/acquire order — each operation
+	// synchronizes with the ones before it — generalizing the volatile
+	// lowering: every atomic op is an acquire+release of the location's
+	// pseudo-lock.
+	AtomicLoad
+	AtomicStore
+	AtomicRMW
+
+	// OnceDo is once(t,o): thread t returns from a sync.Once.Do on once
+	// id o. The first once op of o in the trace is the executor — f(o)
+	// ran in t — and its completion happens-before every other Do return
+	// on the same id.
+	OnceDo
 )
 
 var kindNames = [...]string{
 	Read: "rd", Write: "wr", Acquire: "acq", Release: "rel",
 	Fork: "fork", Join: "join",
 	VolatileRead: "vrd", VolatileWrite: "vwr", Barrier: "barrier",
+	ChanSend: "send", ChanRecv: "recv", ChanClose: "close",
+	AtomicLoad: "aload", AtomicStore: "astore", AtomicRMW: "armw",
+	OnceDo: "once",
 }
 
 // String returns the paper's mnemonic for the kind.
@@ -80,10 +128,13 @@ type Lock int32
 // Op is a single operation of a trace. Exactly one of X, M, U is meaningful,
 // determined by Kind:
 //
-//	rd/wr          use X (and vrd/vwr use X as the volatile's id)
-//	acq/rel        use M
-//	fork/join      use U
-//	barrier        uses M as the barrier id
+//	rd/wr            use X (and vrd/vwr use X as the volatile's id,
+//	                 aload/astore/armw use X as the atomic location's id)
+//	acq/rel          use M
+//	fork/join        use U
+//	barrier          uses M as the barrier id
+//	send/recv/close  use M as the channel id
+//	once             uses M as the once id
 type Op struct {
 	Kind Kind
 	T    epoch.Tid // the acting thread
@@ -121,17 +172,44 @@ func VWr(t epoch.Tid, x Var) Op { return Op{Kind: VolatileWrite, T: t, X: x} }
 // BarrierOp returns barrier(t,b).
 func BarrierOp(t epoch.Tid, b Lock) Op { return Op{Kind: Barrier, T: t, M: b} }
 
+// SendOp returns send(t,c), a channel send.
+func SendOp(t epoch.Tid, c Lock) Op { return Op{Kind: ChanSend, T: t, M: c} }
+
+// RecvOp returns recv(t,c), a channel receive.
+func RecvOp(t epoch.Tid, c Lock) Op { return Op{Kind: ChanRecv, T: t, M: c} }
+
+// CloseOp returns close(t,c), a channel close.
+func CloseOp(t epoch.Tid, c Lock) Op { return Op{Kind: ChanClose, T: t, M: c} }
+
+// ALoad returns aload(t,a), an atomic load.
+func ALoad(t epoch.Tid, a Var) Op { return Op{Kind: AtomicLoad, T: t, X: a} }
+
+// AStore returns astore(t,a), an atomic store.
+func AStore(t epoch.Tid, a Var) Op { return Op{Kind: AtomicStore, T: t, X: a} }
+
+// ARMW returns armw(t,a), an atomic read-modify-write (Add, Swap, CAS).
+func ARMW(t epoch.Tid, a Var) Op { return Op{Kind: AtomicRMW, T: t, X: a} }
+
+// OnceOp returns once(t,o), a sync.Once.Do return.
+func OnceOp(t epoch.Tid, o Lock) Op { return Op{Kind: OnceDo, T: t, M: o} }
+
 // String renders the operation in the paper's syntax, e.g. "rd(1,x3)".
 func (o Op) String() string {
 	switch o.Kind {
 	case Read, Write, VolatileRead, VolatileWrite:
 		return fmt.Sprintf("%s(%d,x%d)", o.Kind, o.T, o.X)
+	case AtomicLoad, AtomicStore, AtomicRMW:
+		return fmt.Sprintf("%s(%d,a%d)", o.Kind, o.T, o.X)
 	case Acquire, Release:
 		return fmt.Sprintf("%s(%d,m%d)", o.Kind, o.T, o.M)
 	case Fork, Join:
 		return fmt.Sprintf("%s(%d,%d)", o.Kind, o.T, o.U)
 	case Barrier:
 		return fmt.Sprintf("barrier(%d,b%d)", o.T, o.M)
+	case ChanSend, ChanRecv, ChanClose:
+		return fmt.Sprintf("%s(%d,c%d)", o.Kind, o.T, o.M)
+	case OnceDo:
+		return fmt.Sprintf("once(%d,o%d)", o.T, o.M)
 	default:
 		return fmt.Sprintf("?(%d)", o.T)
 	}

@@ -60,7 +60,7 @@ func TestValidateSourceMatchesValidate(t *testing.T) {
 	}
 	for i, tr := range cases {
 		want := Validate(tr)
-		got, gotErr := ReadAll(ValidateSource(tr.Source()))
+		got, gotErr := ReadAll(ValidateSource(tr.Source(), nil))
 		if (want == nil) != (gotErr == nil) {
 			t.Fatalf("case %d: Validate=%v ValidateSource=%v", i, want, gotErr)
 		}
@@ -126,9 +126,9 @@ func TestDesugarSourceMatchesDesugar(t *testing.T) {
 		JoinOp(0, 1), JoinOp(0, 2),
 	}
 	MustValidate(tr)
-	parties := map[Lock]int{0: 3}
-	want := tr.Desugar(parties)
-	got, err := ReadAll(DesugarSource(tr.Source(), parties))
+	ext := &Extensions{BarrierParties: map[Lock]int{0: 3}}
+	want := tr.Desugar(ext)
+	got, err := ReadAll(DesugarSource(tr.Source(), ext))
 	if err != nil {
 		t.Fatal(err)
 	}

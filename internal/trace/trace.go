@@ -71,77 +71,35 @@ func (tr Trace) Locks() []Lock {
 const maxRealLock Lock = 1 << 24
 
 // Desugar lowers the extended language to the six-kind core language:
-//
-//   - vwr(t,x) becomes acq/rel on the volatile's pseudo-lock — the write
-//     is ordered with every other volatile access of x, and the release
-//     publishes t's clock exactly as a Java volatile write does. Volatile
-//     accesses themselves are never race-checked (volatiles cannot race),
-//     so no core rd/wr is emitted for them.
-//   - vrd(t,x) becomes acq/rel on the same pseudo-lock, so a read that
-//     follows a write observes the writer's clock via the lock's VC.
-//   - barrier(t,b): participants of round r of barrier b release a
-//     round-entry pseudo-lock, and after all participants of the round have
-//     arrived, each acquires it. Desugar performs round grouping by
-//     counting arrivals per barrier given the participant count in parties.
+// volatile and atomic accesses, once-dos, channel closes and completed
+// channel communications become acquire/release pairs on per-object
+// pseudo-locks, and each completed barrier round serializes its
+// participants through a per-barrier round lock. The lowering rules live
+// on Lowerer; ext supplies barrier participant counts and channel buffer
+// capacities (nil means all defaults: 2-party barriers, unbuffered
+// channels).
 //
 // Pseudo-locks are numbered densely starting just above the trace's largest
 // real lock id, so the lowered trace keeps a compact lock id space (the
 // detectors index shadow tables by lock id) while never colliding with a
-// real lock. The lowering over-synchronizes volatile reads slightly (two
-// volatile reads of the same location become lock-ordered), which matches
-// what the paper's implementation does — it handles a volatile like a
+// real lock. The lowering over-synchronizes slightly (e.g. two volatile
+// reads of the same location become lock-ordered), which matches what the
+// paper's implementation does — it handles a volatile like a
 // lock-protected location — and errs toward missing no real races on
 // non-volatile data while never inventing happens-before between unrelated
 // threads.
-func (tr Trace) Desugar(parties map[Lock]int) Trace {
+func (tr Trace) Desugar(ext *Extensions) Trace {
 	nextPseudo := Lock(0)
 	for _, op := range tr {
 		if (op.Kind == Acquire || op.Kind == Release) && op.M >= nextPseudo {
 			nextPseudo = op.M + 1
 		}
 	}
-	pseudo := map[[2]int32]Lock{} // (kindClass, id) -> dense pseudo-lock
-	lockFor := func(class, id int32) Lock {
-		key := [2]int32{class, id}
-		m, ok := pseudo[key]
-		if !ok {
-			m = nextPseudo
-			nextPseudo++
-			pseudo[key] = m
-		}
-		return m
-	}
-
 	out := make(Trace, 0, len(tr))
-	arrivals := map[Lock][]Op{} // pending ops of the current round, per barrier
+	l := NewDenseLowerer(ext, nextPseudo)
+	emit := func(op Op) { out = append(out, op) }
 	for _, op := range tr {
-		switch op.Kind {
-		case VolatileRead, VolatileWrite:
-			m := lockFor(0, int32(op.X))
-			out = append(out, Acq(op.T, m), Rel(op.T, m))
-		case Barrier:
-			n := parties[op.M]
-			if n <= 0 {
-				n = 2
-			}
-			arrivals[op.M] = append(arrivals[op.M], op)
-			if len(arrivals[op.M]) == n {
-				// Complete round: every participant releases, then every
-				// participant acquires, a fresh round lock. Serializing
-				// through one lock creates the all-pairs ordering a barrier
-				// provides.
-				round := lockFor(1, int32(op.M))
-				for _, a := range arrivals[op.M] {
-					out = append(out, Acq(a.T, round), Rel(a.T, round))
-				}
-				for _, a := range arrivals[op.M] {
-					out = append(out, Acq(a.T, round), Rel(a.T, round))
-				}
-				arrivals[op.M] = nil
-			}
-		default:
-			out = append(out, op)
-		}
+		l.Lower(op, emit)
 	}
 	return out
 }

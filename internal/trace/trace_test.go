@@ -200,7 +200,7 @@ func TestDesugarDistinctVolatilesGetDistinctLocks(t *testing.T) {
 
 func TestDesugarBarrierCompleteRound(t *testing.T) {
 	tr := Trace{ForkOp(0, 1), BarrierOp(0, 0), BarrierOp(1, 0)}
-	low := tr.Desugar(map[Lock]int{0: 2})
+	low := tr.Desugar(&Extensions{BarrierParties: map[Lock]int{0: 2}})
 	// One complete round: 2 participants × (rel-phase pair + acq-phase
 	// pair) = 8 lock ops after the fork.
 	if len(low) != 1+8 {
@@ -208,7 +208,7 @@ func TestDesugarBarrierCompleteRound(t *testing.T) {
 	}
 	// An incomplete round emits nothing.
 	tr = Trace{ForkOp(0, 1), BarrierOp(0, 0)}
-	low = tr.Desugar(map[Lock]int{0: 2})
+	low = tr.Desugar(&Extensions{BarrierParties: map[Lock]int{0: 2}})
 	if len(low) != 1 {
 		t.Fatalf("incomplete round should emit nothing: %v", low)
 	}
@@ -302,7 +302,7 @@ func TestDesugarPreservesFeasibility(t *testing.T) {
 				ext = append(ext, BarrierOp(op.T, 0))
 			}
 		}
-		low := ext.Desugar(map[Lock]int{0: 1})
+		low := ext.Desugar(&Extensions{BarrierParties: map[Lock]int{0: 1}})
 		if err := Validate(low); err != nil {
 			t.Fatalf("seed %d: desugared trace infeasible: %v", seed, err)
 		}

@@ -11,7 +11,7 @@ import (
 type InfeasibleError struct {
 	Index int // position of the offending operation
 	Op    Op
-	Rule  int // which of the five §2 constraints is violated (1-5)
+	Rule  int // which constraint is violated: 1-5 are §2's, 6 is channel discipline
 	Msg   string
 }
 
@@ -35,15 +35,28 @@ const (
 // instead of in a whole-trace pre-scan. Its state is O(thread and lock
 // ids), independent of how many operations have passed through it.
 //
-// The five constraints over the core language (extended ops are checked
-// for their own sanity but impose no lock discipline of their own —
-// desugar first if full checking of the lowered form is wanted):
+// The five constraints over the core language (volatile, barrier, atomic
+// and once ops are checked for their own sanity but impose no lock
+// discipline of their own — desugar first if full checking of the lowered
+// form is wanted):
 //
 //  1. no thread acquires a lock previously acquired but not released;
 //  2. no thread releases a lock it did not previously acquire;
 //  3. each thread is forked at most once;
 //  4. no operations of u precede fork(t,u) or follow join(t,u);
 //  5. at least one operation of u occurs between fork(t,u) and join(t',u).
+//
+// The channel kinds of trace format v2 add a sixth constraint family, the
+// discipline a real Go execution obeys (Ext supplies per-channel buffer
+// capacities; nil means unbuffered). A send that cannot complete — the
+// buffer is full, or the channel is unbuffered — blocks its thread, and:
+//
+//  6. a blocked thread performs no operation until the receive that
+//     completes its send; no send or close follows a close of the same
+//     channel; a close does not strand blocked senders (it would panic
+//     them in Go); a receive finds something to receive — a buffered
+//     value, a blocked sender, or a closed channel (zero value); and no
+//     thread joins a blocked sender (it has not terminated).
 //
 // Thread 0 is the main thread: it exists without a fork, as the paper's
 // initial analysis state (which gives every thread an initial epoch)
@@ -64,6 +77,11 @@ type Validator struct {
 	// already-lowered stream raise it.
 	MaxLock Lock
 
+	// Ext supplies the channel buffer capacities constraint (6) depends
+	// on; nil means every channel is unbuffered. Use the same Extensions
+	// here as in the lowering that follows.
+	Ext *Extensions
+
 	n int
 
 	// threads packs a thread's lifecycle into one byte: the low two bits
@@ -75,6 +93,19 @@ type Validator struct {
 	// Spill state for ids outside [0, denseValidatorIDs).
 	threadsHi map[epoch.Tid]uint8
 	locksHi   map[Lock]lockSlot
+
+	// Channel-discipline state (constraint 6); allocated on first channel
+	// op so core-language traces pay nothing.
+	chans     map[Lock]*chanValState
+	blockedOn map[epoch.Tid]Lock // thread -> channel it is blocked sending on
+}
+
+// chanValState is one channel's validation state.
+type chanValState struct {
+	sends   int // completed sends
+	recvs   int // completed receives
+	closed  bool
+	blocked []epoch.Tid // blocked senders, FIFO arrival order
 }
 
 // lockSlot is a lock's validation state: who holds it, if anyone.
@@ -156,6 +187,31 @@ func (v *Validator) fail(op Op, rule int, msg string) error {
 	return &InfeasibleError{Index: v.n, Op: op, Rule: rule, Msg: msg}
 }
 
+// chanFor returns channel c's validation state, allocating it (and the
+// channel table) on first use.
+func (v *Validator) chanFor(c Lock) *chanValState {
+	if v.chans == nil {
+		v.chans = map[Lock]*chanValState{}
+	}
+	st, ok := v.chans[c]
+	if !ok {
+		st = &chanValState{}
+		v.chans[c] = st
+	}
+	return st
+}
+
+// unblock completes the oldest blocked send of st, if any.
+func (v *Validator) unblock(st *chanValState) {
+	if len(st.blocked) == 0 {
+		return
+	}
+	t := st.blocked[0]
+	st.blocked = st.blocked[1:]
+	delete(v.blockedOn, t)
+	st.sends++
+}
+
 // Check validates the next operation of the stream against the state
 // accumulated so far. On violation it returns an *InfeasibleError whose
 // Index is the operation's position (0-based) and leaves the validator
@@ -168,6 +224,12 @@ func (v *Validator) Check(op Op) error {
 		return v.fail(op, 4, fmt.Sprintf("thread %d acts before being forked", op.T))
 	case phaseJoined:
 		return v.fail(op, 4, fmt.Sprintf("thread %d acts after being joined", op.T))
+	}
+	// Constraint (6): a thread blocked in a channel send may not act.
+	if v.blockedOn != nil {
+		if c, ok := v.blockedOn[op.T]; ok {
+			return v.fail(op, 6, fmt.Sprintf("thread %d acts while blocked sending on channel c%d", op.T, c))
+		}
 	}
 
 	switch op.Kind {
@@ -212,7 +274,53 @@ func (v *Validator) Check(op Op) error {
 		if us&actedBit == 0 {
 			return v.fail(op, 5, fmt.Sprintf("no operation of thread %d between fork and join", op.U))
 		}
+		// Constraint (6): a blocked sender has not terminated, so joining
+		// it would deadlock — and its send completes at a later receive,
+		// which would put operations of u after join(t,u).
+		if v.blockedOn != nil {
+			if c, ok := v.blockedOn[op.U]; ok {
+				return v.fail(op, 6, fmt.Sprintf("join on thread %d which is blocked sending on channel c%d", op.U, c))
+			}
+		}
 		v.setThread(op.U, us&actedBit|uint8(phaseJoined))
+	case ChanSend:
+		st := v.chanFor(op.M)
+		if st.closed {
+			return v.fail(op, 6, fmt.Sprintf("send on closed channel c%d", op.M))
+		}
+		if c := v.Ext.Capacity(op.M); c > 0 && st.sends-st.recvs < c && len(st.blocked) == 0 {
+			st.sends++
+		} else {
+			st.blocked = append(st.blocked, op.T)
+			if v.blockedOn == nil {
+				v.blockedOn = map[epoch.Tid]Lock{}
+			}
+			v.blockedOn[op.T] = op.M
+		}
+	case ChanRecv:
+		st := v.chanFor(op.M)
+		switch {
+		case st.sends-st.recvs > 0 || len(st.blocked) > 0:
+			// A buffered value is available, or an unbuffered rendezvous
+			// pairs with the oldest blocked sender. Either way the
+			// receive completes, and completing it lets the oldest
+			// blocked sender (if any) complete too.
+			st.recvs++
+			v.unblock(st)
+		case st.closed:
+			// Zero-value receive; no sequence number consumed.
+		default:
+			return v.fail(op, 6, fmt.Sprintf("receive on channel c%d before any send (nothing buffered, no blocked sender, not closed)", op.M))
+		}
+	case ChanClose:
+		st := v.chanFor(op.M)
+		if st.closed {
+			return v.fail(op, 6, fmt.Sprintf("close of closed channel c%d", op.M))
+		}
+		if len(st.blocked) > 0 {
+			return v.fail(op, 6, fmt.Sprintf("close of channel c%d with %d blocked senders", op.M, len(st.blocked)))
+		}
+		st.closed = true
 	}
 	if ts&actedBit == 0 {
 		v.setThread(op.T, ts|actedBit)
@@ -222,9 +330,18 @@ func (v *Validator) Check(op Op) error {
 }
 
 // Validate checks the feasibility constraints over a whole trace; see
-// Validator for the constraint list. It is Check folded over the slice.
+// Validator for the constraint list. It is Check folded over the slice,
+// with default Extensions (every channel unbuffered); use ValidateExt for
+// traces with buffered channels.
 func Validate(tr Trace) error {
+	return ValidateExt(tr, nil)
+}
+
+// ValidateExt is Validate with explicit Extensions (channel buffer
+// capacities).
+func ValidateExt(tr Trace, ext *Extensions) error {
 	v := NewValidator()
+	v.Ext = ext
 	for _, op := range tr {
 		if err := v.Check(op); err != nil {
 			return err
@@ -249,12 +366,16 @@ type validateSource struct {
 }
 
 // ValidateSource returns a Source that passes src through unchanged while
-// checking the §2 feasibility constraints incrementally: the first
+// checking the feasibility constraints incrementally: the first
 // infeasible operation terminates the stream with an *InfeasibleError
 // carrying its index, instead of requiring a whole-trace pre-scan. After
 // any error (including the underlying source's) the stage is terminal.
-func ValidateSource(src Source) Source {
-	return &validateSource{src: src, v: NewValidator()}
+// ext supplies the channel capacities constraint (6) depends on; pass the
+// same value to the DesugarSource stage that follows.
+func ValidateSource(src Source, ext *Extensions) Source {
+	v := NewValidator()
+	v.Ext = ext
+	return &validateSource{src: src, v: v}
 }
 
 func (s *validateSource) Next() (Op, error) {

@@ -3,6 +3,7 @@ package verifiedft
 import (
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // Metrics is a registry of contention-free metric instruments. Attach one
@@ -30,14 +31,24 @@ type StatsSource = core.StatsSource
 // CheckTrace each start from their own defaults and read the subset that
 // concerns them.
 type settings struct {
-	variant string
-	cfg     Config
-	parties map[LockID]int
-	metrics *Metrics
+	variant  string
+	cfg      Config
+	parties  map[LockID]int
+	chancaps map[LockID]int
+	metrics  *Metrics
 	// parallel is the CheckTrace/CheckSource worker count: 1 = the
 	// sequential replay, 0 = parallel with GOMAXPROCS workers, n > 1 =
 	// parallel with n workers.
 	parallel int
+}
+
+// extensions folds the out-of-band trace parameters into the form the
+// validation and lowering stages consume; nil when every default applies.
+func (s *settings) extensions() *trace.Extensions {
+	if s.parties == nil && s.chancaps == nil {
+		return nil
+	}
+	return &trace.Extensions{BarrierParties: s.parties, ChanCapacity: s.chancaps}
 }
 
 // Option configures New.
@@ -78,6 +89,17 @@ func WithVariant(variant string) CheckOption {
 // BarrierArrive operations need it.
 func WithBarrierParties(parties map[LockID]int) CheckOption {
 	return checkOption(func(s *settings) { s.parties = parties })
+}
+
+// WithChanCapacities sets the buffer capacity per channel id (absent
+// entries default to 0: an unbuffered channel). The capacities shape both
+// feasibility — a send on a channel with buffer room completes at once,
+// any other send blocks its thread until a receive — and the
+// happens-before edges the lowering emits (the Go memory model's
+// "the k-th receive happens before the (k+C)-th send completes"). Only
+// traces containing channel operations need it.
+func WithChanCapacities(caps map[LockID]int) CheckOption {
+	return checkOption(func(s *settings) { s.chancaps = caps })
 }
 
 // WithMaxReportsPerVar caps race reports per variable, RoadRunner's
@@ -168,3 +190,24 @@ func WithConfig(cfg Config) CommonOption {
 // StatsSource of an instrumented detector. (The wrapper forwards Stats
 // already; Unwrap exists for callers that need the concrete type.)
 func Unwrap(d Detector) Detector { return core.LatencyInner(d) }
+
+// encodeSettings aggregates what EncodeOption can configure.
+type encodeSettings struct {
+	version int
+}
+
+// EncodeOption configures EncodeBinary.
+type EncodeOption interface{ applyEncode(*encodeSettings) }
+
+type encodeOption func(*encodeSettings)
+
+func (f encodeOption) applyEncode(s *encodeSettings) { f(s) }
+
+// WithFormatVersion pins the binary wire-format version EncodeBinary
+// writes (default: the newest, BinaryFormatVersion). Pin version 1 to
+// produce traces for consumers that predate the Go-synchronization kinds;
+// encoding such a kind at version 1 then fails, instead of smuggling an
+// unknown kind past an old reader.
+func WithFormatVersion(v int) EncodeOption {
+	return encodeOption(func(s *encodeSettings) { s.version = v })
+}

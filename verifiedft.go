@@ -114,10 +114,32 @@ var NewSliceSource = trace.NewSliceSource
 
 // NewTraceDecoder returns a Source decoding r incrementally, sniffing the
 // encoding: gzip is transparently decompressed, then the binary format is
-// recognized by its magic, and anything else reads as the text format.
+// recognized by its magic, and anything else reads as the text format. A
+// binary stream from a newer writer fails with a typed
+// *UnsupportedVersionError rather than a corruption error.
 func NewTraceDecoder(r io.Reader) (Source, error) { return trace.NewDecoder(r) }
 
-// Trace-operation constructors (§2 syntax).
+// EncodeText writes tr in the line-oriented text trace format.
+func EncodeText(w io.Writer, tr Trace) error { return trace.Encode(w, tr) }
+
+// EncodeBinary writes tr in the binary trace format, by default at the
+// newest version (BinaryFormatVersion):
+//
+//	err := verifiedft.EncodeBinary(f, tr)
+//	err := verifiedft.EncodeBinary(f, tr, verifiedft.WithFormatVersion(1))
+//
+// WithFormatVersion pins an older version for consumers that predate it;
+// encoding an operation kind the pinned version cannot carry fails.
+func EncodeBinary(w io.Writer, tr Trace, opts ...EncodeOption) error {
+	s := encodeSettings{version: trace.MaxBinaryVersion}
+	for _, o := range opts {
+		o.applyEncode(&s)
+	}
+	return trace.EncodeBinaryVersion(w, tr, s.version)
+}
+
+// Trace-operation constructors (§2 syntax, plus the Go-synchronization
+// kinds of trace format v2).
 var (
 	// Read builds rd(t,x).
 	Read = trace.Rd
@@ -137,7 +159,32 @@ var (
 	VolatileWrite = trace.VWr
 	// BarrierArrive builds barrier(t,b).
 	BarrierArrive = trace.BarrierOp
+	// ChanSend builds send(t,c), a channel send (see WithChanCapacities
+	// for buffered channels; a send without buffer room blocks t until a
+	// matching ChanRecv).
+	ChanSend = trace.SendOp
+	// ChanRecv builds recv(t,c), a channel receive.
+	ChanRecv = trace.RecvOp
+	// ChanClose builds close(t,c), a channel close.
+	ChanClose = trace.CloseOp
+	// AtomicLoad builds aload(t,a), a sync/atomic load.
+	AtomicLoad = trace.ALoad
+	// AtomicStore builds astore(t,a), a sync/atomic store.
+	AtomicStore = trace.AStore
+	// AtomicRMW builds armw(t,a), a sync/atomic read-modify-write.
+	AtomicRMW = trace.ARMW
+	// OnceDo builds once(t,o), a sync.Once.Do return.
+	OnceDo = trace.OnceOp
 )
+
+// UnsupportedVersionError reports a binary trace written by a newer
+// format version than this build reads; it is the "upgrade the reader"
+// error, as opposed to a corruption error.
+type UnsupportedVersionError = trace.UnsupportedVersionError
+
+// BinaryFormatVersion is the newest binary wire-format version this build
+// reads and writes (see EncodeBinary and WithFormatVersion).
+const BinaryFormatVersion = trace.MaxBinaryVersion
 
 // Runtime couples a concurrent Go program with a detector (the RoadRunner
 // model, §7); Thread, Var, Array, Mutex, Volatile and Barrier are its
@@ -189,19 +236,6 @@ func New(variant string, opts ...Option) (Detector, error) {
 	return d, nil
 }
 
-// NewWithConfig constructs a detector from an explicit Config.
-//
-// Deprecated: use New with options (WithConfig for a wholesale Config).
-func NewWithConfig(variant string, cfg Config) (Detector, error) {
-	return New(variant, WithConfig(cfg))
-}
-
-// DefaultConfig returns the shadow-table size hints New starts from.
-//
-// Deprecated: New's defaults apply without it; use WithThreads, WithVars,
-// WithLocks or WithConfig to deviate.
-func DefaultConfig() Config { return core.DefaultConfig() }
-
 // Variants lists all detector variant names.
 func Variants() []string { return core.Variants() }
 
@@ -249,7 +283,8 @@ func CheckSource(src Source, opts ...CheckOption) ([]Report, error) {
 	if s.metrics != nil {
 		det = core.InstrumentLatency(d, s.metrics, metricsSampleInterval)
 	}
-	pipe := trace.DesugarSource(trace.ValidateSource(src), s.parties)
+	ext := s.extensions()
+	pipe := trace.DesugarSource(trace.ValidateSource(src, ext), ext)
 	for {
 		op, err := pipe.Next()
 		if err == io.EOF {
@@ -276,7 +311,8 @@ func CheckSource(src Source, opts ...CheckOption) ([]Report, error) {
 // checker instead of a sequential detector. The report list is identical
 // to the sequential replay's by construction (see internal/parcheck).
 func checkParallel(src Source, s settings) ([]Report, error) {
-	pipe := trace.DesugarSource(trace.ValidateSource(src), s.parties)
+	ext := s.extensions()
+	pipe := trace.DesugarSource(trace.ValidateSource(src, ext), ext)
 	return parcheck.Check(pipe, parcheckOptions(s))
 }
 
@@ -334,7 +370,7 @@ func CheckTrace(tr Trace, opts ...CheckOption) ([]Report, error) {
 		o.applyCheck(&s)
 	}
 	if s.parallel != 1 {
-		return parcheck.CheckTrace(tr, s.parties, parcheckOptions(s))
+		return parcheck.CheckTrace(tr, s.extensions(), parcheckOptions(s))
 	}
 	return CheckSource(tr.Source(), sized...)
 }
@@ -368,13 +404,6 @@ func clampHint(n, max int) int {
 	return n
 }
 
-// CheckTraceWith is CheckTrace with an explicit detector variant.
-//
-// Deprecated: use CheckTrace(tr, WithVariant(variant)).
-func CheckTraceWith(variant string, tr Trace) ([]Report, error) {
-	return CheckTrace(tr, WithVariant(variant))
-}
-
 // HasRace is the oracle of §2: it decides, directly from the happens-before
 // relation, whether the trace contains two concurrent conflicting accesses.
 // It is independent of the detector implementation and exists for
@@ -386,8 +415,11 @@ func HasRace(tr Trace) (bool, error) {
 	return hb.Analyze(tr.Desugar(nil)).HasRace(), nil
 }
 
-// Version identifies this implementation. 2.2.0 adds variable-sharded
-// parallel trace checking (WithParallelism, internal/parcheck) with
-// interned copy-on-write clock snapshots, and restores shadow-table
-// pre-sizing to CheckTrace via a cheap id-space prescan.
-const Version = "2.2.0"
+// Version identifies this implementation. 2.3.0 redesigns the trace
+// language around the Go memory model: channel send/recv/close, atomic
+// load/store/RMW and once-do are first-class operations (binary wire
+// format v2, WithChanCapacities, EncodeBinary/WithFormatVersion), lowered
+// onto pseudo-locks by the shared trace.Lowerer so every detector variant
+// checks them unchanged. The deprecated NewWithConfig, DefaultConfig and
+// CheckTraceWith wrappers from the 2.0 options migration are removed.
+const Version = "2.3.0"

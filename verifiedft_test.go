@@ -274,25 +274,23 @@ func TestNewWithOptions(t *testing.T) {
 	}
 }
 
-// The deprecated wrappers must keep compiling and behaving until removal.
-func TestDeprecatedWrappers(t *testing.T) {
+// The functional-options API covers everything the removed wrappers
+// (CheckTraceWith, DefaultConfig, NewWithConfig) used to do.
+func TestFunctionalOptionsCoverRemovedWrappers(t *testing.T) {
 	racy := verifiedft.Trace{
 		verifiedft.Fork(0, 1),
 		verifiedft.Write(0, 0),
 		verifiedft.Write(1, 0),
 	}
-	reports, err := verifiedft.CheckTraceWith(verifiedft.V1, racy)
+	reports, err := verifiedft.CheckTrace(racy, verifiedft.WithVariant(verifiedft.V1))
 	if err != nil || len(reports) != 1 {
-		t.Fatalf("CheckTraceWith = %v, %v", reports, err)
+		t.Fatalf("CheckTrace(WithVariant(V1)) = %v, %v", reports, err)
 	}
-	if _, err := verifiedft.CheckTraceWith("nope", racy); err == nil {
-		t.Fatal("CheckTraceWith accepted an unknown variant")
+	if _, err := verifiedft.CheckTrace(racy, verifiedft.WithVariant("nope")); err == nil {
+		t.Fatal("CheckTrace accepted an unknown variant")
 	}
-	cfg := verifiedft.DefaultConfig()
-	if cfg.Threads <= 0 || cfg.Vars <= 0 || cfg.Locks <= 0 {
-		t.Fatalf("DefaultConfig = %+v", cfg)
-	}
-	d, err := verifiedft.NewWithConfig(verifiedft.V2, cfg)
+	d, err := verifiedft.New(verifiedft.V2,
+		verifiedft.WithThreads(8), verifiedft.WithVars(64), verifiedft.WithLocks(8))
 	if err != nil {
 		t.Fatal(err)
 	}
