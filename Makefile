@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race vet lint bench bench-parallel metrics-smoke stream-smoke static-smoke par-smoke server-smoke chan-smoke fuzz fuzz-smoke soak coverage clean
+.PHONY: all build test race vet lint bench bench-parallel metrics-smoke stream-smoke static-smoke par-smoke perf-smoke server-smoke chan-smoke fuzz fuzz-smoke soak coverage clean
 
 all: build
 
@@ -56,6 +56,16 @@ static-smoke:
 # sequentially and with WithParallelism(4), for every detector variant.
 par-smoke:
 	$(GO) run -race ./scripts/par-smoke
+
+# End-to-end check of the clock layer: fast-path latency/allocs micro
+# cells plus quick montecarlo/pmd offline arms under both clock
+# representations (dense and tree), failing on any report divergence or
+# fast-path allocation; the perf numbers are logged, not gated. A racy
+# generated trace cross-checks byte-identity for every variant.
+perf-smoke:
+	$(GO) run ./scripts/perf-smoke
+	$(GO) test -run TestClockImplReportIdentity -count=1 .
+	$(GO) test -bench 'BenchmarkFastPathLatency/.*/vft-v2/' -benchtime 10000x -run xxx .
 
 # End-to-end check of the multi-tenant ingestion service under the Go
 # race detector: concurrent tenants streaming all three wire encodings

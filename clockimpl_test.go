@@ -1,0 +1,71 @@
+package verifiedft
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/conformance"
+)
+
+// TestClockImplReportIdentity is the tentpole acceptance check of the
+// clock layer: across the conformance corpus, every detector variant
+// produces a byte-identical report list under the dense and tree clock
+// representations, both through the sequential replay and through the
+// parallel checker — so WithClockImpl is purely a performance knob.
+func TestClockImplReportIdentity(t *testing.T) {
+	variants := Variants()
+	for _, prog := range conformance.Programs() {
+		// Two controlled schedules per program: racy programs race in
+		// schedule-dependent positions, so this varies the report lists
+		// the representations must agree on.
+		for _, seed := range []uint64{1, 42} {
+			tr, _, err := conformance.RunOne(prog, "pct", seed, nil)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", prog.Name, seed, err)
+			}
+			for _, variant := range variants {
+				want, err := CheckTrace(tr, WithVariant(variant))
+				if err != nil {
+					t.Fatalf("%s/%s baseline: %v", prog.Name, variant, err)
+				}
+				for _, impl := range []string{"dense", "tree"} {
+					seq, err := CheckTrace(tr, WithVariant(variant), WithClockImpl(impl))
+					if err != nil {
+						t.Fatalf("%s/%s/%s sequential: %v", prog.Name, variant, impl, err)
+					}
+					if !reflect.DeepEqual(want, seq) {
+						t.Fatalf("%s/%s: sequential %s diverged from dense:\nwant %+v\ngot  %+v",
+							prog.Name, variant, impl, want, seq)
+					}
+					par, err := CheckTrace(tr, WithVariant(variant), WithClockImpl(impl), WithParallelism(4))
+					if err != nil {
+						t.Fatalf("%s/%s/%s parallel: %v", prog.Name, variant, impl, err)
+					}
+					if !reflect.DeepEqual(want, par) {
+						t.Fatalf("%s/%s: parallel %s diverged from dense sequential:\nwant %+v\ngot  %+v",
+							prog.Name, variant, impl, want, par)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWithClockImplRejectsUnknown pins the error path: an unknown
+// representation name fails loudly at every entry point instead of being
+// silently ignored.
+func TestWithClockImplRejectsUnknown(t *testing.T) {
+	tr := Trace{Write(0, 0)}
+	if _, err := CheckTrace(tr, WithClockImpl("lazy")); err == nil {
+		t.Fatal("CheckTrace accepted unknown clock impl")
+	}
+	if _, err := CheckTrace(tr, WithClockImpl("lazy"), WithParallelism(2)); err == nil {
+		t.Fatal("parallel CheckTrace accepted unknown clock impl")
+	}
+	if _, err := New(V2, WithClockImpl("lazy")); err == nil {
+		t.Fatal("New accepted unknown clock impl")
+	}
+	if d, err := New(V2, WithClockImpl("tree")); err != nil || d == nil {
+		t.Fatalf("New rejected the tree impl: %v", err)
+	}
+}

@@ -115,6 +115,17 @@ func Min(t Tid) Epoch {
 	return Make(t, 0)
 }
 
+// FillMin overwrites v[from:] with minimal epochs, where v[i] belongs to
+// thread base+i. It is the bulk form of the grow-on-demand minimal fill
+// every vector-clock representation performs (Fig. 3's get view of entries
+// beyond the representation): recycled backing arrays carry stale epochs,
+// so growth paths must fill, not just extend.
+func FillMin(v []Epoch, base Tid, from int) {
+	for i := from; i < len(v); i++ {
+		v[i] = Min(base + Tid(i))
+	}
+}
+
 // String renders e as "t@c", or "SHARED" for the marker, matching the
 // paper's notation.
 func (e Epoch) String() string {

@@ -1,0 +1,461 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/parcheck"
+	"repro/internal/rtsim"
+	"repro/internal/trace"
+	"repro/internal/vc"
+	"repro/internal/workloads"
+)
+
+// FastPathOptions configures the clock-layer benchmark (EXPERIMENTS.md
+// E20): same-epoch fast-path latency and allocations per detector and
+// clock representation, plus end-to-end offline checking of the
+// paper-scale workloads under each representation with a cross-check that
+// the report lists agree.
+type FastPathOptions struct {
+	// Impls lists the clock representations to measure (default all:
+	// dense, tree).
+	Impls []string
+	// Detectors lists the variants for the micro latency arm.
+	Detectors []string
+	// Programs lists the workloads for the offline arm (default
+	// montecarlo and pmd, the paper-scale programs).
+	Programs []string
+	// Warmup and Iters follow the Table 1 methodology (offline arm).
+	Warmup int
+	Iters  int
+	// Workers is the parcheck worker count of the offline arm.
+	Workers int
+	// Quick selects the small test sizes instead of the bench sizes.
+	Quick bool
+	// Table1 additionally runs a quick Table-1 pass per representation and
+	// records the overhead geomeans (slow; off by default).
+	Table1 bool
+}
+
+// DefaultFastPathOptions mirrors the E20 setup.
+func DefaultFastPathOptions() FastPathOptions {
+	return FastPathOptions{
+		Impls:     vc.Impls(),
+		Detectors: []string{"vft-v1", "vft-v1.5", "vft-v2", "ft-mutex", "ft-cas", "djit"},
+		Programs:  []string{"montecarlo", "pmd"},
+		Warmup:    1,
+		Iters:     3,
+		Workers:   4,
+	}
+}
+
+// FastPathMicro is one (impl, detector) micro cell: the per-op cost of the
+// same-epoch read and write rules — the cases §5 makes lock-free — and
+// their allocation counts, which must be zero for the fast paths to
+// deserve the name.
+type FastPathMicro struct {
+	ReadNsPerOp  float64
+	WriteNsPerOp float64
+	ReadAllocs   float64
+	WriteAllocs  float64
+}
+
+// FastPathRow is one workload's offline-checking measurements.
+type FastPathRow struct {
+	Program string
+	Suite   string
+	Ops     int
+	// Seconds maps arm name to mean end-to-end checking time. Arms are
+	// the configured impls plus "dense-nopool", the seed behavior
+	// (dense clocks, no array recycling), so the pooled-vs-seed
+	// comparison is in the same table.
+	Seconds map[string]float64
+	// Reports is the race-report count (identical across arms by the
+	// Divergent check).
+	Reports int
+	// PoolRecycled maps impl to the number of backing arrays the clock
+	// pool served from recycling during one checking pass.
+	PoolRecycled map[string]uint64
+	// Divergent is true when any arm's report list differed from the
+	// dense sequential baseline — a correctness failure, never expected.
+	Divergent bool
+}
+
+// FastPathTable is the full E20 result.
+type FastPathTable struct {
+	Options FastPathOptions
+	// Micro maps impl → detector → micro cell.
+	Micro map[string]map[string]FastPathMicro
+	Rows  []FastPathRow
+	// GeoMean maps impl → detector → quick Table-1 overhead geomean
+	// (present only with Options.Table1).
+	GeoMean map[string]map[string]float64
+}
+
+// RunFastPath measures the clock layer.
+func RunFastPath(opts FastPathOptions) (*FastPathTable, error) {
+	def := DefaultFastPathOptions()
+	if len(opts.Impls) == 0 {
+		opts.Impls = def.Impls
+	}
+	if len(opts.Detectors) == 0 {
+		opts.Detectors = def.Detectors
+	}
+	if len(opts.Programs) == 0 {
+		opts.Programs = def.Programs
+	}
+	if opts.Iters <= 0 {
+		opts.Iters = def.Iters
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = def.Workers
+	}
+	impls := make([]vc.Impl, len(opts.Impls))
+	for i, name := range opts.Impls {
+		impl, err := vc.ParseImpl(name)
+		if err != nil {
+			return nil, err
+		}
+		impls[i] = impl
+	}
+
+	table := &FastPathTable{Options: opts, Micro: map[string]map[string]FastPathMicro{}}
+	for i, impl := range impls {
+		cells := map[string]FastPathMicro{}
+		for _, det := range opts.Detectors {
+			cell, err := microCell(det, impl)
+			if err != nil {
+				return nil, err
+			}
+			cells[det] = cell
+		}
+		table.Micro[opts.Impls[i]] = cells
+	}
+
+	for _, name := range opts.Programs {
+		row, err := fastPathProgram(name, opts, impls)
+		if err != nil {
+			return nil, err
+		}
+		table.Rows = append(table.Rows, row)
+	}
+
+	if opts.Table1 {
+		table.GeoMean = map[string]map[string]float64{}
+		for i, impl := range impls {
+			t1, err := Run(Options{
+				Warmup: opts.Warmup, Iters: opts.Iters,
+				Detectors: opts.Detectors, Quick: true,
+				ClockImpl: impl,
+			})
+			if err != nil {
+				return nil, err
+			}
+			table.GeoMean[opts.Impls[i]] = t1.GeoMean
+		}
+	}
+	return table, nil
+}
+
+// microCell times the same-epoch read and write rules of one detector
+// under one clock representation, with allocation counts. The benchmark
+// primes a variable so the loop body is exactly the §5 fast path — the
+// cost Table 1's low overheads depend on.
+func microCell(det string, impl vc.Impl) (FastPathMicro, error) {
+	cfg := core.DefaultConfig()
+	cfg.ClockImpl = impl
+	mk := func() (core.Detector, error) { return core.New(det, cfg) }
+
+	d, err := mk()
+	if err != nil {
+		return FastPathMicro{}, err
+	}
+	d.Read(0, 1)
+	read := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d.Read(0, 1)
+		}
+	})
+
+	d, err = mk()
+	if err != nil {
+		return FastPathMicro{}, err
+	}
+	d.Write(0, 1)
+	write := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d.Write(0, 1)
+		}
+	})
+
+	return FastPathMicro{
+		ReadNsPerOp:  float64(read.NsPerOp()),
+		WriteNsPerOp: float64(write.NsPerOp()),
+		ReadAllocs:   float64(read.AllocsPerOp()),
+		WriteAllocs:  float64(write.AllocsPerOp()),
+	}, nil
+}
+
+// fastPathProgram records one workload's trace and checks it end-to-end
+// under every arm, verifying all report lists against the dense sequential
+// baseline.
+func fastPathProgram(name string, opts FastPathOptions, impls []vc.Impl) (FastPathRow, error) {
+	w, err := workloads.ByName(name)
+	if err != nil {
+		return FastPathRow{}, err
+	}
+	size := w.BenchSize
+	if opts.Quick {
+		size = w.TestSize
+	}
+	rec := core.NewRecorder()
+	w.Run(rtsim.New(rec), size)
+	tr := rec.Trace()
+	ids := trace.Scan(tr)
+
+	row := FastPathRow{
+		Program:      w.Name,
+		Suite:        w.Suite,
+		Ops:          len(tr),
+		Seconds:      map[string]float64{},
+		PoolRecycled: map[string]uint64{},
+	}
+
+	// The correctness baseline: dense clocks through the sequential
+	// dispatch loop — the seed's checking path.
+	baseline, err := sequentialReports(tr, ids, vc.ImplDense)
+	if err != nil {
+		return FastPathRow{}, err
+	}
+	row.Reports = len(baseline)
+
+	arm := func(label string, po parcheck.Options) error {
+		po.Variant = "vft-v2"
+		po.Workers = opts.Workers
+		po.Threads, po.Vars, po.Locks = ids.Threads, ids.Vars, ids.Locks
+		var recycled uint64
+		check := func(capture bool) ([]core.Report, error) {
+			p := po
+			if capture {
+				// Read the pool counters off the last iteration only: the
+				// stats sink is cheap but not free, so the timed warm
+				// iterations run bare.
+				p.StatsSink = func(s obs.Snapshot) { recycled = s.Counters["vc.pool.recycled"] }
+			}
+			return parcheck.CheckTrace(tr, nil, p)
+		}
+		for i := 0; i < opts.Warmup; i++ {
+			if _, err := check(false); err != nil {
+				return err
+			}
+		}
+		var elapsed time.Duration
+		var got []core.Report
+		for i := 0; i < opts.Iters; i++ {
+			start := time.Now()
+			r, err := check(i == opts.Iters-1)
+			elapsed += time.Since(start)
+			if err != nil {
+				return err
+			}
+			got = r
+		}
+		row.Seconds[label] = (elapsed / time.Duration(opts.Iters)).Seconds()
+		row.PoolRecycled[label] = recycled
+		if !reportsEqual(got, baseline) {
+			row.Divergent = true
+		}
+		return nil
+	}
+
+	for i, impl := range impls {
+		po := parcheck.Options{ClockImpl: impl}
+		if err := arm(opts.Impls[i], po); err != nil {
+			return FastPathRow{}, fmt.Errorf("%s/%s: %w", name, opts.Impls[i], err)
+		}
+		// Cross-check the sequential replay too: the representations must
+		// agree on both checking paths.
+		seq, err := sequentialReports(tr, ids, impl)
+		if err != nil {
+			return FastPathRow{}, err
+		}
+		if !reportsEqual(seq, baseline) {
+			row.Divergent = true
+		}
+	}
+	if err := arm("dense-nopool", parcheck.Options{DisablePool: true}); err != nil {
+		return FastPathRow{}, fmt.Errorf("%s/dense-nopool: %w", name, err)
+	}
+	return row, nil
+}
+
+// sequentialReports checks tr through the sequential dispatch loop under
+// the given clock representation (pre-sized tables, as timeCheck does).
+func sequentialReports(tr trace.Trace, ids trace.IDSpace, impl vc.Impl) ([]core.Report, error) {
+	src := trace.DesugarSource(trace.ValidateSource(tr.Source(), nil), nil)
+	cfg := core.Config{Threads: ids.Threads, Vars: ids.Vars, Locks: ids.Locks, ClockImpl: impl}
+	d, err := core.New("vft-v2", cfg)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		core.Dispatch(d, op)
+	}
+	return d.Reports(), nil
+}
+
+// reportsEqual compares two report lists for byte identity, normalizing
+// the Detector label (the sequential baseline and the parallel arms both
+// run vft-v2 here, so this is Seq/rule/operand identity).
+func reportsEqual(a, b []core.Report) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !reflect.DeepEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Format renders the table as text.
+func (t *FastPathTable) Format(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Fast-path latency (ns/op, allocs/op)\n"); err != nil {
+		return err
+	}
+	for _, impl := range t.Options.Impls {
+		if _, err := fmt.Fprintf(w, "clock=%s\n", impl); err != nil {
+			return err
+		}
+		for _, det := range t.Options.Detectors {
+			c := t.Micro[impl][det]
+			if _, err := fmt.Fprintf(w, "  %-10s read %7.1fns (%g allocs)  write %7.1fns (%g allocs)\n",
+				det, c.ReadNsPerOp, c.ReadAllocs, c.WriteNsPerOp, c.WriteAllocs); err != nil {
+				return err
+			}
+		}
+	}
+	if len(t.Rows) > 0 {
+		if _, err := fmt.Fprintf(w, "Offline checking (vft-v2, %d workers, %d iters)\n",
+			t.Options.Workers, t.Options.Iters); err != nil {
+			return err
+		}
+	}
+	for _, r := range t.Rows {
+		if _, err := fmt.Fprintf(w, "  %-12s %9d ops", r.Program, r.Ops); err != nil {
+			return err
+		}
+		for _, arm := range append(append([]string{}, t.Options.Impls...), "dense-nopool") {
+			if s, ok := r.Seconds[arm]; ok {
+				if _, err := fmt.Fprintf(w, "  %s=%.1fms", arm, s*1000); err != nil {
+					return err
+				}
+			}
+		}
+		status := "reports identical"
+		if r.Divergent {
+			status = "REPORTS DIVERGED"
+		}
+		if _, err := fmt.Fprintf(w, "  [%s]\n", status); err != nil {
+			return err
+		}
+	}
+	for _, impl := range t.Options.Impls {
+		if gm, ok := t.GeoMean[impl]; ok {
+			if _, err := fmt.Fprintf(w, "Table-1 geomean (quick, clock=%s): %v\n", impl, gm); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Divergent reports whether any workload's report lists differed between
+// arms — the perf-smoke failure condition.
+func (t *FastPathTable) Divergent() bool {
+	for _, r := range t.Rows {
+		if r.Divergent {
+			return true
+		}
+	}
+	return false
+}
+
+// jsonFastPathTable is the stable machine-readable shape of
+// BENCH_fastpath.json.
+type jsonFastPathTable struct {
+	Impls     []string                            `json:"impls"`
+	Detectors []string                            `json:"detectors"`
+	Iters     int                                 `json:"iters"`
+	Warmup    int                                 `json:"warmup"`
+	Workers   int                                 `json:"workers"`
+	Quick     bool                                `json:"quick"`
+	Micro     map[string]map[string]jsonMicroCell `json:"micro"`
+	Rows      []jsonFastPathRow                   `json:"rows"`
+	GeoMean   map[string]map[string]float64       `json:"geo_mean,omitempty"`
+}
+
+type jsonMicroCell struct {
+	ReadNs      float64 `json:"read_ns_per_op"`
+	WriteNs     float64 `json:"write_ns_per_op"`
+	ReadAllocs  float64 `json:"read_allocs_per_op"`
+	WriteAllocs float64 `json:"write_allocs_per_op"`
+}
+
+type jsonFastPathRow struct {
+	Program   string             `json:"program"`
+	Suite     string             `json:"suite"`
+	Ops       int                `json:"ops"`
+	Reports   int                `json:"reports"`
+	Seconds   map[string]float64 `json:"seconds"`
+	Divergent bool               `json:"divergent"`
+}
+
+// WriteJSON renders the table as indented JSON.
+func (t *FastPathTable) WriteJSON(w io.Writer) error {
+	out := jsonFastPathTable{
+		Impls:     t.Options.Impls,
+		Detectors: t.Options.Detectors,
+		Iters:     t.Options.Iters,
+		Warmup:    t.Options.Warmup,
+		Workers:   t.Options.Workers,
+		Quick:     t.Options.Quick,
+		Micro:     map[string]map[string]jsonMicroCell{},
+		GeoMean:   t.GeoMean,
+	}
+	for impl, cells := range t.Micro {
+		jc := map[string]jsonMicroCell{}
+		for det, c := range cells {
+			jc[det] = jsonMicroCell{
+				ReadNs: c.ReadNsPerOp, WriteNs: c.WriteNsPerOp,
+				ReadAllocs: c.ReadAllocs, WriteAllocs: c.WriteAllocs,
+			}
+		}
+		out.Micro[impl] = jc
+	}
+	for _, r := range t.Rows {
+		out.Rows = append(out.Rows, jsonFastPathRow{
+			Program: r.Program, Suite: r.Suite, Ops: r.Ops,
+			Reports: r.Reports, Seconds: r.Seconds, Divergent: r.Divergent,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/vc"
 )
 
 func quickOpts() Options {
@@ -134,11 +136,11 @@ func TestDefaultOptions(t *testing.T) {
 }
 
 func TestBuildDetectorResolvesElide(t *testing.T) {
-	d := buildDetector("vft-v2+elide")
+	d := buildDetector("vft-v2+elide", vc.ImplDense)
 	if d.Name() != "vft-v2+elide" {
 		t.Fatalf("Name = %q", d.Name())
 	}
-	plain := buildDetector("djit")
+	plain := buildDetector("djit", vc.ImplDense)
 	if plain.Name() != "djit" {
 		t.Fatalf("Name = %q", plain.Name())
 	}
@@ -147,7 +149,7 @@ func TestBuildDetectorResolvesElide(t *testing.T) {
 			t.Fatal("unknown detector should panic")
 		}
 	}()
-	buildDetector("nope+elide")
+	buildDetector("nope+elide", vc.ImplDense)
 }
 
 func TestFormatCSV(t *testing.T) {

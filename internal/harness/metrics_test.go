@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/obs"
+	"repro/internal/vc"
 	"repro/internal/workloads"
 )
 
@@ -17,7 +18,7 @@ func TestMetricsPassCoherence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	snap := metricsPass(w, w.TestSize, "vft-v2")
+	snap := metricsPass(w, w.TestSize, "vft-v2", vc.ImplDense)
 
 	reads := snap.Counters["detector.reads.total"]
 	writes := snap.Counters["detector.writes.total"]
@@ -53,7 +54,7 @@ func TestV2SameEpochRulesDominate(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		snap := metricsPass(w, w.TestSize, "vft-v2")
+		snap := metricsPass(w, w.TestSize, "vft-v2", vc.ImplDense)
 		same := snap.Counters["detector.rule.read_same_epoch"] +
 			snap.Counters["detector.rule.write_same_epoch"] +
 			snap.Counters["detector.rule.read_shared_same_epoch"]
@@ -125,7 +126,7 @@ func TestMetricsPassElide(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	snap := metricsPass(w, w.TestSize, "vft-v2+elide")
+	snap := metricsPass(w, w.TestSize, "vft-v2+elide", vc.ImplDense)
 	if snap.Counters["detector.reads.total"] == 0 {
 		t.Errorf("elide-wrapped detector stats missing: %v", snap.Counters)
 	}

@@ -10,21 +10,28 @@ import (
 	"repro/internal/vc"
 )
 
-// access is one read/write event of the lowered stream together with the
-// acting thread's precomputed synchronization context: its vector clock
-// (precise modes) or its held lockset (Eraser mode) at the moment of the
-// access. Because the Fig. 2 access rules never mutate thread clocks —
-// only acquire/release/fork/join do — these snapshots are exactly the
-// values the sequential detector would have observed, which is the
-// correctness foundation of the two-phase split.
+// access is a fused run of n >= 1 adjacent read/write events of the
+// lowered stream — same thread, same variable, no operation of any other
+// kind in between — together with the acting thread's precomputed
+// synchronization context: its vector clock (precise modes) or its held
+// lockset (Eraser mode) at the moment of the accesses. Because the Fig. 2
+// access rules never mutate thread clocks — only acquire/release/fork/join
+// do — these snapshots are exactly the values the sequential detector
+// would have observed, which is the correctness foundation of the
+// two-phase split; and because nothing at all separates the run's ops,
+// one snapshot and one lockset serve all n of them.
 type access struct {
-	idx   int // global position in the lowered stream, for report ordering
-	t     epoch.Tid
-	x     trace.Var
-	write bool
-	clock *vc.Frozen // modeFT, modeDJIT
-	held  *lockSet   // modeEraser
+	idx     int // position of op 0 in the lowered stream; op j is at idx+j
+	t       epoch.Tid
+	x       trace.Var
+	n       uint16     // ops fused into this record (1..fuseMax)
+	pattern uint64     // bit j set: op j is a write
+	clock   *vc.Frozen // modeFT, modeDJIT
+	held    *lockSet   // modeEraser
 }
+
+// fuseMax caps a fused run at the pattern bitmask's width.
+const fuseMax = 64
 
 // taggedReport carries a report with its (access index, emission index
 // within the access) key; the merge stage sorts on it to reproduce the
@@ -153,55 +160,103 @@ func firstUnordered(v []epoch.Epoch, clock *vc.Frozen) (epoch.Epoch, bool) {
 	return 0, false
 }
 
+// runAccess replays a fused run through the selected machine. Op 0 always
+// runs. A later op is elided — skipped as a proven no-op — exactly when
+// (a) no race condition has fired anywhere in this run and (b) it repeats
+// the immediately preceding op's kind. Justification: the run's ops share
+// one thread, one variable, one clock and one lockset, so after a clean
+// read the machine's read state is a fixpoint for an identical read (the
+// same-epoch exits of Fig. 2/4; in DJIT and Eraser the transition is
+// idempotent and its checks — which passed — see unchanged state), and
+// symmetrically for writes. A kind switch (read after write, write after
+// read) can change state in every machine and always replays; and once
+// any check fires, all remaining ops replay, because the historical
+// variants report racy repeats on every access (priorRead, DJIT) and the
+// report stream must stay byte-identical.
+func (w *shardWorker) runAccess(a access) {
+	fired := false
+	prevWrite := false
+	for j := 0; j < int(a.n); j++ {
+		write := a.pattern>>uint(j)&1 != 0
+		if j > 0 && !fired && write == prevWrite {
+			w.elided++
+			continue
+		}
+		if w.stepOne(a, a.idx+j, write) {
+			fired = true
+		}
+		prevWrite = write
+	}
+}
+
+// stepOne dispatches one op of a run; it reports whether any race
+// condition fired (admitted to the sink or suppressed by the cap — either
+// way the op was not a no-op).
+func (w *shardWorker) stepOne(a access, idx int, write bool) bool {
+	switch w.mode {
+	case modeFT:
+		return w.stepFT(a, idx, write)
+	case modeDJIT:
+		return w.stepDJIT(a, idx, write)
+	default:
+		return w.stepEraser(a, idx, write)
+	}
+}
+
 // stepFT replays one access through the epoch machine, line-parallel to
 // core's readLocked/writeLocked (v1.go) with the thread state replaced by
 // the precomputed frozen clock.
-func (w *shardWorker) stepFT(a access) {
+func (w *shardWorker) stepFT(a access, idx int, write bool) bool {
 	s := w.ft.get(a.x)
 	e := a.clock.Get(a.t)
 	sub := 0
-	if a.write {
+	fired := false
+	if write {
 		// [Write Same Epoch]
 		if s.w == e {
-			return
+			return false
 		}
 		// [Write-Write Race]
 		if !a.clock.EpochLeq(s.w) {
-			w.emitCapped(&s.reports, a, &sub, core.Report{Rule: spec.WriteWriteRace, T: a.t, X: a.x, Prev: s.w})
+			fired = true
+			w.emitCapped(&s.reports, idx, &sub, core.Report{Rule: spec.WriteWriteRace, T: a.t, X: a.x, Prev: s.w})
 		}
 		if !s.r.IsShared() {
 			// [Read-Write Race]
 			if !a.clock.EpochLeq(s.r) {
-				w.emitCapped(&s.reports, a, &sub, core.Report{Rule: spec.ReadWriteRace, T: a.t, X: a.x, Prev: s.r})
+				fired = true
+				w.emitCapped(&s.reports, idx, &sub, core.Report{Rule: spec.ReadWriteRace, T: a.t, X: a.x, Prev: s.r})
 			}
 		} else {
 			// [Shared-Write Race]
 			if prev, bad := firstUnordered(s.v, a.clock); bad {
-				w.emitCapped(&s.reports, a, &sub, core.Report{Rule: spec.SharedWriteRace, T: a.t, X: a.x, Prev: prev})
+				fired = true
+				w.emitCapped(&s.reports, idx, &sub, core.Report{Rule: spec.SharedWriteRace, T: a.t, X: a.x, Prev: prev})
 			}
 		}
 		// [Write Exclusive] / [Write Shared] update; also the repair action
 		// after a detected race, so checking continues downstream.
 		s.w = e
-		return
+		return fired
 	}
 	// [Read Same Epoch]
 	if s.r == e {
-		return
+		return false
 	}
 	// [Read Shared Same Epoch]: the VerifiedFT handlers exit here before
 	// any race check; the historical baselines (priorRead) fall through to
 	// the [Write-Read Race] check first and skip only the state update.
 	sameSharedEpoch := s.r.IsShared() && vget(s.v, a.t) == e
 	if sameSharedEpoch && !w.priorRead {
-		return
+		return false
 	}
 	// [Write-Read Race]
 	if !a.clock.EpochLeq(s.w) {
-		w.emitCapped(&s.reports, a, &sub, core.Report{Rule: spec.WriteReadRace, T: a.t, X: a.x, Prev: s.w})
+		fired = true
+		w.emitCapped(&s.reports, idx, &sub, core.Report{Rule: spec.WriteReadRace, T: a.t, X: a.x, Prev: s.w})
 	}
 	if sameSharedEpoch {
-		return
+		return fired
 	}
 	switch {
 	case !s.r.IsShared() && a.clock.EpochLeq(s.r):
@@ -217,54 +272,60 @@ func (w *shardWorker) stepFT(a access) {
 		// [Read Shared]
 		vset(&s.v, a.t, e)
 	}
+	return fired
 }
 
 // stepDJIT replays one access through the pure vector-clock machine,
 // mirroring core's DJIT handlers.
-func (w *shardWorker) stepDJIT(a access) {
+func (w *shardWorker) stepDJIT(a access, idx int, write bool) bool {
 	s := w.djit.get(a.x)
 	e := a.clock.Get(a.t)
 	sub := 0
-	if a.write {
+	fired := false
+	if write {
 		if prev, bad := firstUnordered(s.wvc, a.clock); bad {
-			w.emitCapped(&s.reports, a, &sub, core.Report{Rule: spec.WriteWriteRace, T: a.t, X: a.x, Prev: prev})
+			fired = true
+			w.emitCapped(&s.reports, idx, &sub, core.Report{Rule: spec.WriteWriteRace, T: a.t, X: a.x, Prev: prev})
 		}
 		if prev, bad := firstUnordered(s.rvc, a.clock); bad {
-			w.emitCapped(&s.reports, a, &sub, core.Report{Rule: spec.ReadWriteRace, T: a.t, X: a.x, Prev: prev})
+			fired = true
+			w.emitCapped(&s.reports, idx, &sub, core.Report{Rule: spec.ReadWriteRace, T: a.t, X: a.x, Prev: prev})
 		}
 		vset(&s.wvc, a.t, e)
-		return
+		return fired
 	}
 	if prev, bad := firstUnordered(s.wvc, a.clock); bad {
-		w.emitCapped(&s.reports, a, &sub, core.Report{Rule: spec.WriteReadRace, T: a.t, X: a.x, Prev: prev})
+		fired = true
+		w.emitCapped(&s.reports, idx, &sub, core.Report{Rule: spec.WriteReadRace, T: a.t, X: a.x, Prev: prev})
 	}
 	vset(&s.rvc, a.t, e)
+	return fired
 }
 
 // stepEraser replays one access through the lockset machine, mirroring
 // core's Eraser.access. Eraser warns once per variable via the reported
 // flag; its sink is uncapped, so emissions bypass the per-variable cap.
-func (w *shardWorker) stepEraser(a access) {
+func (w *shardWorker) stepEraser(a access, idx int, write bool) bool {
 	s := w.eraser.get(a.x)
 	switch s.state {
 	case virgin:
 		s.state = exclusive
 		s.owner = a.t
-		return
+		return false
 	case exclusive:
 		if s.owner == a.t {
-			return
+			return false
 		}
 		// Second thread: start refining from the accessor's held set.
 		s.lockset = a.held.clone()
-		if a.write {
+		if write {
 			s.state = sharedModified
 		} else {
 			s.state = sharedRO
 		}
 	case sharedRO:
 		s.lockset = intersectSorted(s.lockset, a.held.ms)
-		if a.write {
+		if write {
 			s.state = sharedModified
 		}
 	case sharedModified:
@@ -272,11 +333,13 @@ func (w *shardWorker) stepEraser(a access) {
 	}
 	if s.state == sharedModified && len(s.lockset) == 0 && !s.reported {
 		s.reported = true
-		w.out = append(w.out, taggedReport{idx: a.idx, sub: 0, rep: core.Report{
+		w.out = append(w.out, taggedReport{idx: idx, sub: 0, rep: core.Report{
 			T: a.t, X: a.x,
 			Msg: fmt.Sprintf("lockset for x%d became empty in state shared-modified", a.x),
 		}})
+		return true
 	}
+	return false
 }
 
 // emitCapped records a report subject to the per-variable cap, exactly as
@@ -284,13 +347,13 @@ func (w *shardWorker) stepEraser(a access) {
 // lost. varReports is the variable's admitted-report counter; because a
 // variable's accesses all land in one shard in stream order, the cap cuts
 // off at the same access as the sequential sink.
-func (w *shardWorker) emitCapped(varReports *int, a access, sub *int, rep core.Report) {
+func (w *shardWorker) emitCapped(varReports *int, idx int, sub *int, rep core.Report) {
 	if w.maxPerVar > 0 && *varReports >= w.maxPerVar {
 		w.dropped++
 		return
 	}
 	*varReports++
-	w.out = append(w.out, taggedReport{idx: a.idx, sub: *sub, rep: rep})
+	w.out = append(w.out, taggedReport{idx: idx, sub: *sub, rep: rep})
 	*sub++
 }
 

@@ -71,6 +71,13 @@ type Options struct {
 	// thousands of uploads per registry lifetime) fold each run's stats
 	// into its own accumulators without growing the registry per check.
 	StatsSink func(obs.Snapshot)
+	// ClockImpl selects the prepass's vector-clock representation
+	// (vc.ImplDense or vc.ImplTree); the report list is identical either
+	// way.
+	ClockImpl vc.Impl
+	// DisablePool turns off backing-array recycling for the prepass's
+	// clocks and snapshots (the seed allocation behavior).
+	DisablePool bool
 }
 
 // batchSize is the shard-queue granularity: large enough to amortize
@@ -94,28 +101,61 @@ type shardWorker struct {
 	out      []taggedReport
 	dropped  uint64
 	accesses uint64
+	elided   uint64
 }
 
 func (w *shardWorker) run(ch <-chan []access, pool *sync.Pool) {
 	for batch := range ch {
+		w.runBatch(batch)
+		pool.Put(batch[:0])
+	}
+}
+
+// runBatch replays one batch. The mode dispatch is hoisted out of the
+// per-access loop and unfused records (the overwhelmingly common case on
+// run-free traces) call their step directly: this loop is the workers'
+// entire hot path, and an extra call layer per access is measurable on
+// the Table-1 workloads.
+func (w *shardWorker) runBatch(batch []access) {
+	switch w.mode {
+	case modeFT:
 		for _, a := range batch {
-			switch w.mode {
-			case modeFT:
-				w.stepFT(a)
-			case modeDJIT:
-				w.stepDJIT(a)
-			default:
-				w.stepEraser(a)
+			w.accesses += uint64(a.n)
+			if a.n == 1 {
+				w.stepFT(a, a.idx, a.pattern&1 != 0)
+			} else {
+				w.runAccess(a)
 			}
 		}
-		w.accesses += uint64(len(batch))
-		pool.Put(batch[:0])
+	case modeDJIT:
+		for _, a := range batch {
+			w.accesses += uint64(a.n)
+			if a.n == 1 {
+				w.stepDJIT(a, a.idx, a.pattern&1 != 0)
+			} else {
+				w.runAccess(a)
+			}
+		}
+	default:
+		for _, a := range batch {
+			w.accesses += uint64(a.n)
+			if a.n == 1 {
+				w.stepEraser(a, a.idx, a.pattern&1 != 0)
+			} else {
+				w.runAccess(a)
+			}
+		}
 	}
 }
 
 // threadState is one thread's prepass context.
 type threadState struct {
-	vc *vc.VC // clock modes
+	vc vc.Clock // clock modes
+	// dense is vc's concrete value when the representation is the dense
+	// default: stamp() is once-per-clock-change on the serial critical
+	// path, and the devirtualized Freeze call inlines its cached-snapshot
+	// fast path. nil under other representations.
+	dense *vc.VC
 
 	// lastRaw/lastInterned memoize the interning of the thread's current
 	// snapshot so the intern table is consulted once per clock change,
@@ -195,8 +235,14 @@ func run(opts Options, streamFn func(*prepassState) error) ([]core.Report, error
 	}
 
 	// Phase 1: the sync prepass, in the calling goroutine.
+	var vcPool *vc.Pool
+	if !opts.DisablePool {
+		vcPool = vc.NewPool()
+	}
 	p := &prepassState{
 		mode:     mode,
+		impl:     opts.ClockImpl,
+		vcPool:   vcPool,
 		joinInc:  vs.joinInc,
 		intern:   vc.NewInterner(),
 		threads:  make([]*threadState, 0, opts.Threads),
@@ -266,11 +312,25 @@ func run(opts Options, streamFn func(*prepassState) error) ([]core.Report, error
 // prepassState is the phase-1 streaming state.
 type prepassState struct {
 	mode    checkMode
+	impl    vc.Impl
+	vcPool  *vc.Pool
 	joinInc bool
 	intern  *vc.Interner
 
 	threads []*threadState
 	locks   []*vc.Frozen // release clocks by lowered lock id (clock modes)
+
+	// last points at the most recently appended access record — the open
+	// fused run: an adjacent same-thread read/write of the same variable
+	// bumps its n and write bitmask in place instead of appending a new
+	// record. The pointer is stable because batch slices come from the
+	// pool at their full fixed capacity and are never reallocated. It is
+	// cleared by anything that ends a run — a sync operation (the next
+	// access needs a fresh stamp), or the batch being handed to its
+	// worker. The first op's eager clock/lockset stamp covers the whole
+	// run because nothing at all separates the run's ops, so the thread's
+	// context is identical at every one.
+	last *access
 
 	batches  [][]access
 	chans    []chan []access
@@ -283,6 +343,7 @@ type prepassState struct {
 	shardMask int
 
 	ops, accesses, syncs, batchesSent uint64
+	fusedRuns, fusedOps               uint64
 	maxQueueDepth                     int
 }
 
@@ -297,7 +358,8 @@ func (p *prepassState) thread(t epoch.Tid) *threadState {
 			ts.held = emptyLockSet
 		} else {
 			// Mirror core.newThreadState: the clock starts at inc_t(⊥V).
-			ts.vc = vc.New()
+			ts.vc = vc.NewClock(p.impl, p.vcPool)
+			ts.dense, _ = ts.vc.(*vc.VC)
 			ts.vc.Inc(t)
 		}
 		p.threads[t] = ts
@@ -321,11 +383,25 @@ func (p *prepassState) setLock(m trace.Lock, f *vc.Frozen) {
 
 // stamp returns the interned snapshot of the thread's current clock,
 // re-interning only when the clock changed since the thread's last stamp.
+// When interning finds an existing canonical snapshot, the fresh duplicate
+// never escaped this function: the thread clock adopts the canonical (so
+// its next Freeze reuses it) and the duplicate's storage goes back to the
+// pool.
 func (p *prepassState) stamp(ts *threadState) *vc.Frozen {
-	f := ts.vc.Freeze()
+	var f *vc.Frozen
+	if ts.dense != nil {
+		f = ts.dense.Freeze()
+	} else {
+		f = ts.vc.Freeze()
+	}
 	if f != ts.lastRaw {
-		ts.lastRaw = f
-		ts.lastInterned = p.intern.Intern(f)
+		canon := p.intern.Intern(f)
+		if canon != f {
+			ts.vc.AdoptFrozen(canon)
+			p.vcPool.PutFrozen(f)
+		}
+		ts.lastRaw = canon
+		ts.lastInterned = canon
 	}
 	return ts.lastInterned
 }
@@ -338,8 +414,31 @@ func (p *prepassState) send(shard int, batch []access) {
 	p.batchesSent++
 }
 
+// emitAccess routes one read/write to its variable's shard, fusing it into
+// the open run when it is adjacent (same thread, same variable, no
+// intervening operation, run not full): the run's record is extended in
+// place inside the still-unsent batch, so a long run costs one append and
+// one stamp no matter its length, and the no-run path is one compare
+// heavier than plain routing. A batch boundary splits a run into two
+// records, which replay identically.
 func (p *prepassState) emitAccess(idx int, t epoch.Tid, x trace.Var, write bool) {
-	a := access{idx: idx, t: t, x: x, write: write}
+	p.accesses++
+	if a := p.last; a != nil && a.t == t && a.x == x && int(a.n) < fuseMax {
+		if write {
+			a.pattern |= 1 << a.n
+		}
+		if a.n == 1 {
+			p.fusedRuns++
+			p.fusedOps++ // the run's first op, counted once
+		}
+		a.n++
+		p.fusedOps++
+		return
+	}
+	a := access{idx: idx, t: t, x: x, n: 1}
+	if write {
+		a.pattern = 1
+	}
 	if p.mode == modeEraser {
 		a.held = p.thread(t).held
 	} else {
@@ -357,9 +456,11 @@ func (p *prepassState) emitAccess(idx int, t epoch.Tid, x trace.Var, write bool)
 	if len(b) == cap(b) {
 		p.send(shard, b)
 		b = nil
+		p.last = nil
+	} else {
+		p.last = &b[len(b)-1]
 	}
 	p.batches[shard] = b
-	p.accesses++
 }
 
 // The prepass sync handlers mirror the sequential detectors'
@@ -367,6 +468,7 @@ func (p *prepassState) emitAccess(idx int, t epoch.Tid, x trace.Var, write bool)
 // mode). They take already-lowered lock ids.
 
 func (p *prepassState) acquire(t epoch.Tid, m trace.Lock) {
+	p.last = nil // a sync edge ends the open fused run
 	p.syncs++
 	ts := p.thread(t)
 	if p.mode == modeEraser {
@@ -378,6 +480,7 @@ func (p *prepassState) acquire(t epoch.Tid, m trace.Lock) {
 }
 
 func (p *prepassState) release(t epoch.Tid, m trace.Lock) {
+	p.last = nil // a sync edge ends the open fused run
 	p.syncs++
 	ts := p.thread(t)
 	if p.mode == modeEraser {
@@ -390,6 +493,7 @@ func (p *prepassState) release(t epoch.Tid, m trace.Lock) {
 }
 
 func (p *prepassState) fork(t, u epoch.Tid) {
+	p.last = nil // a sync edge ends the open fused run
 	p.syncs++
 	if p.mode != modeEraser {
 		// [Fork]: Su.V := Su.V ⊔ St.V; St.V := inc_t(St.V).
@@ -400,6 +504,7 @@ func (p *prepassState) fork(t, u epoch.Tid) {
 }
 
 func (p *prepassState) join(t, u epoch.Tid) {
+	p.last = nil // a sync edge ends the open fused run
 	p.syncs++
 	if p.mode != modeEraser {
 		// [Join]: St.V := St.V ⊔ Su.V, plus the original FastTrack
@@ -502,11 +607,14 @@ func (p *prepassState) stats(ws []*shardWorker, reports uint64) obs.Snapshot {
 	s.Counters["ops.sync"] = p.syncs
 	s.Counters["batches"] = p.batchesSent
 	s.Counters["reports.recorded"] = reports
+	s.Counters["fused.runs"] = p.fusedRuns
+	s.Counters["fused.ops"] = p.fusedOps
 
-	var dropped uint64
+	var dropped, elided uint64
 	minAcc, maxAcc := ^uint64(0), uint64(0)
 	for _, w := range ws {
 		dropped += w.dropped
+		elided += w.elided
 		if w.accesses < minAcc {
 			minAcc = w.accesses
 		}
@@ -515,6 +623,7 @@ func (p *prepassState) stats(ws []*shardWorker, reports uint64) obs.Snapshot {
 		}
 	}
 	s.Counters["reports.dropped"] = dropped
+	s.Counters["ops.elided"] = elided
 
 	hits, misses := p.intern.Stats()
 	s.Counters["intern.hits"] = hits
@@ -529,8 +638,15 @@ func (p *prepassState) stats(ws []*shardWorker, reports uint64) obs.Snapshot {
 	s.Counters["vc.grows"] = clocks.Grows
 	s.Counters["vc.joins"] = clocks.Joins
 	s.Counters["vc.join_scanned"] = clocks.JoinScanned
+	s.Counters["vc.joins_elided"] = clocks.JoinsElided
 	s.Counters["vc.freezes"] = clocks.Freezes
 	s.Counters["vc.freeze_reuses"] = clocks.FreezeReuses
+	if p.vcPool != nil {
+		ps := p.vcPool.Stats()
+		s.Counters["vc.pool.gets"] = ps.Gets
+		s.Counters["vc.pool.fresh"] = ps.Fresh
+		s.Counters["vc.pool.recycled"] = ps.Gets - ps.Fresh
+	}
 
 	s.Gauges["workers"] = uint64(len(ws))
 	s.Gauges["intern.distinct"] = uint64(p.intern.Len())

@@ -1,0 +1,108 @@
+package vc
+
+import (
+	"fmt"
+
+	"repro/internal/epoch"
+)
+
+// Clock is the mutable vector-clock abstraction the detectors and the
+// parallel checker program against. Two implementations exist:
+//
+//   - *VC, the paper's dense grow-on-demand slice (Fig. 3), and
+//   - *Tree, a tree-clock-style lazy representation whose joins skip
+//     subtrees the destination already covers (see tree.go).
+//
+// The interface is exactly the operation set the Fig. 3/Fig. 4 handlers
+// and the parcheck prepass need. It deliberately excludes Leq/Equal/Clone:
+// those compare or duplicate whole clocks and are only used by the
+// specification interpreter, the HB oracle and tests, which stay on the
+// concrete dense type. Implementations are NOT safe for concurrent use;
+// callers layer their own synchronization, as with *VC.
+type Clock interface {
+	// Get returns the epoch recorded for thread t (t@0 beyond the
+	// representation).
+	Get(t epoch.Tid) epoch.Epoch
+	// Set records epoch e for thread t; e.Tid() must equal t.
+	Set(t epoch.Tid, e epoch.Epoch)
+	// Inc increments the t-component: V := inc_t(V).
+	Inc(t epoch.Tid)
+	// Size is the length of the underlying representation.
+	Size() int
+	// EpochLeq reports e ⪯ V (never call with the Shared marker).
+	EpochLeq(e epoch.Epoch) bool
+	// Join merges other into the receiver pointwise: V := V ⊔ other.
+	Join(other Clock)
+	// JoinFrozen merges an immutable snapshot: V := V ⊔ f (nil f is ⊥V).
+	JoinFrozen(f *Frozen)
+	// Assign overwrites the receiver with other's value: V := other.
+	Assign(other Clock)
+	// Freeze returns an immutable snapshot, cached until the next
+	// mutation.
+	Freeze() *Frozen
+	// AdoptFrozen replaces the cached Freeze snapshot with f, which the
+	// caller guarantees denotes the clock's current value (the interner
+	// canonicalization hook — see Pool).
+	AdoptFrozen(f *Frozen)
+	// Snapshot returns a fresh copy of the raw epochs up to Size.
+	Snapshot() []epoch.Epoch
+	// Metrics returns the clock's structural cost counters.
+	Metrics() Metrics
+	// String renders the clock in the paper's ⟨c0,c1,...⟩ notation.
+	String() string
+}
+
+// Impl selects a Clock implementation. The zero value is the dense
+// representation, so zero-valued configs keep the seed behavior.
+type Impl int
+
+const (
+	// ImplDense is the paper's dense slice representation (*VC).
+	ImplDense Impl = iota
+	// ImplTree is the lazy tree-clock representation (*Tree).
+	ImplTree
+)
+
+// String returns the knob spelling of the implementation name.
+func (i Impl) String() string {
+	switch i {
+	case ImplDense:
+		return "dense"
+	case ImplTree:
+		return "tree"
+	default:
+		return fmt.Sprintf("Impl(%d)", int(i))
+	}
+}
+
+// ParseImpl maps a knob string to an Impl; "" means dense.
+func ParseImpl(s string) (Impl, error) {
+	switch s {
+	case "", "dense":
+		return ImplDense, nil
+	case "tree":
+		return ImplTree, nil
+	default:
+		return 0, fmt.Errorf("vc: unknown clock implementation %q (want dense or tree)", s)
+	}
+}
+
+// Impls lists the selectable implementations in knob spelling.
+func Impls() []string { return []string{"dense", "tree"} }
+
+// NewClock constructs an empty (minimal) clock of the selected
+// implementation, drawing backing storage from pool when non-nil.
+func NewClock(impl Impl, pool *Pool) Clock {
+	switch impl {
+	case ImplTree:
+		return NewTree(pool)
+	default:
+		return NewPooled(pool)
+	}
+}
+
+// Compile-time checks: both representations satisfy the interface.
+var (
+	_ Clock = (*VC)(nil)
+	_ Clock = (*Tree)(nil)
+)

@@ -1,0 +1,353 @@
+package vc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/epoch"
+)
+
+// equalClocks compares two Clock values pointwise over a window wide
+// enough to cover both representations plus implicit minimal entries.
+func equalClocks(t *testing.T, a, b Clock, ctx string) {
+	t.Helper()
+	n := a.Size()
+	if b.Size() > n {
+		n = b.Size()
+	}
+	n += 4
+	for i := 0; i < n; i++ {
+		tid := epoch.Tid(i)
+		if ae, be := a.Get(tid), b.Get(tid); ae != be {
+			t.Fatalf("%s: clocks diverge at t%d: %v vs %v\n dense=%v\n tree=%v",
+				ctx, i, ae, be, a, b)
+		}
+	}
+}
+
+// clockOp is one random mutation applied identically to a dense and a
+// tree clock in the conformance driver below.
+type clockOp struct {
+	kind int // 0 Set, 1 Inc, 2 Join peer, 3 JoinFrozen, 4 Assign peer, 5 Freeze
+	t    epoch.Tid
+	c    uint64
+	peer int
+}
+
+// TestQuickDenseTreeConformance drives random operation sequences through
+// paired dense/tree clock families and checks pointwise equality after
+// every step — the property that lets the detectors swap representations
+// without changing a single report.
+func TestQuickDenseTreeConformance(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	for trial := 0; trial < 50; trial++ {
+		pool := NewPool()
+		const nClocks = 4
+		dense := make([]Clock, nClocks)
+		tree := make([]Clock, nClocks)
+		for i := range dense {
+			dense[i] = NewClock(ImplDense, pool)
+			tree[i] = NewClock(ImplTree, pool)
+		}
+		var frozenDense []*Frozen
+		var frozenTree []*Frozen
+		for step := 0; step < 200; step++ {
+			self := rng.Intn(nClocks)
+			op := clockOp{
+				kind: rng.Intn(6),
+				t:    epoch.Tid(rng.Intn(12)),
+				c:    uint64(rng.Intn(8)),
+				peer: rng.Intn(nClocks),
+			}
+			d, tr := dense[self], tree[self]
+			switch op.kind {
+			case 0:
+				// Random Set, including non-monotone ones — the memo
+				// invalidation path.
+				d.Set(op.t, epoch.Make(op.t, op.c))
+				tr.Set(op.t, epoch.Make(op.t, op.c))
+			case 1:
+				d.Inc(op.t)
+				tr.Inc(op.t)
+			case 2:
+				d.Join(dense[op.peer])
+				tr.Join(tree[op.peer])
+			case 3:
+				if len(frozenDense) > 0 {
+					i := rng.Intn(len(frozenDense))
+					d.JoinFrozen(frozenDense[i])
+					tr.JoinFrozen(frozenTree[i])
+				}
+			case 4:
+				d.Assign(dense[op.peer])
+				tr.Assign(tree[op.peer])
+			case 5:
+				fd, ft := d.Freeze(), tr.Freeze()
+				if !fd.Equal(ft) {
+					t.Fatalf("trial %d step %d: snapshots diverge: %v vs %v", trial, step, fd, ft)
+				}
+				frozenDense = append(frozenDense, fd)
+				frozenTree = append(frozenTree, ft)
+			}
+			equalClocks(t, d, tr, "after op")
+			// EpochLeq must agree too: it is the fast-path primitive.
+			probe := epoch.Make(op.t, op.c)
+			if d.EpochLeq(probe) != tr.EpochLeq(probe) {
+				t.Fatalf("trial %d step %d: EpochLeq(%v) disagrees", trial, step, probe)
+			}
+		}
+	}
+}
+
+// TestTreeMemoElidesRepeatJoin pins the whole-clock memo: joining an
+// unchanged source twice answers the second join without scanning.
+func TestTreeMemoElidesRepeatJoin(t *testing.T) {
+	src := NewTree(nil)
+	src.Inc(3)
+	src.Inc(3)
+	dst := NewTree(nil)
+	dst.Join(src)
+	before := dst.Metrics()
+	dst.Join(src)
+	after := dst.Metrics()
+	if after.JoinsElided != before.JoinsElided+1 {
+		t.Fatalf("repeat join not elided: %+v -> %+v", before, after)
+	}
+	if after.JoinScanned != before.JoinScanned {
+		t.Fatalf("elided join scanned entries: %+v -> %+v", before, after)
+	}
+}
+
+// TestTreeMemoInvalidatesOnSourceMutation pins the source side: any
+// mutation of the source advances its version, so the memo stops eliding.
+func TestTreeMemoInvalidatesOnSourceMutation(t *testing.T) {
+	src := NewTree(nil)
+	src.Inc(3)
+	dst := NewTree(nil)
+	dst.Join(src)
+	src.Inc(3)
+	dst.Join(src)
+	if got := dst.Get(3); got != src.Get(3) {
+		t.Fatalf("join after source mutation missed the update: dst=%v src=%v", got, src.Get(3))
+	}
+}
+
+// TestTreeMemoInvalidatesOnDestinationLowering pins the destination side:
+// a non-monotone Set breaks the coverage promise and must drop the memo.
+func TestTreeMemoInvalidatesOnDestinationLowering(t *testing.T) {
+	src := NewTree(nil)
+	src.Set(2, epoch.Make(2, 9))
+	dst := NewTree(nil)
+	dst.Join(src)
+	// Lower the entry the memo claims is covered.
+	dst.Set(2, epoch.Make(2, 1))
+	src.Inc(5) // mutate src so the solo window, not the stale memo, could hide the bug
+	dst.Join(src)
+	if got := dst.Get(2); got != epoch.Make(2, 9) {
+		t.Fatalf("memo survived non-monotone Set: dst[2]=%v, want 2@9", got)
+	}
+}
+
+// TestTreeLastWriterShortcut pins the solo-index window: after a memoized
+// join, a source that only Inc'd one thread is re-joined by comparing a
+// single entry.
+func TestTreeLastWriterShortcut(t *testing.T) {
+	src := NewTree(nil)
+	for i := 0; i < 40; i++ {
+		src.Inc(epoch.Tid(i % 20)) // touch many chunks
+	}
+	dst := NewTree(nil)
+	dst.Join(src)
+	base := dst.Metrics().JoinScanned
+	src.Inc(7)
+	src.Inc(7)
+	dst.Join(src)
+	scanned := dst.Metrics().JoinScanned - base
+	if scanned != 1 {
+		t.Fatalf("last-writer join scanned %d entries, want 1", scanned)
+	}
+	if dst.Get(7) != src.Get(7) {
+		t.Fatalf("shortcut join missed the update")
+	}
+}
+
+// TestTreeAssignInvalidatesPeerMemos pins Assign's version stamping: a
+// destination holding a memo about the assigned-over source must rescan.
+func TestTreeAssignInvalidatesPeerMemos(t *testing.T) {
+	src := NewTree(nil)
+	src.Inc(1)
+	dst := NewTree(nil)
+	dst.Join(src)
+
+	big := NewTree(nil)
+	big.Set(4, epoch.Make(4, 7))
+	src.Assign(big)
+	dst.Join(src)
+	if got := dst.Get(4); got != epoch.Make(4, 7) {
+		t.Fatalf("memo survived source Assign: dst[4]=%v, want 4@7", got)
+	}
+}
+
+// TestGeometricGrowth pins the new ensureCapacity contract: Grows counts
+// only reallocation-and-copy events, so a clock touched at increasing tids
+// reallocates O(log n) times.
+func TestGeometricGrowth(t *testing.T) {
+	c := New()
+	for i := 0; i < 1000; i++ {
+		c.Inc(epoch.Tid(i))
+	}
+	if g := c.Metrics().Grows; g > 10 {
+		t.Fatalf("1000 single-step grows cost %d reallocations, want <= 10 (geometric)", g)
+	}
+	// Well-formedness survived every in-place extension (stale pool
+	// contents must have been overwritten with minimal epochs).
+	for i := 0; i < 1000; i++ {
+		if got := c.Get(epoch.Tid(i)); got != epoch.Make(epoch.Tid(i), 1) {
+			t.Fatalf("entry %d corrupted after growth: %v", i, got)
+		}
+	}
+}
+
+// TestAssignSingleGrow is the regression test for the Assign rewrite: one
+// Assign from a much larger clock performs exactly one reallocation (one
+// Grows tick), not one per entry, and clears the frozen cache once.
+func TestAssignSingleGrow(t *testing.T) {
+	big := New()
+	for i := 0; i < 100; i++ {
+		big.Inc(epoch.Tid(i))
+	}
+	c := New()
+	f := c.Freeze()
+	before := c.Metrics().Grows
+	c.Assign(big)
+	if got := c.Metrics().Grows - before; got != 1 {
+		t.Fatalf("Assign from 100-entry clock cost %d grows, want exactly 1", got)
+	}
+	if !c.Equal(big) {
+		t.Fatalf("Assign result differs from source")
+	}
+	// The pre-Assign snapshot must not be reused: the clock changed.
+	if g := c.Freeze(); g == f {
+		t.Fatalf("Freeze after Assign returned the stale snapshot")
+	}
+	// Assigning a smaller value resets the tail to minimal.
+	small := New()
+	small.Inc(0)
+	c.Assign(small)
+	for i := 1; i < 100; i++ {
+		if got := c.Get(epoch.Tid(i)); got != epoch.Min(epoch.Tid(i)) {
+			t.Fatalf("Assign left stale tail entry at %d: %v", i, got)
+		}
+	}
+}
+
+// TestCloneFreezesFresh is the regression test for Clone's frozen-cache
+// contract: a clone must not share the original's cached snapshot (a
+// *Frozen may be reachable from at most one clock, or pool recycling via
+// AdoptFrozen corrupts the other), so its first Freeze is a fresh copy.
+func TestCloneFreezesFresh(t *testing.T) {
+	c := New()
+	c.Inc(2)
+	orig := c.Freeze()
+	cl := c.Clone()
+	if m := cl.Metrics(); m != (Metrics{}) {
+		t.Fatalf("clone inherited metrics: %+v", m)
+	}
+	got := cl.Freeze()
+	if got == orig {
+		t.Fatalf("clone's first Freeze reused the original's cached snapshot")
+	}
+	if !got.Equal(orig) {
+		t.Fatalf("clone snapshot differs in value: %v vs %v", got, orig)
+	}
+	if m := cl.Metrics(); m.Freezes != 1 || m.FreezeReuses != 0 {
+		t.Fatalf("clone's first Freeze was not a fresh copy: %+v", m)
+	}
+}
+
+// TestPoolRecycles pins the pool's core loop: a retired growth array is
+// handed back out, and the counters see it.
+func TestPoolRecycles(t *testing.T) {
+	p := NewPool()
+	v := p.get(8)
+	if got := p.Stats(); got.Gets != 1 || got.Fresh != 1 {
+		t.Fatalf("first get: %+v", got)
+	}
+	p.put(v[:cap(v)])
+	w := p.get(8)
+	st := p.Stats()
+	if st.Puts != 1 || st.Gets != 2 {
+		t.Fatalf("after put+get: %+v", st)
+	}
+	if st.Fresh != 1 {
+		t.Fatalf("second get should recycle, not allocate: %+v", st)
+	}
+	_ = w
+	// Odd capacities never enter a class.
+	p.put(make([]epoch.Epoch, 9, 9))
+	if got := p.Stats().Puts; got != 1 {
+		t.Fatalf("non-power-of-two array was pooled: puts=%d", got)
+	}
+}
+
+// TestPooledGrowthFillsMinimal pins the stale-contents contract: arrays
+// recycled through the pool carry old epochs, and every growth path must
+// overwrite the slots it exposes.
+func TestPooledGrowthFillsMinimal(t *testing.T) {
+	pool := NewPool()
+	for _, impl := range []Impl{ImplDense, ImplTree} {
+		// Dirty the pool with a clock full of large epochs, then retire it.
+		dirty := NewClock(impl, pool)
+		for i := 0; i < 30; i++ {
+			dirty.Set(epoch.Tid(i), epoch.Make(epoch.Tid(i), 1000))
+		}
+		dirty.Assign(NewClock(impl, pool)) // shrink: retires nothing, but Freeze below does
+		// Grow a fresh clock through the same classes.
+		c := NewClock(impl, pool)
+		c.Inc(29)
+		for i := 0; i < 29; i++ {
+			if got := c.Get(epoch.Tid(i)); got != epoch.Min(epoch.Tid(i)) {
+				t.Fatalf("%v: stale epoch leaked through pool at t%d: %v", impl, i, got)
+			}
+		}
+	}
+}
+
+// TestParseImpl pins the knob spellings.
+func TestParseImpl(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Impl
+		err  bool
+	}{
+		{"", ImplDense, false},
+		{"dense", ImplDense, false},
+		{"tree", ImplTree, false},
+		{"lazy", 0, true},
+	} {
+		got, err := ParseImpl(tc.in)
+		if (err != nil) != tc.err || got != tc.want {
+			t.Fatalf("ParseImpl(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if ImplDense.String() != "dense" || ImplTree.String() != "tree" {
+		t.Fatalf("Impl.String spellings changed")
+	}
+}
+
+// TestTreeFrozenMemoRing pins the JoinFrozen pointer ring: re-joining one
+// of the last two snapshots is elided (the lock re-acquire shape of the
+// parcheck prepass).
+func TestTreeFrozenMemoRing(t *testing.T) {
+	f1 := FromClocks(0, 5).Freeze()
+	f2 := FromClocks(0, 0, 7).Freeze()
+	c := NewTree(nil)
+	c.JoinFrozen(f1)
+	c.JoinFrozen(f2)
+	base := c.Metrics().JoinsElided
+	c.JoinFrozen(f1)
+	c.JoinFrozen(f2)
+	if got := c.Metrics().JoinsElided - base; got != 2 {
+		t.Fatalf("frozen memo ring elided %d of 2 repeat joins", got)
+	}
+}

@@ -1,0 +1,355 @@
+package vc
+
+import (
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/epoch"
+)
+
+// Tree is the lazy tree-clock representation of a vector clock, after the
+// tree clocks of "Efficient Timestamping for Sampling-based Race
+// Detection" (PAPERS.md): the value is still a dense epoch array — reads
+// stay one bounds check, like Fig. 3 — but mutations are versioned so
+// joins become monotone *copies* that skip everything the destination
+// already covers, instead of O(threads) scans.
+//
+// Three layers of laziness, checked cheapest first on every join:
+//
+//  1. Whole-clock memo. Each Tree has a process-unique id and a
+//     monotonically increasing version (ver), bumped on every mutation.
+//     After joining source S at version v, the destination records
+//     (S.id → v). While the destination stays monotone (only Join/Inc,
+//     which never lower entries), a later join of S at the same version
+//     is a proven no-op and returns without touching a single entry —
+//     the re-acquire/barrier-re-arrival shape, counted as JoinsElided.
+//  2. Last-writer shortcut. S tracks whether every mutation since some
+//     version touched one single index (soloIdx, soloBase — in the
+//     common case S is a thread clock whose only mutations are Inc(t)).
+//     If the destination's memo version falls inside that window, only
+//     S[soloIdx] can have changed: the join compares one entry.
+//  3. Subtree skipping. S's array is divided into chunks of 16 entries,
+//     each stamped with the version of its last mutation (chunkVer — the
+//     flattened form of a tree clock's per-subtree last-update times).
+//     The join scans only chunks newer than the memo version: subtrees
+//     the destination has already covered are skipped without reading.
+//
+// Correctness of all three rests on one invariant: a memo entry
+// (S.id → v) promises the destination covered S's value-at-v and has not
+// decreased since. Join, JoinFrozen and Inc preserve it (they only raise
+// entries); Set with a smaller epoch and Assign break it and therefore
+// drop every memo the destination holds. Sources need no bookkeeping:
+// their ver/chunkVer stamps advance on every mutation, including Assign.
+//
+// Like *VC, a Tree is NOT safe for concurrent use.
+type Tree struct {
+	v        []epoch.Epoch
+	chunkVer []uint64 // version of each chunk's last mutation
+	ver      uint64   // strictly increasing mutation counter (never reset)
+
+	// soloIdx/soloBase implement the last-writer shortcut: when soloIdx
+	// >= 0, every mutation with version in (soloBase, ver] touched only
+	// index soloIdx.
+	soloIdx  int32
+	soloBase uint64
+
+	id     uint64            // process-unique identity for join memos
+	joined map[uint64]uint64 // source id → source ver at our last join
+
+	// frozenMemo remembers the snapshots most recently joined in, so the
+	// parcheck prepass's re-acquire of an unchanged lock is O(1) by
+	// pointer identity (snapshots are interned there). Invalidated with
+	// the join memos.
+	frozenMemo [2]*Frozen
+
+	frozen *Frozen
+	m      Metrics
+	pool   *Pool
+}
+
+const (
+	treeChunkShift = 4 // 16 epochs (one 128-byte pair of cache lines) per chunk
+	treeChunkLen   = 1 << treeChunkShift
+)
+
+// treeIDs issues process-unique Tree identities.
+var treeIDs atomic.Uint64
+
+// NewTree returns an empty (minimal) tree clock drawing backing storage
+// from pool (nil pool means plain allocation).
+func NewTree(pool *Pool) *Tree {
+	return &Tree{soloIdx: -1, id: treeIDs.Add(1), pool: pool}
+}
+
+// Metrics returns the clock's structural counters.
+func (c *Tree) Metrics() Metrics { return c.m }
+
+// Size returns the length of the underlying representation.
+func (c *Tree) Size() int { return len(c.v) }
+
+// Get returns the epoch recorded for thread t (t@0 beyond the
+// representation).
+func (c *Tree) Get(t epoch.Tid) epoch.Epoch {
+	if int(t) < len(c.v) {
+		return c.v[t]
+	}
+	return epoch.Min(t)
+}
+
+// EpochLeq reports e ⪯ c (never call with the Shared marker).
+func (c *Tree) EpochLeq(e epoch.Epoch) bool {
+	return e.Leq(c.Get(e.Tid()))
+}
+
+// touch records a mutation of index i: it advances the clock's version,
+// stamps i's chunk, and maintains the last-writer window.
+func (c *Tree) touch(i int) {
+	c.ver++
+	if c.soloIdx != int32(i) {
+		c.soloIdx = int32(i)
+		c.soloBase = c.ver - 1
+	}
+	c.chunkVer[i>>treeChunkShift] = c.ver
+}
+
+// dropMemos forgets everything other clocks' values have been compared
+// against: called on any mutation that can lower an entry, because the
+// memos promise monotonicity.
+func (c *Tree) dropMemos() {
+	if len(c.joined) > 0 {
+		clear(c.joined)
+	}
+	c.frozenMemo[0], c.frozenMemo[1] = nil, nil
+}
+
+// ensureCapacity grows to at least n entries with geometric capacity,
+// minimal fill, chunk stamps for the new chunks, and pool recycling —
+// the Tree twin of the dense method.
+func (c *Tree) ensureCapacity(n int) {
+	if n <= len(c.v) {
+		return
+	}
+	old := len(c.v)
+	if n > cap(c.v) {
+		newCap := treeChunkLen
+		for newCap < n {
+			newCap *= 2
+		}
+		grown := c.pool.getSlice(newCap)[:n]
+		copy(grown, c.v)
+		c.pool.putSlice(c.v)
+		c.v = grown
+		c.m.Grows++
+	} else {
+		c.v = c.v[:n]
+	}
+	epoch.FillMin(c.v, 0, old)
+	oldChunks := len(c.chunkVer)
+	chunks := (n + treeChunkLen - 1) >> treeChunkShift
+	for len(c.chunkVer) < chunks {
+		c.chunkVer = append(c.chunkVer, 0)
+	}
+	// Fresh chunks hold only minimal epochs; version 0 marks them older
+	// than any memo, so joins skip them until something real lands.
+	for i := oldChunks; i < chunks; i++ {
+		c.chunkVer[i] = 0
+	}
+}
+
+// Set records epoch e for thread t (e.Tid() must equal t). A Set that
+// lowers the entry breaks the monotonicity the join memos promise and
+// drops them; Inc and Join never do.
+func (c *Tree) Set(t epoch.Tid, e epoch.Epoch) {
+	if e.Tid() != t {
+		panic("vc: Set would break well-formedness: epoch tid mismatch")
+	}
+	cur := c.Get(t)
+	if e == cur {
+		return // value unchanged: keep the snapshot cache and all memos
+	}
+	if e < cur {
+		c.dropMemos()
+	}
+	c.frozen = nil
+	c.ensureCapacity(int(t) + 1)
+	c.v[t] = e
+	c.touch(int(t))
+}
+
+// Inc increments the t-component: V := inc_t(V).
+func (c *Tree) Inc(t epoch.Tid) {
+	c.Set(t, c.Get(t).Inc())
+}
+
+// setMonotone is Set for callers that have already established e >
+// current (the join paths): no well-formedness or monotonicity re-checks.
+func (c *Tree) setMonotone(t epoch.Tid, e epoch.Epoch) {
+	c.frozen = nil
+	c.ensureCapacity(int(t) + 1)
+	c.v[t] = e
+	c.touch(int(t))
+}
+
+// Join merges other into c pointwise: c := c ⊔ other.
+func (c *Tree) Join(other Clock) {
+	switch o := other.(type) {
+	case *Tree:
+		c.joinTree(o)
+	case *VC:
+		c.m.Joins++
+		c.scanJoin(o.v, 0, len(o.v))
+	default:
+		c.m.Joins++
+		n := other.Size()
+		c.m.JoinScanned += uint64(n)
+		for i := 0; i < n; i++ {
+			t := epoch.Tid(i)
+			if oe := other.Get(t); oe > c.Get(t) {
+				c.setMonotone(t, oe)
+			}
+		}
+	}
+}
+
+// joinTree is the lazy join: memo, last-writer window, then chunk scan.
+func (c *Tree) joinTree(o *Tree) {
+	c.m.Joins++
+	if len(o.v) == 0 {
+		return
+	}
+	last, seen := uint64(0), false
+	if c.joined != nil {
+		last, seen = c.joined[o.id]
+	}
+	if seen && last == o.ver {
+		c.m.JoinsElided++
+		return
+	}
+	if seen && o.soloIdx >= 0 && last >= o.soloBase {
+		// Everything since our memo touched one index: compare only it.
+		i := int(o.soloIdx)
+		c.m.JoinScanned++
+		t := epoch.Tid(i)
+		if oe := o.v[i]; oe > c.Get(t) {
+			c.setMonotone(t, oe)
+		}
+		c.remember(o)
+		return
+	}
+	for ci := 0; ci < len(o.chunkVer); ci++ {
+		if seen && o.chunkVer[ci] <= last {
+			continue // subtree unchanged since our last join: skip
+		}
+		lo := ci << treeChunkShift
+		hi := lo + treeChunkLen
+		if hi > len(o.v) {
+			hi = len(o.v)
+		}
+		c.scanJoin(o.v, lo, hi)
+	}
+	c.remember(o)
+}
+
+// scanJoin merges src[lo:hi] (well-formed entries for tids lo..hi-1).
+func (c *Tree) scanJoin(src []epoch.Epoch, lo, hi int) {
+	if hi <= lo {
+		return
+	}
+	c.m.JoinScanned += uint64(hi - lo)
+	for i := lo; i < hi; i++ {
+		t := epoch.Tid(i)
+		if oe := src[i]; oe > c.Get(t) {
+			c.setMonotone(t, oe)
+		}
+	}
+}
+
+// remember records that c now covers o's value at o.ver.
+func (c *Tree) remember(o *Tree) {
+	if c.joined == nil {
+		c.joined = make(map[uint64]uint64, 4)
+	}
+	c.joined[o.id] = o.ver
+}
+
+// JoinFrozen merges an immutable snapshot: c := c ⊔ f. Re-joining one of
+// the two most recently joined snapshots (by pointer — the parcheck
+// prepass interns them) is elided outright: c covered it and has not
+// decreased since, so the join is a no-op.
+func (c *Tree) JoinFrozen(f *Frozen) {
+	c.m.Joins++
+	if f == nil || len(f.v) == 0 {
+		return
+	}
+	if f == c.frozenMemo[0] || f == c.frozenMemo[1] {
+		c.m.JoinsElided++
+		return
+	}
+	c.scanJoin(f.v, 0, len(f.v))
+	c.frozenMemo[1] = c.frozenMemo[0]
+	c.frozenMemo[0] = f
+}
+
+// Assign overwrites c with other's contents: c := other. The new value
+// bears no monotone relation to the old, so c's own memos drop; c's
+// version stamps advance (every chunk), so memos other clocks hold about
+// c correctly invalidate too.
+func (c *Tree) Assign(other Clock) {
+	c.frozen = nil
+	c.dropMemos()
+	var src []epoch.Epoch
+	switch o := other.(type) {
+	case *Tree:
+		src = o.v
+	case *VC:
+		src = o.v
+	default:
+		src = other.Snapshot()
+	}
+	c.ensureCapacity(len(src))
+	copy(c.v, src)
+	epoch.FillMin(c.v, 0, len(src))
+	c.ver++
+	for i := range c.chunkVer {
+		c.chunkVer[i] = c.ver
+	}
+	c.soloIdx = -1
+	c.soloBase = c.ver
+}
+
+// Freeze returns an immutable snapshot of the clock's current value,
+// cached until the next mutation; see the dense Freeze for the contract.
+func (c *Tree) Freeze() *Frozen {
+	if c.frozen != nil {
+		c.m.FreezeReuses++
+		return c.frozen
+	}
+	c.frozen = freezeSlice(c.v, c.pool)
+	c.m.Freezes++
+	return c.frozen
+}
+
+// AdoptFrozen replaces the cached snapshot with an equal-valued canonical
+// one (see Clock.AdoptFrozen).
+func (c *Tree) AdoptFrozen(f *Frozen) { c.frozen = f }
+
+// Snapshot returns a fresh copy of the raw epochs up to Size.
+func (c *Tree) Snapshot() []epoch.Epoch {
+	out := make([]epoch.Epoch, len(c.v))
+	copy(out, c.v)
+	return out
+}
+
+// String renders the clock in the paper's clock-list notation.
+func (c *Tree) String() string {
+	var b strings.Builder
+	b.WriteByte('<')
+	for i, e := range c.v {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(e.String())
+	}
+	b.WriteByte('>')
+	return b.String()
+}

@@ -2,11 +2,14 @@
 // analysis (§3 and Fig. 3 of the paper).
 //
 // A vector clock maps every thread id to an epoch for that thread. The
-// implementation stores a dense slice indexed by thread id and treats
-// entries beyond the slice's length as the minimal epoch t@0, exactly as the
+// Clock interface (clock.go) abstracts the representation; this file is the
+// dense implementation: a slice indexed by thread id, entries beyond the
+// slice's length reading as the minimal epoch t@0, exactly as the
 // VectorClock.get method in Fig. 3 does. This keeps clocks proportional to
 // the highest thread id that has actually synchronized through them rather
-// than to the total number of threads.
+// than to the total number of threads. tree.go adds a lazy tree-clock
+// representation behind the same interface, and pool.go recycles backing
+// arrays for both.
 //
 // The well-formedness invariant of §3 — for all t, Tid(V.Get(t)) == t — is
 // maintained by every method and checked by the test suite.
@@ -22,8 +25,8 @@ import (
 	"repro/internal/epoch"
 )
 
-// VC is a vector clock. The zero value is the minimal clock ⊥V (every entry
-// reads as t@0) and is ready to use.
+// VC is a dense vector clock. The zero value is the minimal clock ⊥V
+// (every entry reads as t@0) and is ready to use (with no pool).
 type VC struct {
 	v []epoch.Epoch
 	m Metrics
@@ -31,21 +34,33 @@ type VC struct {
 	// frozen caches the last Freeze snapshot; any mutation clears it. See
 	// Freeze in frozen.go.
 	frozen *Frozen
+
+	// pool, when non-nil, supplies and recycles backing arrays (growth
+	// only ever retires arrays this clock exclusively owns, so recycling
+	// them is safe; Frozen arrays are shared and never recycled here).
+	pool *Pool
 }
 
-// Metrics counts a clock's structural costs. Because a VC is not safe for
-// concurrent use, the counters are plain fields updated under whatever
+// Metrics counts a clock's structural costs. Because a clock is not safe
+// for concurrent use, the counters are plain fields updated under whatever
 // discipline already protects the clock — they add no synchronization and
 // no contention. Callers aggregate them across clocks at quiescence.
 type Metrics struct {
-	// Grows counts ensureCapacity extensions of the representation — the
-	// allocation-and-copy events behind the paper's grow-on-demand clocks.
+	// Grows counts reallocation-and-copy extensions of the representation
+	// — the allocation events behind the paper's grow-on-demand clocks.
+	// In-place extensions within an array's existing capacity (the
+	// geometric-growth headroom) are free and not counted.
 	Grows uint64
-	// Joins counts Join operations applied to this clock (as destination).
+	// Joins counts Join/JoinFrozen operations applied to this clock (as
+	// destination).
 	Joins uint64
 	// JoinScanned counts entries compared across all Joins — the O(threads)
 	// work epochs exist to avoid on the access paths.
 	JoinScanned uint64
+	// JoinsElided counts joins the tree representation answered entirely
+	// from its monotone-copy memo — no entry scanned at all. Always zero
+	// for the dense representation.
+	JoinsElided uint64
 	// Freezes counts Freeze calls that had to copy the representation;
 	// FreezeReuses counts the calls answered by the cached snapshot. Their
 	// ratio is the copy-on-write win of the Frozen layer.
@@ -58,6 +73,7 @@ func (m *Metrics) Add(other Metrics) {
 	m.Grows += other.Grows
 	m.Joins += other.Joins
 	m.JoinScanned += other.JoinScanned
+	m.JoinsElided += other.JoinsElided
 	m.Freezes += other.Freezes
 	m.FreezeReuses += other.FreezeReuses
 }
@@ -69,6 +85,12 @@ func (c *VC) Metrics() Metrics { return c.m }
 // New returns an empty (minimal) vector clock.
 func New() *VC {
 	return &VC{}
+}
+
+// NewPooled returns an empty vector clock drawing backing storage from
+// pool (nil pool behaves like New).
+func NewPooled(pool *Pool) *VC {
+	return &VC{pool: pool}
 }
 
 // FromClocks builds a vector clock whose entry for thread i carries clock
@@ -111,15 +133,29 @@ func (c *VC) Set(t epoch.Tid, e epoch.Epoch) {
 
 // ensureCapacity grows the representation to at least n entries, filling new
 // slots with minimal epochs, as Fig. 3's ensureCapacity does via get.
+// Capacity grows geometrically (powers of two), so a clock touched by
+// threads 0..k reallocates O(log k) times, not O(k); in-place extensions
+// within existing capacity cost only the minimal fill. Retired arrays are
+// recycled through the pool — the clock is their sole owner, snapshots
+// having been copied out by Freeze.
 func (c *VC) ensureCapacity(n int) {
 	if n <= len(c.v) {
 		return
 	}
-	grown := make([]epoch.Epoch, n)
-	copy(grown, c.v)
-	for i := len(c.v); i < n; i++ {
-		grown[i] = epoch.Min(epoch.Tid(i))
+	old := len(c.v)
+	if n <= cap(c.v) {
+		c.v = c.v[:n]
+		epoch.FillMin(c.v, 0, old)
+		return
 	}
+	newCap := 4
+	for newCap < n {
+		newCap *= 2
+	}
+	grown := c.pool.getSlice(newCap)[:n]
+	copy(grown, c.v)
+	epoch.FillMin(grown, 0, old)
+	c.pool.putSlice(c.v)
 	c.v = grown
 	c.m.Grows++
 }
@@ -129,15 +165,26 @@ func (c *VC) Inc(t epoch.Tid) {
 	c.Set(t, c.Get(t).Inc())
 }
 
-// Leq reports the pointwise order c ⊑ other.
-func (c *VC) Leq(other *VC) bool {
-	n := len(c.v)
-	if len(other.v) > n {
-		n = len(other.v)
+// Leq reports the pointwise order c ⊑ other. The dense-vs-dense case is
+// the historical fast path; a tree argument is compared through the
+// interface.
+func (c *VC) Leq(other Clock) bool {
+	if o, ok := other.(*VC); ok {
+		n := len(c.v)
+		if len(o.v) > n {
+			n = len(o.v)
+		}
+		for i := 0; i < n; i++ {
+			t := epoch.Tid(i)
+			if !c.Get(t).Leq(o.Get(t)) {
+				return false
+			}
+		}
+		return true
 	}
-	for i := 0; i < n; i++ {
+	for i := range c.v {
 		t := epoch.Tid(i)
-		if !c.Get(t).Leq(other.Get(t)) {
+		if !c.v[i].Leq(other.Get(t)) {
 			return false
 		}
 	}
@@ -158,13 +205,18 @@ func (c *VC) EpochLeq(e epoch.Epoch) bool {
 // whose argument is entirely ⊑ c (re-acquiring a lock the thread itself
 // released last, barrier re-arrivals) mutates nothing, grows nothing, and
 // preserves c's cached Freeze snapshot.
-func (c *VC) Join(other *VC) {
+func (c *VC) Join(other Clock) {
 	c.m.Joins++
-	if len(other.v) == 0 {
+	o, ok := other.(*VC)
+	if !ok {
+		c.joinGeneric(other)
 		return
 	}
-	c.m.JoinScanned += uint64(len(other.v))
-	for i, oe := range other.v {
+	if len(o.v) == 0 {
+		return
+	}
+	c.m.JoinScanned += uint64(len(o.v))
+	for i, oe := range o.v {
 		t := epoch.Tid(i)
 		// Same-tid epochs order by their clock bits, so the raw comparison
 		// is the pointwise order (both sides are well-formed entries for t).
@@ -174,21 +226,63 @@ func (c *VC) Join(other *VC) {
 	}
 }
 
-// Assign overwrites c with other's contents: c := other (Fig. 3's copy).
-func (c *VC) Assign(other *VC) {
-	n := len(c.v)
-	if len(other.v) > n {
-		n = len(other.v)
+// joinGeneric merges a non-dense clock through the interface; it exists
+// for cross-implementation joins, which the detectors never perform (an
+// entire detector runs one implementation) but the property tests do.
+func (c *VC) joinGeneric(other Clock) {
+	n := other.Size()
+	if n == 0 {
+		return
 	}
+	c.m.JoinScanned += uint64(n)
 	for i := 0; i < n; i++ {
 		t := epoch.Tid(i)
-		c.Set(t, other.Get(t))
+		if oe := other.Get(t); oe > c.Get(t) {
+			c.Set(t, oe)
+		}
 	}
 }
 
-// Clone returns an independent copy of c.
+// Assign overwrites c with other's contents: c := other (Fig. 3's copy).
+// It is a single grow-and-copy: one capacity check, one frozen-cache
+// clear, and a bulk copy — where a per-entry Set loop would pay the
+// capacity check, the cache clear and the well-formedness branch n times.
+// Entries beyond other's representation are reset to minimal, so the
+// result denotes exactly other's value regardless of c's previous size.
+func (c *VC) Assign(other Clock) {
+	c.frozen = nil
+	if o, ok := other.(*VC); ok {
+		c.assignRaw(o.v)
+		return
+	}
+	if t, ok := other.(*Tree); ok {
+		c.assignRaw(t.v)
+		return
+	}
+	n := other.Size()
+	c.ensureCapacity(n)
+	for i := 0; i < n; i++ {
+		c.v[i] = other.Get(epoch.Tid(i))
+	}
+	epoch.FillMin(c.v, 0, n)
+}
+
+// assignRaw bulk-copies a well-formed epoch slice into c.
+func (c *VC) assignRaw(src []epoch.Epoch) {
+	c.ensureCapacity(len(src))
+	copy(c.v, src)
+	epoch.FillMin(c.v, 0, len(src))
+}
+
+// Clone returns an independent copy of c's clock value. The copy starts
+// with zero Metrics (counters describe one clock object's life, not the
+// value's history) and — deliberately — no cached Freeze snapshot: a
+// *Frozen must be reachable from at most the clock it snapshots, or the
+// pool's recycling contract breaks, so the clone's first Freeze performs
+// a fresh copy rather than reusing the original's cache. The clone shares
+// c's pool.
 func (c *VC) Clone() *VC {
-	out := &VC{v: make([]epoch.Epoch, len(c.v))}
+	out := &VC{v: make([]epoch.Epoch, len(c.v)), pool: c.pool}
 	copy(out.v, c.v)
 	return out
 }

@@ -4,6 +4,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/trace"
+	"repro/internal/vc"
 )
 
 // Metrics is a registry of contention-free metric instruments. Attach one
@@ -40,6 +41,20 @@ type settings struct {
 	// sequential replay, 0 = parallel with GOMAXPROCS workers, n > 1 =
 	// parallel with n workers.
 	parallel int
+	// clock is the WithClockImpl spelling, parsed by resolveClock at the
+	// error-returning entry points ("" = dense).
+	clock string
+}
+
+// resolveClock parses the WithClockImpl selection into the Config, so an
+// unknown name errors at New/CheckTrace rather than being ignored.
+func (s *settings) resolveClock() error {
+	impl, err := vc.ParseImpl(s.clock)
+	if err != nil {
+		return err
+	}
+	s.cfg.ClockImpl = impl
+	return nil
 }
 
 // extensions folds the out-of-band trace parameters into the form the
@@ -119,6 +134,19 @@ func WithChanCapacities(caps map[LockID]int) CheckOption {
 // the tenant quota bounds long-term distinct-race retention.
 func WithMaxReportsPerVar(n int) CommonOption {
 	return commonOption(func(s *settings) { s.cfg.MaxReportsPerVar = n })
+}
+
+// WithClockImpl selects the vector-clock representation the detector's
+// thread and lock clocks use: "dense" (the default — the paper's
+// grow-on-demand slice, Fig. 3) or "tree" (a lazy tree-clock
+// representation whose joins skip everything the destination already
+// covers, cheapest for re-acquire and barrier-heavy synchronization).
+// The two are observationally identical — same reports, same order, same
+// Seq numbering, sequentially and under WithParallelism — differing only
+// in cost; the conformance suite cross-checks them. An unknown name
+// errors at New/CheckTrace time.
+func WithClockImpl(impl string) CommonOption {
+	return commonOption(func(s *settings) { s.clock = impl })
 }
 
 // WithMetrics attaches a metric registry. The detector is wrapped in a

@@ -226,6 +226,9 @@ func New(variant string, opts ...Option) (Detector, error) {
 	for _, o := range opts {
 		o.applyNew(&s)
 	}
+	if err := s.resolveClock(); err != nil {
+		return nil, err
+	}
 	d, err := core.New(variant, s.cfg)
 	if err != nil {
 		return nil, err
@@ -271,6 +274,9 @@ func CheckSource(src Source, opts ...CheckOption) ([]Report, error) {
 	s := settings{variant: V2, cfg: core.DefaultConfig(), parallel: 1}
 	for _, o := range opts {
 		o.applyCheck(&s)
+	}
+	if err := s.resolveClock(); err != nil {
+		return nil, err
 	}
 	if s.parallel != 1 {
 		return checkParallel(src, s)
@@ -327,6 +333,8 @@ func parcheckOptions(s settings) parcheck.Options {
 		Vars:             s.cfg.Vars,
 		Locks:            s.cfg.Locks,
 		Metrics:          s.metrics,
+		ClockImpl:        s.cfg.ClockImpl,
+		DisablePool:      s.cfg.DisablePool,
 	}
 }
 
@@ -370,6 +378,9 @@ func CheckTrace(tr Trace, opts ...CheckOption) ([]Report, error) {
 		o.applyCheck(&s)
 	}
 	if s.parallel != 1 {
+		if err := s.resolveClock(); err != nil {
+			return nil, err
+		}
 		return parcheck.CheckTrace(tr, s.extensions(), parcheckOptions(s))
 	}
 	return CheckSource(tr.Source(), sized...)
