@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race vet lint bench bench-parallel metrics-smoke stream-smoke static-smoke par-smoke perf-smoke server-smoke chan-smoke fuzz fuzz-smoke soak coverage clean
+.PHONY: all build test race vet lint bench bench-parallel metrics-smoke stream-smoke static-smoke par-smoke perf-smoke server-smoke chan-smoke go-smoke fuzz fuzz-smoke soak coverage clean
 
 all: build
 
@@ -81,6 +81,13 @@ server-smoke:
 # CheckTrace with the same channel capacities.
 chan-smoke:
 	$(GO) run -race ./scripts/chan-smoke
+
+# End-to-end check of the vft-go front-end over the real-Go corpus:
+# every racy program must name its racy variable, every clean program
+# must be silent, elide-on and elide-off canonical reports must be
+# byte-identical, and elision must fire on at least half the corpus.
+go-smoke:
+	$(GO) run ./scripts/go-smoke -v
 
 # The differential fuzzers: the sequential trace fuzzer, the controlled
 # schedule explorer, then a bounded run of each coverage-guided target.

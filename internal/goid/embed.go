@@ -1,0 +1,12 @@
+package goid
+
+import "embed"
+
+// Sources exposes this package's own source for the instrumentation
+// front-end (internal/goinstr), which copies it into the shadow modules it
+// generates — the shadow module has no module requirements, so the shim
+// and its goid dependency travel as source. Only goid.go is embedded:
+// embed.go itself and the tests are meaningless outside the repository.
+//
+//go:embed goid.go
+var Sources embed.FS

@@ -1,0 +1,151 @@
+package goid
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestIDStableAndDistinct is the correctness contract: an id is stable
+// within one goroutine and distinct across live goroutines. Run with
+// -race (the repo's race CI job does) to double as a concurrency test of
+// the parse path.
+func TestIDStableAndDistinct(t *testing.T) {
+	const goroutines = 64
+	const reads = 200
+
+	ids := make([]int64, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			first := ID()
+			if first <= 0 {
+				t.Errorf("goroutine %d: ID() = %d, want positive", slot, first)
+				return
+			}
+			for j := 0; j < reads; j++ {
+				if got := ID(); got != first {
+					t.Errorf("goroutine %d: ID changed %d -> %d", slot, first, got)
+					return
+				}
+				if j%16 == 0 {
+					runtime.Gosched()
+				}
+			}
+			ids[slot] = first
+		}(i)
+	}
+	wg.Wait()
+
+	seen := map[int64]int{}
+	for slot, id := range ids {
+		if prev, dup := seen[id]; dup {
+			t.Fatalf("goroutines %d and %d share id %d", prev, slot, id)
+		}
+		seen[id] = slot
+	}
+}
+
+func TestParseHeader(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+	}{
+		{"goroutine 1 [running]:\nmain.main()", 1},
+		{"goroutine 4711 [runnable]:", 4711},
+		{"goroutine 9223372036854775807 [running]:", 9223372036854775807},
+		{"garbage", 0},
+		{"goroutine x", 0},
+		{"", 0},
+	}
+	for _, c := range cases {
+		if got := parseHeader([]byte(c.in)); got != c.want {
+			t.Errorf("parseHeader(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIDMatchesStackDump(t *testing.T) {
+	// Cross-check the small-buffer parse against a full runtime.Stack dump
+	// formatted the slow way.
+	buf := make([]byte, 1<<16)
+	n := runtime.Stack(buf, false)
+	var want int64
+	if _, err := fmt.Sscanf(string(buf[:n]), "goroutine %d ", &want); err != nil {
+		t.Fatalf("parsing full stack dump: %v", err)
+	}
+	if got := ID(); got != want {
+		t.Fatalf("ID() = %d, full-dump parse = %d", got, want)
+	}
+}
+
+// TestCache exercises the per-G cache under concurrency: every goroutine
+// attaches a value keyed by its own id, hits it repeatedly, and deletes it
+// on the way out. With -race this doubles as the shim's locking contract.
+func TestCache(t *testing.T) {
+	var c Cache[int]
+	const goroutines = 48
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(val int) {
+			defer wg.Done()
+			id := ID()
+			c.Put(id, val)
+			for j := 0; j < 100; j++ {
+				got, ok := c.Get(id)
+				if !ok || got != val {
+					t.Errorf("cache for g%d: got (%d,%v), want (%d,true)", id, got, ok, val)
+					return
+				}
+			}
+			c.Delete(id)
+		}(i)
+	}
+	wg.Wait()
+	if n := c.Len(); n != 0 {
+		t.Fatalf("cache holds %d entries after all deletes, want 0", n)
+	}
+}
+
+func TestCacheGetOrPut(t *testing.T) {
+	var c Cache[*int]
+	id := ID()
+	calls := 0
+	mk := func() *int { calls++; v := 7; return &v }
+	a := c.GetOrPut(id, mk)
+	b := c.GetOrPut(id, mk)
+	if a != b || calls != 1 {
+		t.Fatalf("GetOrPut: distinct values or mk called %d times", calls)
+	}
+}
+
+// BenchmarkID prices the raw capture: one small runtime.Stack call plus
+// the header parse. This is the per-event floor a consumer pays if it
+// skips the cache.
+func BenchmarkID(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if ID() <= 0 {
+			b.Fatal("bad id")
+		}
+	}
+}
+
+// BenchmarkCacheHit prices the steady-state shim path: ID plus a sharded
+// cache read.
+func BenchmarkCacheHit(b *testing.B) {
+	var c Cache[*int]
+	v := 1
+	c.Put(ID(), &v)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p, ok := c.Get(ID()); !ok || *p != 1 {
+			b.Fatal("miss")
+		}
+	}
+}

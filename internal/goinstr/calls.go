@@ -1,0 +1,191 @@
+package goinstr
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// atomicFuncMap maps sync/atomic package-level functions onto shim
+// wrappers; the first argument (the location pointer) passes through
+// unrewritten, trailing arguments are value-rewritten.
+var atomicFuncMap = map[string]string{
+	"LoadInt32": "ALoadInt32", "LoadInt64": "ALoadInt64",
+	"LoadUint32": "ALoadUint32", "LoadUint64": "ALoadUint64",
+	"StoreInt32": "AStoreInt32", "StoreInt64": "AStoreInt64",
+	"StoreUint32": "AStoreUint32", "StoreUint64": "AStoreUint64",
+	"AddInt32": "AAddInt32", "AddInt64": "AAddInt64",
+	"AddUint32": "AAddUint32", "AddUint64": "AAddUint64",
+	"SwapInt32": "ASwapInt32", "SwapInt64": "ASwapInt64",
+	"CompareAndSwapInt32": "ACASInt32", "CompareAndSwapInt64": "ACASInt64",
+	"CompareAndSwapUint32": "ACASUint32", "CompareAndSwapUint64": "ACASUint64",
+}
+
+// syncMethodMap maps (receiver type, method) onto shim wrappers for the
+// sync and sync/atomic named types. The receiver is passed as a pointer.
+var syncMethodMap = map[string]map[string]string{
+	"sync.Mutex":     {"Lock": "MutexLock", "Unlock": "MutexUnlock", "TryLock": "MutexTryLock"},
+	"sync.RWMutex":   {"Lock": "RWLock", "Unlock": "RWUnlock", "RLock": "RWRLock", "RUnlock": "RWRUnlock"},
+	"sync.WaitGroup": {"Add": "WGAdd", "Done": "WGDone", "Wait": "WGWait"},
+	"sync.Once":      {"Do": "OnceDo"},
+	"sync/atomic.Int32": {
+		"Load": "TLoadInt32", "Store": "TStoreInt32", "Add": "TAddInt32",
+		"Swap": "TSwapInt32", "CompareAndSwap": "TCASInt32",
+	},
+	"sync/atomic.Int64": {
+		"Load": "TLoadInt64", "Store": "TStoreInt64", "Add": "TAddInt64",
+		"Swap": "TSwapInt64", "CompareAndSwap": "TCASInt64",
+	},
+	"sync/atomic.Uint32": {"Load": "TLoadUint32", "Store": "TStoreUint32", "Add": "TAddUint32"},
+	"sync/atomic.Uint64": {"Load": "TLoadUint64", "Store": "TStoreUint64", "Add": "TAddUint64"},
+	"sync/atomic.Bool": {
+		"Load": "TLoadBool", "Store": "TStoreBool",
+		"Swap": "TSwapBool", "CompareAndSwap": "TCASBool",
+	},
+	"sync/atomic.Value":   {"Load": "VLoad", "Store": "VStore"},
+	"sync/atomic.Pointer": {"Load": "PLoad", "Store": "PStore"},
+}
+
+// call rewrites a call expression: type conversions pass through with
+// rewritten operands, sync/atomic vocabulary maps onto the shim, builtins
+// get their special cases, and everything else has its arguments
+// rewritten in value context.
+func (rw *rewriter) call(call *ast.CallExpr) ast.Expr {
+	// A conversion T(x), including unsafe.Pointer and named types.
+	if tv, ok := rw.pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		call.Args = rw.values(call.Args)
+		return call
+	}
+
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pn, isPkg := rw.pkg.Info.Uses[id].(*types.PkgName); isPkg {
+				return rw.pkgCall(call, fun, pn)
+			}
+		}
+		if sel, ok := rw.pkg.Info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			return rw.methodCall(call, fun, sel)
+		}
+		// A func-typed field or variable reached by selection.
+		call.Fun = rw.value(fun)
+		call.Args = rw.values(call.Args)
+		return call
+
+	case *ast.Ident:
+		if b, ok := rw.pkg.Info.Uses[fun].(*types.Builtin); ok {
+			return rw.builtinCall(call, b.Name())
+		}
+		if _, isVar := rw.pkg.Info.Uses[fun].(*types.Var); isVar {
+			call.Fun = rw.value(fun) // calling through a func-typed variable
+		}
+		call.Args = rw.values(call.Args)
+		return call
+
+	case *ast.FuncLit:
+		call.Fun = rw.value(fun)
+		call.Args = rw.values(call.Args)
+		return call
+
+	default:
+		call.Fun = rw.value(call.Fun)
+		call.Args = rw.values(call.Args)
+		return call
+	}
+}
+
+// pkgCall handles pkg.F(...) calls: the sync/atomic function vocabulary
+// maps onto the shim, anything else keeps its callee.
+func (rw *rewriter) pkgCall(call *ast.CallExpr, fun *ast.SelectorExpr, pn *types.PkgName) ast.Expr {
+	if pn.Imported().Path() == "sync/atomic" {
+		if wrapper, ok := atomicFuncMap[fun.Sel.Name]; ok && len(call.Args) >= 1 {
+			rw.stats.Sites++
+			args := []ast.Expr{rw.g(), strLit(rw.siteName(call.Args[0])), call.Args[0]}
+			args = append(args, rw.values(call.Args[1:])...)
+			return rw.vft(wrapper, args...)
+		}
+		rw.stats.Skipped++
+		return call
+	}
+	call.Args = rw.values(call.Args)
+	return call
+}
+
+// methodCall handles x.M(...) method calls: the sync vocabulary maps
+// onto the shim with &x as the identity; other methods keep their
+// receiver untouched (wrapping it would break addressability) and have
+// their arguments rewritten.
+func (rw *rewriter) methodCall(call *ast.CallExpr, fun *ast.SelectorExpr, sel *types.Selection) ast.Expr {
+	if key := syncTypeKey(sel.Recv()); key != "" {
+		if wrapper, ok := syncMethodMap[key][fun.Sel.Name]; ok {
+			rw.stats.Sites++
+			recv := fun.X
+			if _, isPtr := typeOf(rw.pkg, fun.X).Underlying().(*types.Pointer); !isPtr {
+				if !rw.addressable(fun.X) {
+					rw.stats.Skipped++
+					call.Args = rw.values(call.Args)
+					return call
+				}
+				recv = amp(fun.X)
+			}
+			args := []ast.Expr{rw.g(), strLit(rw.siteName(fun.X)), recv}
+			args = append(args, rw.values(call.Args)...)
+			return rw.vft(wrapper, args...)
+		}
+		if _, known := syncMethodMap[key]; known {
+			rw.stats.Skipped++ // e.g. RWMutex.TryRLock: unmapped sync method
+		}
+		call.Args = rw.values(call.Args)
+		return call
+	}
+	call.Args = rw.values(call.Args)
+	return call
+}
+
+// syncTypeKey renders a sync/sync-atomic named receiver type as
+// "pkgpath.Name", stripping one pointer and any type arguments
+// (atomic.Pointer[T] keys as "sync/atomic.Pointer").
+func syncTypeKey(t types.Type) string {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return ""
+	}
+	p := n.Obj().Pkg().Path()
+	if p != "sync" && p != "sync/atomic" {
+		return ""
+	}
+	return p + "." + n.Obj().Name()
+}
+
+// builtinCall special-cases the builtins that touch traced state.
+func (rw *rewriter) builtinCall(call *ast.CallExpr, name string) ast.Expr {
+	switch name {
+	case "close":
+		if len(call.Args) == 1 {
+			rw.stats.Sites++
+			return rw.vft("CloseChan", rw.g(), strLit(rw.siteName(call.Args[0])), rw.value(call.Args[0]))
+		}
+	case "delete":
+		if len(call.Args) == 2 {
+			if rw.decide(call.Args[0]) {
+				return rw.vft("MapDel", rw.g(), strLit(rw.siteName(call.Args[0])), call.Args[0], rw.value(call.Args[1]))
+			}
+			call.Args[1] = rw.value(call.Args[1])
+			return call
+		}
+	case "make", "new":
+		// First argument is a type.
+		if len(call.Args) > 1 {
+			call.Args = append(call.Args[:1], rw.values(call.Args[1:])...)
+		}
+		return call
+	case "len", "cap":
+		if tv, ok := rw.pkg.Info.Types[call]; ok && tv.Value != nil {
+			return call // constant len/cap: operand is not evaluated
+		}
+	}
+	call.Args = rw.values(call.Args)
+	return call
+}

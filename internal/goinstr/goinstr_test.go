@@ -1,0 +1,153 @@
+package goinstr
+
+import (
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func loadSrc(t *testing.T, src string) *Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := Load(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+func objByName(t *testing.T, pkg *Package, name string) types.Object {
+	t.Helper()
+	for _, obj := range pkg.Info.Defs {
+		if obj != nil && obj.Name() == name {
+			return obj
+		}
+	}
+	t.Fatalf("no object named %s", name)
+	return nil
+}
+
+func TestAnalyzeShareClassification(t *testing.T) {
+	pkg := loadSrc(t, `package main
+
+var global int
+
+func main() {
+	local := 1
+	taken := 2
+	p := &taken
+	captured := 3
+	go func() { captured++ }()
+	deferred := 5
+	defer func() { deferred++ }()
+	iife := 7
+	func() { iife++ }()
+	escaped := 9
+	f := func() { escaped++ }
+	f()
+	_, _, _, _ = p, local, global, iife
+}
+`)
+	sh := Analyze(pkg)
+	wantShared := map[string]string{
+		"global":   "global",
+		"taken":    "address-taken",
+		"captured": "captured-by-go",
+		"escaped":  "captured",
+	}
+	for name, wantReason := range wantShared {
+		reason, shared := sh.Shared(objByName(t, pkg, name))
+		if !shared {
+			t.Errorf("%s: want shared (%s), got local", name, wantReason)
+		} else if reason != wantReason {
+			t.Errorf("%s: reason = %s, want %s", name, reason, wantReason)
+		}
+	}
+	for _, name := range []string{"local", "deferred", "iife", "p"} {
+		if reason, shared := sh.Shared(objByName(t, pkg, name)); shared {
+			t.Errorf("%s: want local, got shared (%s)", name, reason)
+		}
+	}
+}
+
+func TestAnalyzePointerReceiverTakesAddress(t *testing.T) {
+	pkg := loadSrc(t, `package main
+
+import "sync"
+
+func main() {
+	var mu sync.Mutex
+	mu.Lock()
+	mu.Unlock()
+	n := 0
+	_ = n
+}
+`)
+	sh := Analyze(pkg)
+	// mu.Lock() on a value receiver of a pointer method is an implicit
+	// &mu: the analysis must treat mu as address-taken.
+	if _, shared := sh.Shared(objByName(t, pkg, "mu")); !shared {
+		t.Error("mu: pointer-receiver call should mark it address-taken")
+	}
+	if _, shared := sh.Shared(objByName(t, pkg, "n")); shared {
+		t.Error("n: plain local should stay local")
+	}
+}
+
+func TestLoadRejectsNonStdlibImport(t *testing.T) {
+	dir := t.TempDir()
+	src := "package main\n\nimport \"example.com/dep\"\n\nfunc main() { dep.Go() }\n"
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(dir, false)
+	if err == nil || !strings.Contains(err.Error(), "standard-library") {
+		t.Fatalf("Load = %v, want non-stdlib import rejection", err)
+	}
+}
+
+func TestLoadSkipsTestFilesByDefault(t *testing.T) {
+	dir := t.TempDir()
+	main := "package main\n\nfunc main() {}\n"
+	tests := "package main\n\nimport \"testing\"\n\nfunc TestX(t *testing.T) {}\n"
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(main), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "main_test.go"), []byte(tests), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := Load(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.Files) != 1 {
+		t.Fatalf("Load without tests parsed %d files, want 1", len(pkg.Files))
+	}
+	pkg, err = Load(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.Files) != 2 {
+		t.Fatalf("Load with tests parsed %d files, want 2", len(pkg.Files))
+	}
+}
+
+func TestStatsElisionRate(t *testing.T) {
+	if got := (Stats{}).ElisionRate(); got != 0 {
+		t.Errorf("empty ElisionRate = %v, want 0", got)
+	}
+	if got := (Stats{Sites: 4, Elided: 1}).ElisionRate(); got != 0.25 {
+		t.Errorf("ElisionRate = %v, want 0.25", got)
+	}
+}
+
+func TestInstrumentRequiresOutDir(t *testing.T) {
+	if _, err := Instrument("testdata/corpus/clean_wg", Options{}); err == nil {
+		t.Fatal("Instrument without OutDir should fail")
+	}
+}

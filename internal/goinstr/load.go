@@ -1,0 +1,99 @@
+package goinstr
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Load parses and type-checks the single-directory Go package at dir
+// using only the standard library: go/parser for syntax and the
+// go/types "source" importer for dependencies, which type-checks
+// imported packages from source and therefore works offline, with no
+// export data and no build system. Comments are not parsed — the
+// rewriter regenerates the files and mixing moved comments with
+// synthesized nodes produces garbled output.
+func Load(dir string, includeTests bool) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("goinstr: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasPrefix(n, ".") {
+			continue
+		}
+		if !includeTests && strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("goinstr: no Go files in %s", dir)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	pkgName := ""
+	for _, n := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("goinstr: %w", err)
+		}
+		name := f.Name.Name
+		base := strings.TrimSuffix(name, "_test")
+		if pkgName == "" {
+			pkgName = base
+		} else if base != pkgName {
+			return nil, fmt.Errorf("goinstr: %s declares package %s, want %s (one package per directory)", n, name, pkgName)
+		}
+		if name != pkgName {
+			return nil, fmt.Errorf("goinstr: external test package %s (%s) is not supported", name, n)
+		}
+		files = append(files, f)
+	}
+
+	for i, f := range files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if !stdlibImport(path) {
+				return nil, fmt.Errorf("goinstr: %s imports %q; only standard-library imports are supported", names[i], path)
+			}
+		}
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(pkgName, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("goinstr: type checking: %w", err)
+	}
+	return &Package{Fset: fset, Files: files, Names: names, Pkg: pkg, Info: info, Dir: dir}, nil
+}
+
+// stdlibImport reports whether path names a standard-library package:
+// the first path element has no dot (no domain), the convention the go
+// tool itself relies on.
+func stdlibImport(path string) bool {
+	first := path
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		first = path[:i]
+	}
+	return !strings.Contains(first, ".")
+}

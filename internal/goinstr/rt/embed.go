@@ -1,0 +1,12 @@
+package rt
+
+import "embed"
+
+// Sources exposes the shim's own source files for internal/goinstr, which
+// copies them into the shadow module it generates (rewriting the
+// repro/internal/goid import to the shadow module's own goid package on
+// the way). Only the runtime files are embedded: embed.go itself and the
+// tests are meaningless outside the repository.
+//
+//go:embed rt.go wrappers.go
+var Sources embed.FS

@@ -1,0 +1,71 @@
+package goinstr
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+
+	"repro/internal/goinstr/rt"
+)
+
+// offlineEnv is the environment for building the shadow module: module
+// mode with the network off — the shadow module has no requirements, so
+// nothing needs resolving.
+func offlineEnv() []string {
+	return append(os.Environ(),
+		"GOPROXY=off",
+		"GOFLAGS=-mod=mod",
+		"GO111MODULE=on",
+		"GOWORK=off",
+	)
+}
+
+// Build compiles the shadow module in shadowDir and returns the binary
+// path. Build errors carry the compiler output: a build failure of
+// rewritten code is a rewriter bug, and the output is the diagnostic.
+func Build(shadowDir string) (string, error) {
+	bin := filepath.Join(shadowDir, "vftbin")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Dir = shadowDir
+	cmd.Env = offlineEnv()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		return "", fmt.Errorf("goinstr: go build: %v\n%s", err, out)
+	}
+	return bin, nil
+}
+
+// Run executes the instrumented binary with trace capture enabled,
+// returning the meta sidecar path. The program's own output flows to the
+// given writers.
+func Run(bin, tracePath string, args []string, stdout, stderr io.Writer) (string, error) {
+	metaPath := tracePath + ".meta.json"
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout, cmd.Stderr = stdout, stderr
+	cmd.Env = append(os.Environ(),
+		rt.EnvTrace+"="+tracePath,
+		rt.EnvMeta+"="+metaPath,
+	)
+	if err := cmd.Run(); err != nil {
+		return metaPath, fmt.Errorf("goinstr: running %s: %w", filepath.Base(bin), err)
+	}
+	return metaPath, nil
+}
+
+// RunTests runs `go test` inside the shadow module with capture enabled
+// (the injected TestMain flushes the trace after m.Run).
+func RunTests(shadowDir, tracePath string, args []string, stdout, stderr io.Writer) (string, error) {
+	metaPath := tracePath + ".meta.json"
+	cmd := exec.Command("go", append([]string{"test"}, args...)...)
+	cmd.Dir = shadowDir
+	cmd.Stdout, cmd.Stderr = stdout, stderr
+	cmd.Env = append(offlineEnv(),
+		rt.EnvTrace+"="+tracePath,
+		rt.EnvMeta+"="+metaPath,
+	)
+	if err := cmd.Run(); err != nil {
+		return metaPath, fmt.Errorf("goinstr: go test: %w", err)
+	}
+	return metaPath, nil
+}

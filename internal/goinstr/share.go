@@ -1,0 +1,180 @@
+package goinstr
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ShareInfo is the result of the flow-insensitive may-share analysis: the
+// set of variables that may be reachable from more than one goroutine,
+// with a one-word reason per variable for diagnostics.
+type ShareInfo struct {
+	shared map[types.Object]string
+}
+
+// Shared reports whether obj may be shared, and why.
+func (sh *ShareInfo) Shared(obj types.Object) (string, bool) {
+	r, ok := sh.shared[obj]
+	return r, ok
+}
+
+func (sh *ShareInfo) mark(obj types.Object, reason string) {
+	if obj == nil {
+		return
+	}
+	if _, ok := sh.shared[obj]; !ok {
+		sh.shared[obj] = reason
+	}
+}
+
+// Analyze computes may-share over the package. A variable may be shared
+// if any of:
+//
+//   - it is package-level: every goroutine can reach it ("global");
+//   - its address is taken anywhere — explicitly with &x (including &x.f
+//     and &a[i], which pin the root), or implicitly by a pointer-receiver
+//     method call on it — since the pointer may flow anywhere
+//     ("address-taken");
+//   - it is captured by a function literal that may run on another
+//     goroutine ("captured"): the literal of a go statement, or any
+//     literal that escapes the creating expression (assigned, passed,
+//     returned, stored). Immediately-invoked and deferred literals run on
+//     the creating goroutine and do not share their captures.
+//
+// The analysis is deliberately object-granular and one-pass: it decides
+// which *variables' own storage* is provably confined. Storage reached
+// through pointers, slices, maps or interfaces is never elided by the
+// rewriter in the first place, so the analysis does not need points-to
+// information to stay sound.
+func Analyze(pkg *Package) *ShareInfo {
+	sh := &ShareInfo{shared: map[types.Object]string{}}
+
+	// Package-level variables.
+	scope := pkg.Pkg.Scope()
+	for _, name := range scope.Names() {
+		if v, ok := scope.Lookup(name).(*types.Var); ok {
+			sh.mark(v, "global")
+		}
+	}
+
+	// Literals proven to stay on the creating goroutine: the operand of a
+	// call expression that is itself a statement-level call or any
+	// immediate invocation, and deferred calls. Everything else escapes.
+	sameG := map[*ast.FuncLit]bool{}
+	goLit := map[*ast.FuncLit]bool{}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					goLit[lit] = true
+				}
+			case *ast.DeferStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					sameG[lit] = true
+				}
+			case *ast.CallExpr:
+				if lit, ok := n.Fun.(*ast.FuncLit); ok {
+					if !goLit[lit] {
+						sameG[lit] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					sh.mark(rootVar(pkg, n.X), "address-taken")
+				}
+			case *ast.SelectorExpr:
+				// Implicit address-taking: a pointer-receiver method
+				// called on (or bound to) an addressable non-pointer
+				// value compiles to (&x).M.
+				if sel, ok := pkg.Info.Selections[n]; ok && sel.Kind() == types.MethodVal {
+					sig, _ := sel.Obj().Type().(*types.Signature)
+					if sig != nil && sig.Recv() != nil {
+						_, methodWantsPtr := sig.Recv().Type().Underlying().(*types.Pointer)
+						_, operandIsPtr := sel.Recv().Underlying().(*types.Pointer)
+						if methodWantsPtr && !operandIsPtr {
+							sh.mark(rootVar(pkg, n.X), "address-taken")
+						}
+					}
+				}
+			case *ast.FuncLit:
+				if sameG[n] && !goLit[n] {
+					return true
+				}
+				reason := "captured"
+				if goLit[n] {
+					reason = "captured-by-go"
+				}
+				markCaptures(pkg, sh, n, reason)
+			}
+			return true
+		})
+	}
+	return sh
+}
+
+// markCaptures marks every variable used inside lit but declared outside
+// it. Position containment is the declared-outside test: an object whose
+// declaration lies outside the literal's extent was captured.
+func markCaptures(pkg *Package, sh *ShareInfo, lit *ast.FuncLit, reason string) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pkg.Info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
+			sh.mark(obj, reason)
+		}
+		return true
+	})
+}
+
+// rootVar resolves an l-value path to the variable whose own storage it
+// addresses: idents directly, field selections through struct values,
+// and index expressions into array values. A path that crosses a
+// pointer, slice, map or anything non-addressable has no root (the
+// storage belongs to some other object) and returns nil.
+func rootVar(pkg *Package, e ast.Expr) *types.Var {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.Ident:
+			v, _ := pkg.Info.Uses[x].(*types.Var)
+			return v
+		case *ast.SelectorExpr:
+			sel, ok := pkg.Info.Selections[x]
+			if !ok || sel.Kind() != types.FieldVal || sel.Indirect() {
+				return nil
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			if _, ok := typeOf(pkg, x.X).Underlying().(*types.Array); !ok {
+				return nil
+			}
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func typeOf(pkg *Package, e ast.Expr) types.Type {
+	if tv, ok := pkg.Info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	return types.Typ[types.Invalid]
+}

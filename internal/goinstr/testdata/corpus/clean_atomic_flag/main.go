@@ -1,0 +1,25 @@
+// The atomic twin of a hand-rolled ready flag: sync/atomic store and
+// load order the guarded value.
+package main
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+var (
+	flag  int32
+	value int
+)
+
+func main() {
+	go func() {
+		value = 7
+		atomic.StoreInt32(&flag, 1)
+	}()
+	for atomic.LoadInt32(&flag) == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	fmt.Println(value)
+}

@@ -1,0 +1,16 @@
+// The correct twin of racy_buffered_chan: write, then send. The k-th
+// send happens-before the k-th receive completes.
+package main
+
+import "fmt"
+
+func main() {
+	c := make(chan int, 1)
+	x := 0
+	go func() {
+		x = 1
+		c <- 1
+	}()
+	<-c
+	fmt.Println(x)
+}

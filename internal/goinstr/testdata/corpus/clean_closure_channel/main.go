@@ -1,0 +1,16 @@
+// The publish-over-channel twin of racy_closure_capture: the unbuffered
+// rendezvous orders the write before the read.
+package main
+
+import "fmt"
+
+func main() {
+	x := 0
+	done := make(chan bool)
+	go func() {
+		x = 1
+		done <- true
+	}()
+	<-done
+	fmt.Println(x)
+}

@@ -1,0 +1,27 @@
+// The mutex-guarded twin of racy_map: no race.
+package main
+
+import (
+	"fmt"
+	"sync"
+)
+
+var (
+	mu     sync.Mutex
+	scores = map[string]int{}
+)
+
+func main() {
+	done := make(chan bool)
+	go func() {
+		mu.Lock()
+		scores["alice"] = 1
+		mu.Unlock()
+		done <- true
+	}()
+	<-done
+	mu.Lock()
+	v := scores["alice"]
+	mu.Unlock()
+	fmt.Println(v)
+}

@@ -1,0 +1,27 @@
+// The mutex-guarded twin of racy_global_counter: no race.
+package main
+
+import (
+	"fmt"
+	"sync"
+)
+
+var (
+	mu      sync.Mutex
+	counter int
+)
+
+func main() {
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			counter++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	fmt.Println(counter)
+}

@@ -1,0 +1,37 @@
+// sync.Once as initialization: the executor's write is published to
+// every Do caller.
+package main
+
+import (
+	"fmt"
+	"sync"
+)
+
+var (
+	once  sync.Once
+	value int
+)
+
+func initValue() {
+	value = 42
+}
+
+func main() {
+	var wg sync.WaitGroup
+	results := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			once.Do(initValue)
+			results <- value
+		}()
+	}
+	wg.Wait()
+	close(results)
+	sum := 0
+	for v := range results {
+		sum += v
+	}
+	fmt.Println(sum)
+}

@@ -1,0 +1,22 @@
+// The correct twin of racy_range_chan: write, then close. The zero
+// receive that ends the range is ordered after the close.
+package main
+
+import "fmt"
+
+func main() {
+	c := make(chan int, 3)
+	x := 0
+	go func() {
+		for i := 0; i < 3; i++ {
+			c <- i
+		}
+		x = 1
+		close(c)
+	}()
+	sum := 0
+	for v := range c {
+		sum += v
+	}
+	fmt.Println(sum, x)
+}

@@ -1,0 +1,33 @@
+// One writer under Lock, two readers under RLock: properly excluded.
+package main
+
+import (
+	"fmt"
+	"sync"
+)
+
+var (
+	mu sync.RWMutex
+	x  int
+)
+
+func main() {
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		mu.Lock()
+		x = 1
+		mu.Unlock()
+	}()
+	for i := 0; i < 2; i++ {
+		go func() {
+			defer wg.Done()
+			mu.RLock()
+			_ = x
+			mu.RUnlock()
+		}()
+	}
+	wg.Wait()
+	fmt.Println(x)
+}

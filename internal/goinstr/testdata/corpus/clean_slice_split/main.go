@@ -1,0 +1,22 @@
+// Each goroutine owns a disjoint slice element: distinct addresses,
+// no race.
+package main
+
+import (
+	"fmt"
+	"sync"
+)
+
+func main() {
+	s := make([]int, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s[i] = i + 1
+		}(i)
+	}
+	wg.Wait()
+	fmt.Println(s[0] + s[1])
+}

@@ -1,0 +1,29 @@
+// The mutex-guarded twin of racy_struct_field: no race.
+package main
+
+import (
+	"fmt"
+	"sync"
+)
+
+type point struct{ x, y int }
+
+var (
+	mu sync.Mutex
+	p  point
+)
+
+func main() {
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			p.x++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	fmt.Println(p.x)
+}

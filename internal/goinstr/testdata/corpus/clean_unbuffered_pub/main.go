@@ -1,0 +1,16 @@
+// Message passing over an unbuffered channel publishes a slice
+// element written by the producer.
+package main
+
+import "fmt"
+
+func main() {
+	data := make([]int, 4)
+	ch := make(chan int)
+	go func() {
+		data[0] = 42
+		ch <- data[0]
+	}()
+	v := <-ch
+	fmt.Println(v, data[0])
+}

@@ -1,0 +1,20 @@
+// The correct twin of racy_wg_misuse: every read is after wg.Wait.
+package main
+
+import (
+	"fmt"
+	"sync"
+)
+
+func main() {
+	var wg sync.WaitGroup
+	x := 0
+	wg.Add(1)
+	go func() {
+		x = 1
+		wg.Done()
+	}()
+	wg.Wait()
+	y := x
+	fmt.Println(x + y)
+}

@@ -1,0 +1,21 @@
+// The child sends before writing: the buffered receive only orders the
+// parent after events preceding the send, so the write after it races
+// with the parent's read.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	c := make(chan int, 1)
+	x := 0
+	go func() {
+		c <- 1
+		x = 1 // after the send: not published by the receive
+	}()
+	<-c
+	time.Sleep(50 * time.Millisecond)
+	fmt.Println(x)
+}

@@ -1,0 +1,18 @@
+// A local variable captured by a go-closure: the child's write races
+// with the parent's read, which only a sleep (no happens-before)
+// separates.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	x := 0
+	go func() {
+		x = 1
+	}()
+	time.Sleep(50 * time.Millisecond)
+	fmt.Println(x)
+}

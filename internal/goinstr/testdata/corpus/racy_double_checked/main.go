@@ -1,0 +1,24 @@
+// A hand-rolled ready flag with plain loads and stores: both the flag
+// and the value it guards race.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+var (
+	ready bool
+	value int
+)
+
+func main() {
+	go func() {
+		value = 42
+		ready = true
+	}()
+	for !ready {
+		time.Sleep(time.Millisecond)
+	}
+	fmt.Println(value)
+}

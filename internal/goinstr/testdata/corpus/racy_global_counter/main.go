@@ -1,0 +1,23 @@
+// Two goroutines increment a global counter with no synchronization:
+// the canonical lost-update race.
+package main
+
+import (
+	"fmt"
+	"sync"
+)
+
+var counter int
+
+func main() {
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			counter++
+		}()
+	}
+	wg.Wait()
+	fmt.Println(counter)
+}

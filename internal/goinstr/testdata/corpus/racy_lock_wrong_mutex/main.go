@@ -1,0 +1,32 @@
+// Both goroutines lock — but different mutexes, so the critical
+// sections do not exclude each other.
+package main
+
+import (
+	"fmt"
+	"sync"
+)
+
+var (
+	mu1, mu2 sync.Mutex
+	x        int
+)
+
+func main() {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		mu1.Lock()
+		x++
+		mu1.Unlock()
+	}()
+	go func() {
+		defer wg.Done()
+		mu2.Lock()
+		x++
+		mu2.Unlock()
+	}()
+	wg.Wait()
+	fmt.Println(x)
+}

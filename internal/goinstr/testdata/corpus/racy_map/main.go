@@ -1,0 +1,20 @@
+// A goroutine writes a global map while the parent later reads it with
+// no happens-before edge. The sleep serializes the real execution (so
+// the runtime's concurrent-map check stays quiet) but adds no
+// synchronization to the trace: the race is still there.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+var scores = map[string]int{}
+
+func main() {
+	go func() {
+		scores["alice"] = 1
+	}()
+	time.Sleep(50 * time.Millisecond)
+	fmt.Println(scores["alice"])
+}

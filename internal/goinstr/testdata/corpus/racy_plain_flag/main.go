@@ -1,0 +1,25 @@
+// Two writers store to one global flag with no ordering: a pure
+// write-write race.
+package main
+
+import (
+	"fmt"
+	"sync"
+)
+
+var flag bool
+
+func main() {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		flag = true
+	}()
+	go func() {
+		defer wg.Done()
+		flag = false
+	}()
+	wg.Wait()
+	fmt.Println(flag)
+}

@@ -1,0 +1,26 @@
+// The producer writes x after closing the channel: draining the range
+// orders the consumer after the close, but not after that late write.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	c := make(chan int, 3)
+	x := 0
+	go func() {
+		for i := 0; i < 3; i++ {
+			c <- i
+		}
+		close(c)
+		x = 1 // after the close: unordered with the parent's read
+	}()
+	sum := 0
+	for v := range c {
+		sum += v
+	}
+	time.Sleep(50 * time.Millisecond)
+	fmt.Println(sum, x)
+}

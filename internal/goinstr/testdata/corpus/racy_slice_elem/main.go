@@ -1,0 +1,21 @@
+// Two goroutines write the same slice element with no ordering.
+package main
+
+import (
+	"fmt"
+	"sync"
+)
+
+func main() {
+	s := make([]int, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s[0] = 7
+		}()
+	}
+	wg.Wait()
+	fmt.Println(s[0])
+}

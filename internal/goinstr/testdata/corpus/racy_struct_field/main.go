@@ -1,0 +1,24 @@
+// Two goroutines update the same struct field unsynchronized.
+package main
+
+import (
+	"fmt"
+	"sync"
+)
+
+type point struct{ x, y int }
+
+var p point
+
+func main() {
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.x++
+		}()
+	}
+	wg.Wait()
+	fmt.Println(p.x)
+}

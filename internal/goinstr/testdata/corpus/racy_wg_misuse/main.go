@@ -1,0 +1,21 @@
+// The parent reads before wg.Wait: the read races with the child's
+// write even though the program does eventually join.
+package main
+
+import (
+	"fmt"
+	"sync"
+)
+
+func main() {
+	var wg sync.WaitGroup
+	x := 0
+	wg.Add(1)
+	go func() {
+		x = 1
+		wg.Done()
+	}()
+	y := x // too early: not ordered after the child's write
+	wg.Wait()
+	fmt.Println(x + y)
+}

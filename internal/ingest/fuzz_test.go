@@ -3,9 +3,11 @@ package ingest
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"os"
 	"strings"
 	"testing"
 )
@@ -42,6 +44,19 @@ func FuzzIngestHTTP(f *testing.F) {
 	f.Add("t8", "vft-v2", "0:-1,zzz", encodeBody(f, valid, "text"))
 	f.Add("t9", "vft-v2", strings.Repeat("0:2,", 40), []byte{})
 	f.Add("t10", "vft-v2", "", []byte("VFTb\x03"))
+	// Traces captured from instrumented real Go programs (vft-go over the
+	// goinstr testdata corpus): the upload bodies the front-end actually
+	// produces, with and without the chancap sidecar parameter.
+	for i, seed := range []struct{ name, chancap string }{
+		{"goinstr_racy_counter.bin", ""},
+		{"goinstr_clean_chan.bin", "0:1"},
+	} {
+		b, err := os.ReadFile("testdata/" + seed.name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(fmt.Sprintf("goinstr%d", i), "vft-v2", seed.chancap, b)
+	}
 
 	allowed := map[int]bool{
 		http.StatusOK:                    true,

@@ -111,8 +111,16 @@ func TestServerFutureFormatVersion(t *testing.T) {
 		t.Fatal(err)
 	}
 	msg, _ := m["error"].(string)
-	if !strings.Contains(msg, "upgrade this server") {
-		t.Fatalf("future-version error %q does not say to upgrade", msg)
+	// The body must name the version byte found, the range this server
+	// ingests, and the remedy — enough for a client to act on.
+	for _, want := range []string{
+		"version 3",
+		fmt.Sprintf("%d..%d", trace.BinaryVersion1, trace.MaxBinaryVersion),
+		"upgrade this server",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("future-version error %q does not mention %q", msg, want)
+		}
 	}
 	if strings.Contains(msg, "bad magic") {
 		t.Fatalf("future version misreported as corruption: %q", msg)

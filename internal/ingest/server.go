@@ -507,7 +507,8 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		if errors.As(herr, &tooNew) {
 			s.cRejInvalid.Inc(slot)
 			s.writeError(w, http.StatusBadRequest,
-				"%v: upgrade this server to ingest it", herr)
+				"binary trace format version %d not supported (this server ingests %d..%d); upgrade this server to ingest it",
+				tooNew.Got, tooNew.Min, tooNew.Max)
 			return
 		}
 		s.cRejInvalid.Inc(slot)

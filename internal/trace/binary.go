@@ -60,16 +60,27 @@ func maxKindForVersion(v int) Kind {
 }
 
 // UnsupportedVersionError reports a binary trace whose header names a
-// format version newer than this build understands. It is the "upgrade
-// the reader" error, as opposed to the corruption errors: the stream is a
-// well-formed trace from a newer writer.
+// format version outside the range this build understands, carrying the
+// version byte actually found so the message names both sides of the
+// mismatch. A too-new version is the "upgrade the reader" error, as
+// opposed to the corruption errors: the stream is a well-formed trace
+// from a newer writer.
 type UnsupportedVersionError struct {
-	Got int // version the stream declares
+	Got int // version the stream declares (the header's version byte)
+	Min int // oldest version this build supports
 	Max int // newest version this build supports
 }
 
 func (e *UnsupportedVersionError) Error() string {
-	return fmt.Sprintf("trace: binary format version %d not supported (max %d): produced by a newer writer; upgrade this reader", e.Got, e.Max)
+	min := e.Min
+	if min == 0 {
+		min = BinaryVersion1
+	}
+	msg := fmt.Sprintf("trace: binary format version %d not supported (supported %d..%d)", e.Got, min, e.Max)
+	if e.Got > e.Max {
+		msg += ": produced by a newer writer; upgrade this reader"
+	}
+	return msg
 }
 
 // IsBinary reports whether head (the first bytes of a stream; 4 suffice)
@@ -129,7 +140,7 @@ func (e *BinaryEncoder) SetVersion(v int) error {
 		return fmt.Errorf("trace: encode: SetVersion(%d) after the header was written", v)
 	}
 	if v < BinaryVersion1 || v > MaxBinaryVersion {
-		return &UnsupportedVersionError{Got: v, Max: MaxBinaryVersion}
+		return &UnsupportedVersionError{Got: v, Min: BinaryVersion1, Max: MaxBinaryVersion}
 	}
 	e.version = v
 	return nil
@@ -236,7 +247,7 @@ func (d *BinaryDecoder) Next() (Op, error) {
 		}
 		v := int(hdr[len(binaryMagicPrefix)])
 		if v < BinaryVersion1 || v > MaxBinaryVersion {
-			d.err = &UnsupportedVersionError{Got: v, Max: MaxBinaryVersion}
+			d.err = &UnsupportedVersionError{Got: v, Min: BinaryVersion1, Max: MaxBinaryVersion}
 			return Op{}, d.err
 		}
 		d.version = v

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"compress/gzip"
 	"errors"
+	"fmt"
 	"io"
 	"math/rand"
 	"os"
@@ -199,8 +200,20 @@ func TestBinaryDecoderErrors(t *testing.T) {
 		if !errors.As(err, &uve) {
 			t.Fatalf("want *UnsupportedVersionError, got %v", err)
 		}
-		if uve.Got != 3 || uve.Max != MaxBinaryVersion {
-			t.Fatalf("UnsupportedVersionError = %+v, want Got=3 Max=%d", uve, MaxBinaryVersion)
+		if uve.Got != 3 || uve.Min != BinaryVersion1 || uve.Max != MaxBinaryVersion {
+			t.Fatalf("UnsupportedVersionError = %+v, want Got=3 Min=%d Max=%d",
+				uve, BinaryVersion1, MaxBinaryVersion)
+		}
+		// The rendered message must name both sides of the mismatch: the
+		// version byte actually found and the range this build reads.
+		for _, want := range []string{
+			"version 3",
+			fmt.Sprintf("supported %d..%d", BinaryVersion1, MaxBinaryVersion),
+			"upgrade this reader",
+		} {
+			if !strings.Contains(err.Error(), want) {
+				t.Fatalf("error %q does not mention %q", err, want)
+			}
 		}
 		if strings.Contains(err.Error(), "bad magic") {
 			t.Fatalf("future version misreported as corruption: %v", err)

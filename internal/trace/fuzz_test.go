@@ -3,10 +3,24 @@ package trace
 import (
 	"bytes"
 	"math/rand"
+	"os"
 	"reflect"
 	"strings"
 	"testing"
 )
+
+// goinstrSeed reads a checked-in binary trace captured by running vft-go
+// over a testdata corpus program — a real instrumented Go execution, so
+// the fuzzers start from the exact byte shapes the front-end emits
+// (format v2, interleaved fork/chan/plain-access records).
+func goinstrSeed(f *testing.F, name string) []byte {
+	f.Helper()
+	b, err := os.ReadFile("testdata/" + name)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return b
+}
 
 // FuzzFromBytes: every byte string decodes to a feasible trace.
 func FuzzFromBytes(f *testing.F) {
@@ -30,6 +44,19 @@ func FuzzDecode(f *testing.F) {
 	f.Add("send 0 c0\nrecv 1 c0\nclose 0 c0\n")
 	f.Add("aload 0 a2\nastore 1 a2\narmw 0 a2\nonce 1 o3\n")
 	f.Add("garbage in\n\n\x00\xff")
+	// Instrumented-program captures, re-rendered as text so the text
+	// decoder sees the op mixes vft-go actually produces.
+	for _, name := range []string{"goinstr_racy_counter.bin", "goinstr_clean_chan.bin"} {
+		tr, err := ReadAll(NewBinaryDecoder(bytes.NewReader(goinstrSeed(f, name))))
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, tr); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.String())
+	}
 	f.Fuzz(func(t *testing.T, input string) {
 		tr, err := Decode(strings.NewReader(input))
 		if err != nil {
@@ -76,6 +103,9 @@ func FuzzBinaryRoundTrip(f *testing.F) {
 	f.Add([]byte("VFTb\x01\x03\x00\x00\x00"))
 	f.Add([]byte("not a binary trace"))
 	f.Add(seed(Trace{Wr(0, 0)})[:6]) // truncated mid-record
+	// Instrumented-program captures: raw vft-go output bytes.
+	f.Add(goinstrSeed(f, "goinstr_racy_counter.bin"))
+	f.Add(goinstrSeed(f, "goinstr_clean_chan.bin"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := ReadAll(NewBinaryDecoder(bytes.NewReader(data)))
 		if err != nil {

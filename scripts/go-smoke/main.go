@@ -1,0 +1,63 @@
+// Command go-smoke drives the vft-go front-end over the corpus: every
+// program is instrumented twice (elision on and off), built, executed
+// with trace capture, and checked; the two runs' canonical reports must
+// be byte-identical, racy programs must name their racy variables and
+// clean programs must be silent. The expectation table lives in
+// goinstr.CorpusExpectations, shared with the package's end-to-end test.
+//
+// Usage:
+//
+//	go run ./scripts/go-smoke [-corpus dir] [-v] [program...]
+//
+// With no arguments every corpus program runs; naming programs restricts
+// the sweep (handy when debugging the rewriter).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/goinstr"
+)
+
+func main() {
+	corpus := flag.String("corpus", "internal/goinstr/testdata/corpus", "corpus root")
+	verbose := flag.Bool("v", false, "per-program detail")
+	flag.Parse()
+
+	names := flag.Args()
+	if len(names) == 0 {
+		names = goinstr.CorpusNames()
+	}
+
+	failed := 0
+	elidedSomewhere := 0
+	for _, name := range names {
+		out, err := goinstr.CheckCorpusProgram(*corpus, name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL %v\n", err)
+			failed++
+			continue
+		}
+		if out.Stats.Elided > 0 {
+			elidedSomewhere++
+		}
+		if *verbose {
+			fmt.Printf("ok   %-24s sites=%d elided=%d (%.0f%%) events=%d/%d reports=%d\n",
+				name, out.Stats.Sites, out.Stats.Elided, 100*out.Stats.ElisionRate(),
+				out.Events, out.EventsOff, len(out.Lines))
+		} else {
+			fmt.Printf("ok   %s\n", name)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "go-smoke: %d/%d programs failed\n", failed, len(names))
+		os.Exit(1)
+	}
+	fmt.Printf("go-smoke: %d programs ok, elision fired on %d\n", len(names), elidedSomewhere)
+	if elidedSomewhere*2 < len(names) {
+		fmt.Fprintln(os.Stderr, "go-smoke: elision fired on fewer than half the corpus")
+		os.Exit(1)
+	}
+}
