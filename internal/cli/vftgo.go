@@ -145,6 +145,10 @@ func RunVftGo(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if *verbose {
 		fmt.Fprintf(stderr, "vft-go: checked %d events, %d reports\n", cr.Events, len(cr.Reports))
 	}
+	if cr.Meta != nil && (cr.Meta.Dropped > 0 || cr.Meta.Timeouts > 0) {
+		fmt.Fprintf(stderr, "vft-go: capture degraded: %d events dropped, %d channel waits timed out (channels with uninstrumented peers are traced best-effort)\n",
+			cr.Meta.Dropped, cr.Meta.Timeouts)
+	}
 
 	lines := cr.Canonical()
 	for _, l := range lines {

@@ -151,3 +151,40 @@ func TestInstrumentRequiresOutDir(t *testing.T) {
 		t.Fatal("Instrument without OutDir should fail")
 	}
 }
+
+// TestVersionedImportKeepsQualifier: math/rand/v2 declares package rand,
+// so its qualifier is not the import path's last element. Deriving the
+// name from the path base would blank the import while rand.IntN
+// references remain, and the shadow module would not build.
+func TestVersionedImportKeepsQualifier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks math/rand/v2 from source and builds a shadow module")
+	}
+	dir := t.TempDir()
+	src := `package main
+
+import "math/rand/v2"
+
+func main() {
+	n := rand.IntN(4)
+	_ = n
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := t.TempDir()
+	if _, err := Instrument(dir, Options{OutDir: out}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(out, "main.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), `_ "math/rand/v2"`) {
+		t.Fatalf("versioned import was blanked while still referenced:\n%s", b)
+	}
+	if _, err := Build(out); err != nil {
+		t.Fatalf("shadow module with a versioned import does not build: %v", err)
+	}
+}

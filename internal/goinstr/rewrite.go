@@ -53,7 +53,7 @@ func (rw *rewriter) rewriteAll() {
 			}
 			rw.rewriteFunc(fd)
 		}
-		blankUnusedImports(f)
+		rw.blankUnusedImports(f)
 		if rw.fileVft {
 			injectImport(f, shimAlias, "vftshadow/rt")
 		}
@@ -63,8 +63,11 @@ func (rw *rewriter) rewriteAll() {
 // blankUnusedImports turns imports with no remaining qualified reference
 // into blank imports: mapping every sync/atomic call onto the shim can
 // leave the original import dangling, which the shadow build would
-// reject.
-func blankUnusedImports(f *ast.File) {
+// reject. The qualifier of an unnamed import is the imported package's
+// real name, which the type checker records in Info.Implicits — it can
+// differ from the path's last element (math/rand/v2 is package rand), so
+// deriving it from the path would blank imports that are still used.
+func (rw *rewriter) blankUnusedImports(f *ast.File) {
 	used := map[string]bool{}
 	ast.Inspect(f, func(n ast.Node) bool {
 		if sel, ok := n.(*ast.SelectorExpr); ok {
@@ -87,12 +90,19 @@ func blankUnusedImports(f *ast.File) {
 				}
 				continue
 			}
-			path := strings.Trim(spec.Path.Value, `"`)
-			base := path
-			if i := strings.LastIndexByte(path, '/'); i >= 0 {
-				base = path[i+1:]
+			name := ""
+			if pn, ok := rw.pkg.Info.Implicits[spec].(*types.PkgName); ok {
+				name = pn.Name()
+			} else {
+				// No Implicits entry (should not happen for a checked
+				// file); fall back to the path base, the common case.
+				path := strings.Trim(spec.Path.Value, `"`)
+				name = path
+				if i := strings.LastIndexByte(path, '/'); i >= 0 {
+					name = path[i+1:]
+				}
 			}
-			if !used[base] {
+			if !used[name] {
 				spec.Name = ast.NewIdent("_")
 			}
 		}

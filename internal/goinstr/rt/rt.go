@@ -35,19 +35,47 @@
 //     validator's blocked-sender rule. A receive is logged at completion
 //     but only once the log-level state can justify it: a logged send to
 //     match (value receives) or a logged close (zero-value receives).
-//     This per-channel gadget never blocks the program's real channel
-//     operations, only the order log records enter the stream, and it
-//     cannot deadlock: the condition each waiter needs is established by
-//     a logger that has already completed its real operation.
+//     This per-channel gadget never delays the program's real channel
+//     operations, only the order log records enter the stream.
 //
-// Two documented approximations remain: when several senders (or
-// receivers) race on one channel, log order may pair the k-th logged send
-// with a different real receive than the runtime did — the
-// happens-before edges stay between operations that really completed,
-// but can be attributed to the wrong peer; and select communication is
-// logged after completion without initiation records, so a send chosen
-// by select against a racing close may be dropped (counted in the meta
-// sidecar) rather than emitted infeasibly.
+// When every peer of a channel is instrumented, the condition each
+// log-side waiter needs is established by a logger that has already
+// completed its real operation, so waits are transient (a scheduling
+// delay). But a channel fed or drained by uninstrumented code —
+// time.After, ticker.C, ctx.Done(), signal.Notify, all reachable through
+// the stdlib imports Load permits — never produces the log records a
+// waiter needs, and an unconditional wait would hang the real goroutine
+// forever. Every log-side wait therefore carries a timeout
+// ([EnvChanWait], default 250ms): when it fires the channel is marked
+// lossy, a receive that still cannot be justified is dropped (counted in
+// the meta sidecar) instead of emitted infeasibly or blocked on, and
+// later waits on that channel are skipped entirely, so only the first
+// operation on an uninstrumented channel pays the timeout.
+//
+// Documented approximations remain: when several senders (or receivers)
+// race on one channel, log order may pair the k-th logged send with a
+// different real receive than the runtime did — the happens-before edges
+// stay between operations that really completed, but can be attributed
+// to the wrong peer. Select communication is logged after completion
+// without initiation records, so a send chosen by select against a
+// racing close is dropped (counted) rather than emitted infeasibly; its
+// matched receive is credited so the receiving goroutine is not blocked,
+// and is justified by the logged close instead — a fabricated close→recv
+// edge that can only hide races, never invent one. And on a lossy
+// channel, a send that was already logged when its settle wait timed out
+// can leave the stream locally infeasible past that point; the timeout
+// counter in the sidecar records that the capture degraded.
+//
+// # Id interning and pinning
+//
+// The id tables key on the traced object's pointer, not a uintptr
+// snapshot. That forces every traced object to escape to the heap (stack
+// slots move when stacks grow, which would split one variable across two
+// ids) and keeps it alive for the life of the process, so a freed
+// object's address can never be reused by a distinct variable aliasing
+// the old id and its name. Traced objects are therefore never collected —
+// an accepted cost for a tracing shim, proportional to the name tables
+// that grow alongside them.
 package rt
 
 import (
@@ -58,6 +86,8 @@ import (
 	"os"
 	"reflect"
 	"sync"
+	"time"
+	"unsafe"
 
 	"repro/internal/goid"
 )
@@ -108,11 +138,13 @@ type state struct {
 	buf     [32]byte
 	nextTid int32
 
-	vars    map[uintptr]int32 // address -> variable id (rd/wr X space)
-	atomics map[uintptr]int32 // address -> atomic location id (aload/... X space)
-	locks   map[uintptr]int32 // address -> lock id (acq/rel M space)
-	onces   map[uintptr]int32 // address -> once id (once M space)
-	chanIDs map[uintptr]*chanState
+	// The interning tables key on real pointers so the GC pins every
+	// traced object: stable addresses, stable ids (see package comment).
+	vars    map[unsafe.Pointer]int32 // object -> variable id (rd/wr X space)
+	atomics map[unsafe.Pointer]int32 // object -> atomic location id (aload/... X space)
+	locks   map[unsafe.Pointer]int32 // object -> lock id (acq/rel M space)
+	onces   map[unsafe.Pointer]int32 // object -> once id (once M space)
+	chanIDs map[unsafe.Pointer]*chanState
 
 	varNames    map[int32]string
 	atomicNames map[int32]string
@@ -120,9 +152,10 @@ type state struct {
 	onceNames   map[int32]string
 	chanMeta    map[int32]chanMetaEntry
 
-	events  uint64
-	byKind  [numKinds]uint64
-	dropped uint64 // select-path events dropped to keep the stream feasible
+	events   uint64
+	byKind   [numKinds]uint64
+	dropped  uint64 // events dropped to keep the stream feasible
+	timeouts uint64 // log-side waits that hit EnvChanWait (lossy channels)
 
 	gs goid.Cache[*G]
 }
@@ -132,26 +165,30 @@ type chanMetaEntry struct {
 	Name string `json:"name"`
 }
 
-// chanState is one channel's log-ordering gadget. mu/cond serialize only
-// the *logging* of this channel's operations; the real channel operations
-// are never delayed by it.
+// chanState is one channel's log-ordering gadget. mu serializes only the
+// *logging* of this channel's operations; the real channel operations
+// are never delayed by it. waitc is the broadcast primitive: it is closed
+// and replaced on every log-state change (kick), so waiters can select on
+// it against a timer — sync.Cond has no timed wait.
 type chanState struct {
 	id  int32
 	cap int
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	sends  int // logged send initiations
-	recvs  int // logged value receives
-	closed bool
+	mu      sync.Mutex
+	waitc   chan struct{}
+	sends   int  // logged send initiations
+	recvs   int  // logged value receives
+	credits int  // dropped select sends whose matched receive may proceed
+	closed  bool // a close was logged
+	lossy   bool // a wait timed out: peers are uninstrumented, stop gating
 }
 
 var st = &state{
-	vars:        map[uintptr]int32{},
-	atomics:     map[uintptr]int32{},
-	locks:       map[uintptr]int32{},
-	onces:       map[uintptr]int32{},
-	chanIDs:     map[uintptr]*chanState{},
+	vars:        map[unsafe.Pointer]int32{},
+	atomics:     map[unsafe.Pointer]int32{},
+	locks:       map[unsafe.Pointer]int32{},
+	onces:       map[unsafe.Pointer]int32{},
+	chanIDs:     map[unsafe.Pointer]*chanState{},
 	varNames:    map[int32]string{},
 	atomicNames: map[int32]string{},
 	lockNames:   map[int32]string{},
@@ -166,7 +203,27 @@ var st = &state{
 const (
 	EnvTrace = "VFT_TRACE"
 	EnvMeta  = "VFT_META"
+
+	// EnvChanWait bounds every log-side channel wait (a time.ParseDuration
+	// string). Waits only ever span the scheduling delay of a logger whose
+	// real operation already completed, so hitting the bound means the
+	// peer is uninstrumented; the channel then goes lossy (see the package
+	// comment). Zero or unset means defaultChanWait.
+	EnvChanWait = "VFT_CHAN_WAIT"
 )
+
+const defaultChanWait = 250 * time.Millisecond
+
+// chanWaitTimeout reads EnvChanWait; called only on the slow path, when a
+// log-side wait is actually about to block.
+func chanWaitTimeout() time.Duration {
+	if s := os.Getenv(EnvChanWait); s != "" {
+		if d, err := time.ParseDuration(s); err == nil && d > 0 {
+			return d
+		}
+	}
+	return defaultChanWait
+}
 
 func init() {
 	path := os.Getenv(EnvTrace)
@@ -257,9 +314,11 @@ func emit(kind uint8, t int32, arg uint32) {
 	st.mu.Unlock()
 }
 
-// idFor interns an address in one of the id tables, recording the site
-// string as the object's name on first touch. The caller holds st.mu.
-func idFor(tbl map[uintptr]int32, names map[int32]string, addr uintptr, site string) int32 {
+// idFor interns an object in one of the id tables, recording the site
+// string as its name on first touch. The table retains the pointer, so
+// the object stays alive and its id can never alias another object's
+// storage. The caller holds st.mu.
+func idFor(tbl map[unsafe.Pointer]int32, names map[int32]string, addr unsafe.Pointer, site string) int32 {
 	id, ok := tbl[addr]
 	if !ok {
 		id = int32(len(tbl))
@@ -269,8 +328,8 @@ func idFor(tbl map[uintptr]int32, names map[int32]string, addr uintptr, site str
 	return id
 }
 
-// varID interns a variable address.
-func varID(addr uintptr, site string) int32 {
+// varID interns a variable.
+func varID(addr unsafe.Pointer, site string) int32 {
 	st.mu.Lock()
 	id := idFor(st.vars, st.varNames, addr, site)
 	st.mu.Unlock()
@@ -279,14 +338,14 @@ func varID(addr uintptr, site string) int32 {
 
 // read and write log one access event. They are the slow halves of the
 // generic wrappers in wrappers.go.
-func read(g *G, site string, addr uintptr) {
+func read(g *G, site string, addr unsafe.Pointer) {
 	st.mu.Lock()
 	id := idFor(st.vars, st.varNames, addr, site)
 	st.emitLocked(kRead, g.tid, uint32(id))
 	st.mu.Unlock()
 }
 
-func write(g *G, site string, addr uintptr) {
+func write(g *G, site string, addr unsafe.Pointer) {
 	st.mu.Lock()
 	id := idFor(st.vars, st.varNames, addr, site)
 	st.emitLocked(kWrite, g.tid, uint32(id))
@@ -295,14 +354,14 @@ func write(g *G, site string, addr uintptr) {
 
 // atomicID interns an atomic location (its own X space, disjoint from
 // plain variables — the lowering keys pseudo-locks by class).
-func atomicID(addr uintptr, site string) int32 {
+func atomicID(addr unsafe.Pointer, site string) int32 {
 	st.mu.Lock()
 	id := idFor(st.atomics, st.atomicNames, addr, site)
 	st.mu.Unlock()
 	return id
 }
 
-func emitAtomic(g *G, kind uint8, addr uintptr, site string) {
+func emitAtomic(g *G, kind uint8, addr unsafe.Pointer, site string) {
 	st.mu.Lock()
 	id := idFor(st.atomics, st.atomicNames, addr, site)
 	st.emitLocked(kind, g.tid, uint32(id))
@@ -408,17 +467,66 @@ func OnceDo(g *G, site string, o *sync.Once, f func()) {
 // and snapshots its capacity for the meta sidecar.
 func chanFor(c any, site string) *chanState {
 	v := reflect.ValueOf(c)
-	addr := v.Pointer()
+	addr := v.UnsafePointer()
 	st.mu.Lock()
 	cs, ok := st.chanIDs[addr]
 	if !ok {
-		cs = &chanState{id: int32(len(st.chanIDs)), cap: v.Cap()}
-		cs.cond = sync.NewCond(&cs.mu)
+		cs = &chanState{id: int32(len(st.chanIDs)), cap: v.Cap(), waitc: make(chan struct{})}
 		st.chanIDs[addr] = cs
 		st.chanMeta[cs.id] = chanMetaEntry{Cap: cs.cap, Name: site}
 	}
 	st.mu.Unlock()
 	return cs
+}
+
+// kick wakes every log-side waiter on this channel. Caller holds cs.mu.
+func (cs *chanState) kick() {
+	close(cs.waitc)
+	cs.waitc = make(chan struct{})
+}
+
+// await blocks until cond holds or the channel wait timeout elapses,
+// whichever comes first, and returns cond's final value. A timeout marks
+// the channel lossy — its peers are presumed uninstrumented — so every
+// later await on it returns without blocking. Caller holds cs.mu; it is
+// released while blocked and held again on return.
+func (cs *chanState) await(cond func() bool) bool {
+	if cond() || cs.lossy {
+		return cond()
+	}
+	deadline := time.Now().Add(chanWaitTimeout())
+	for {
+		ch := cs.waitc
+		cs.mu.Unlock()
+		var timedOut bool
+		d := time.Until(deadline)
+		if d <= 0 {
+			timedOut = true
+		} else {
+			timer := time.NewTimer(d)
+			select {
+			case <-ch:
+			case <-timer.C:
+				timedOut = true
+			}
+			timer.Stop()
+		}
+		cs.mu.Lock()
+		if cond() {
+			return true
+		}
+		if cs.lossy {
+			return false
+		}
+		if timedOut {
+			cs.lossy = true
+			st.mu.Lock()
+			st.timeouts++
+			st.mu.Unlock()
+			cs.kick() // fellow waiters observe lossy and fall back too
+			return false
+		}
+	}
 }
 
 // sendInit logs a send initiation. Called before the real send.
@@ -427,7 +535,7 @@ func (cs *chanState) sendInit(g *G) int {
 	emit(kChanSend, g.tid, uint32(cs.id))
 	cs.sends++
 	k := cs.sends
-	cs.cond.Broadcast()
+	cs.kick()
 	cs.mu.Unlock()
 	return k
 }
@@ -435,12 +543,13 @@ func (cs *chanState) sendInit(g *G) int {
 // sendSettle blocks (log-side only) until the k-th logged send is
 // complete at log level — until then the validator considers the sender
 // blocked and it may not log another event. The matching real receive has
-// already completed or will shortly, so its log record is coming.
+// already completed or will shortly, so its log record is coming — unless
+// the receiver is uninstrumented, in which case the await times out and
+// the sender proceeds (the stream may be locally infeasible past the
+// already-emitted send; the timeout counter records the degradation).
 func (cs *chanState) sendSettle(k int) {
 	cs.mu.Lock()
-	for k-cs.recvs > cs.cap {
-		cs.cond.Wait()
-	}
+	cs.await(func() bool { return k-cs.recvs <= cs.cap })
 	cs.mu.Unlock()
 }
 
@@ -454,67 +563,77 @@ const (
 )
 
 // recvDone logs a completed receive once the log-level channel state can
-// justify it: a logged unmatched send for a value receive, a logged close
-// for a zero-value receive. For recvUnknown it takes whichever becomes
-// justifiable first.
+// justify it: a logged unmatched send (or a credit from a dropped select
+// send) for a value receive, a logged close for a zero-value receive. For
+// recvUnknown it takes whichever becomes justifiable first. A receive
+// that stays unjustifiable past the wait timeout — its producer is
+// uninstrumented — is dropped and counted rather than blocked on or
+// emitted infeasibly.
 func (cs *chanState) recvDone(g *G, class recvClass) {
 	cs.mu.Lock()
+	justified := false
 	switch class {
 	case recvValue:
-		for cs.sends <= cs.recvs {
-			cs.cond.Wait()
-		}
-		cs.recvs++
+		justified = cs.await(func() bool { return cs.sends > cs.recvs || cs.credits > 0 })
 	case recvZero:
-		for !cs.closed {
-			cs.cond.Wait()
-		}
+		justified = cs.await(func() bool { return cs.closed })
 	default:
-		for cs.sends <= cs.recvs && !cs.closed {
-			cs.cond.Wait()
-		}
-		if cs.sends > cs.recvs {
-			cs.recvs++
-		}
+		justified = cs.await(func() bool { return cs.sends > cs.recvs || cs.closed })
 	}
-	emit(kChanRecv, g.tid, uint32(cs.id))
-	cs.cond.Broadcast()
-	cs.mu.Unlock()
-}
-
-// closeDone logs a completed close, waiting until no logged sender is
-// blocked at log level (each such sender's matching receive has already
-// really happened, so the receive records are coming).
-func (cs *chanState) closeDone(g *G) {
-	cs.mu.Lock()
-	for cs.sends-cs.recvs > cs.cap {
-		cs.cond.Wait()
-	}
-	cs.closed = true
-	emit(kChanClose, g.tid, uint32(cs.id))
-	cs.cond.Broadcast()
-	cs.mu.Unlock()
-}
-
-// sendSelDone logs a select-chosen send after the fact. If a close was
-// already logged the record would be infeasible; it is dropped and
-// counted instead (see the package comment).
-func (cs *chanState) sendSelDone(g *G) {
-	cs.mu.Lock()
-	if cs.closed {
+	if !justified {
 		st.mu.Lock()
 		st.dropped++
 		st.mu.Unlock()
 		cs.mu.Unlock()
 		return
 	}
+	if cs.sends > cs.recvs {
+		cs.recvs++
+	} else if class == recvValue {
+		// Matched a dropped select send: consume the credit. The close
+		// that forced the drop is logged, so the record is feasible as a
+		// receive on a closed channel.
+		cs.credits--
+	}
+	emit(kChanRecv, g.tid, uint32(cs.id))
+	cs.kick()
+	cs.mu.Unlock()
+}
+
+// closeDone logs a completed close, waiting until no logged sender is
+// blocked at log level (each such sender's matching receive has already
+// really happened, so the receive records are coming — or never will, if
+// the receiver is uninstrumented, in which case the await times out).
+func (cs *chanState) closeDone(g *G) {
+	cs.mu.Lock()
+	cs.await(func() bool { return cs.sends-cs.recvs <= cs.cap })
+	cs.closed = true
+	emit(kChanClose, g.tid, uint32(cs.id))
+	cs.kick()
+	cs.mu.Unlock()
+}
+
+// sendSelDone logs a select-chosen send after the fact. If a close was
+// already logged the record would be infeasible; it is dropped and
+// counted instead, and the matched receive is credited so the goroutine
+// that really received the value is not blocked waiting for a send
+// record that will never come (see the package comment).
+func (cs *chanState) sendSelDone(g *G) {
+	cs.mu.Lock()
+	if cs.closed {
+		cs.credits++
+		st.mu.Lock()
+		st.dropped++
+		st.mu.Unlock()
+		cs.kick() // wake the paired value receiver, if it is waiting
+		cs.mu.Unlock()
+		return
+	}
 	emit(kChanSend, g.tid, uint32(cs.id))
 	cs.sends++
 	k := cs.sends
-	cs.cond.Broadcast()
-	for k-cs.recvs > cs.cap {
-		cs.cond.Wait()
-	}
+	cs.kick()
+	cs.await(func() bool { return k-cs.recvs <= cs.cap })
 	cs.mu.Unlock()
 }
 
@@ -551,14 +670,15 @@ func Shutdown() {
 		}
 	}
 	meta := Meta{
-		Events:  st.events,
-		Dropped: st.dropped,
-		Kinds:   kinds,
-		Vars:    st.varNames,
-		Atomics: st.atomicNames,
-		Locks:   st.lockNames,
-		Onces:   st.onceNames,
-		Chans:   st.chanMeta,
+		Events:   st.events,
+		Dropped:  st.dropped,
+		Timeouts: st.timeouts,
+		Kinds:    kinds,
+		Vars:     st.varNames,
+		Atomics:  st.atomicNames,
+		Locks:    st.lockNames,
+		Onces:    st.onceNames,
+		Chans:    st.chanMeta,
 	}
 	b, err := json.MarshalIndent(&meta, "", "  ")
 	if err == nil {
@@ -574,14 +694,18 @@ func Shutdown() {
 // capacities for the rule-6 validator and the lowering, source names for
 // rendering reports, and the shim's own counters.
 type Meta struct {
-	Events  uint64                  `json:"events"`
-	Dropped uint64                  `json:"dropped,omitempty"`
-	Kinds   map[string]uint64       `json:"kinds"`
-	Vars    map[int32]string        `json:"vars"`
-	Atomics map[int32]string        `json:"atomics,omitempty"`
-	Locks   map[int32]string        `json:"locks,omitempty"`
-	Onces   map[int32]string        `json:"onces,omitempty"`
-	Chans   map[int32]chanMetaEntry `json:"chans,omitempty"`
+	Events  uint64 `json:"events"`
+	Dropped uint64 `json:"dropped,omitempty"`
+	// Timeouts counts log-side channel waits that hit EnvChanWait: each
+	// one marks a channel with uninstrumented peers going lossy, after
+	// which the capture on that channel is best-effort.
+	Timeouts uint64                  `json:"timeouts,omitempty"`
+	Kinds    map[string]uint64       `json:"kinds"`
+	Vars     map[int32]string        `json:"vars"`
+	Atomics  map[int32]string        `json:"atomics,omitempty"`
+	Locks    map[int32]string        `json:"locks,omitempty"`
+	Onces    map[int32]string        `json:"onces,omitempty"`
+	Chans    map[int32]chanMetaEntry `json:"chans,omitempty"`
 }
 
 // ChanCaps returns the channel-capacity map in the sidecar.

@@ -14,6 +14,8 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
+	"unsafe"
 
 	"repro/internal/goid"
 	"repro/internal/trace"
@@ -39,11 +41,11 @@ func resetForTest(t *testing.T) (tracePath string) {
 	st.active = true
 	st.opened = false
 	st.nextTid = 1
-	st.vars = map[uintptr]int32{}
-	st.atomics = map[uintptr]int32{}
-	st.locks = map[uintptr]int32{}
-	st.onces = map[uintptr]int32{}
-	st.chanIDs = map[uintptr]*chanState{}
+	st.vars = map[unsafe.Pointer]int32{}
+	st.atomics = map[unsafe.Pointer]int32{}
+	st.locks = map[unsafe.Pointer]int32{}
+	st.onces = map[unsafe.Pointer]int32{}
+	st.chanIDs = map[unsafe.Pointer]*chanState{}
 	st.varNames = map[int32]string{}
 	st.atomicNames = map[int32]string{}
 	st.lockNames = map[int32]string{}
@@ -52,6 +54,7 @@ func resetForTest(t *testing.T) (tracePath string) {
 	st.events = 0
 	st.byKind = [numKinds]uint64{}
 	st.dropped = 0
+	st.timeouts = 0
 	st.gs.Put(goid.ID(), &G{tid: 0})
 	return tracePath
 }
@@ -465,6 +468,128 @@ func TestDisabledPassThrough(t *testing.T) {
 	}
 	if fi.Size() != 0 {
 		t.Fatalf("capture file written while disabled: %d bytes", fi.Size())
+	}
+}
+
+// TestUninstrumentedProducerFallsBack receives from a channel whose
+// sender never logs — as time.After, ticker.C or any raw goroutine in
+// uninstrumented code would — and requires the receive to complete
+// promptly with the record dropped, rather than the real goroutine
+// blocking forever on a send record that will never come. Regression
+// test for the gadget's lossy-channel fallback.
+func TestUninstrumentedProducerFallsBack(t *testing.T) {
+	path := resetForTest(t)
+	t.Setenv(EnvChanWait, "20ms")
+	_ = Bind()
+
+	ch := make(chan int)
+	go func() { ch <- 7 }() // raw, uninstrumented sender: no send record
+	done := make(chan int, 1)
+	go func() {
+		cg := Bind()
+		done <- Recv(cg, "ch", ch)
+	}()
+	select {
+	case v := <-done:
+		if v != 7 {
+			t.Fatalf("Recv = %d, want 7", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv hung on a channel with an uninstrumented sender")
+	}
+
+	// The channel went lossy on the first timeout: a second receive must
+	// fall back immediately, without paying the wait again.
+	go func() { ch <- 8 }()
+	go func() {
+		cg := Bind()
+		done <- Recv(cg, "ch", ch)
+	}()
+	select {
+	case v := <-done:
+		if v != 8 {
+			t.Fatalf("second Recv = %d, want 8", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second Recv hung on a lossy channel")
+	}
+	Shutdown()
+
+	tr := decodeTrace(t, path)
+	for _, op := range tr {
+		if op.Kind == trace.ChanRecv {
+			t.Fatalf("unjustifiable receive was emitted: %v", tr)
+		}
+	}
+	meta := loadMeta(t, path)
+	if meta.Dropped != 2 {
+		t.Errorf("dropped = %d, want 2 (both unjustifiable receives)", meta.Dropped)
+	}
+	if meta.Timeouts != 1 {
+		t.Errorf("timeouts = %d, want 1 (only the first receive waits)", meta.Timeouts)
+	}
+	if err := trace.ValidateExt(tr, extFromMeta(meta)); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+}
+
+// TestSelectSendCloseRaceCreditsReceiver forges the select-send/close log
+// race: the send committed for real but its record lands after a logged
+// close and is dropped. The goroutine that really received the value must
+// not block waiting for that send record — the drop credits it, and its
+// receive is logged justified by the close instead.
+func TestSelectSendCloseRaceCreditsReceiver(t *testing.T) {
+	path := resetForTest(t)
+	g := Bind()
+	ch := make(chan int, 1)
+
+	select {
+	case ch <- 1: // real send committed, not yet logged (select path)
+	default:
+		t.Fatal("buffered send blocked")
+	}
+	CloseChan(g, "ch", ch) // close logged before the select send's record
+	SendSel(g, "ch", ch)   // too late: dropped, credits the receiver
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		cg := Bind()
+		if v, ok := Recv2(cg, "ch", ch); v != 1 || !ok {
+			t.Errorf("Recv2 = %d, %v; want 1, true", v, ok)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("receiver of the dropped select send hung")
+	}
+	Shutdown()
+
+	tr := decodeTrace(t, path)
+	meta := loadMeta(t, path)
+	closeIdx, recvIdx := -1, -1
+	for i, op := range tr {
+		switch op.Kind {
+		case trace.ChanClose:
+			closeIdx = i
+		case trace.ChanRecv:
+			recvIdx = i
+		case trace.ChanSend:
+			t.Fatalf("dropped select send was emitted: %v", tr)
+		}
+	}
+	if closeIdx < 0 || recvIdx < closeIdx {
+		t.Fatalf("stream = %v, want the credited recv after the close", tr)
+	}
+	if meta.Dropped != 1 {
+		t.Errorf("dropped = %d, want 1 (the select send only)", meta.Dropped)
+	}
+	if meta.Timeouts != 0 {
+		t.Errorf("timeouts = %d, want 0 — the credit must unblock without a wait", meta.Timeouts)
+	}
+	if err := trace.ValidateExt(tr, extFromMeta(meta)); err != nil {
+		t.Fatalf("infeasible: %v", err)
 	}
 }
 

@@ -21,11 +21,17 @@ import (
 	"unsafe"
 )
 
-func addrOf(p any) uintptr {
-	return reflect.ValueOf(p).Pointer()
+// addrOf and ptr produce the interning key for a traced object. Both
+// stay in unsafe.Pointer form end to end — never uintptr — so the
+// pointer remains visible to escape analysis and the GC: storing it in
+// the id tables heap-allocates the object and pins it, which is what
+// keeps ids stable across stack growth and address reuse (see the
+// package comment).
+func addrOf(p any) unsafe.Pointer {
+	return reflect.ValueOf(p).UnsafePointer()
 }
 
-func ptr[T any](p *T) uintptr { return uintptr(unsafe.Pointer(p)) }
+func ptr[T any](p *T) unsafe.Pointer { return unsafe.Pointer(p) }
 
 // Rd logs a read of *p and returns it. The rewriter maps a value-context
 // use of an addressable shared expression e to Rd(g, site, &e), and a
@@ -65,7 +71,7 @@ func WrAddr(g *G, site string, p any) { write(g, site, addrOf(p)) }
 // cost of index-insensitivity, matching how the Go runtime's own map
 // race instrumentation hashes the header.
 
-func mapAddr(m any) uintptr { return reflect.ValueOf(m).Pointer() }
+func mapAddr(m any) unsafe.Pointer { return reflect.ValueOf(m).UnsafePointer() }
 
 // MapRd logs a read of m and returns m[k].
 func MapRd[K comparable, V any](g *G, site string, m map[K]V, k K) V {
