@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race vet lint bench bench-parallel metrics-smoke stream-smoke static-smoke par-smoke perf-smoke server-smoke chan-smoke go-smoke fuzz fuzz-smoke soak coverage clean
+.PHONY: all build test race vet lint bench bench-parallel bench-sampling metrics-smoke stream-smoke static-smoke par-smoke perf-smoke server-smoke chan-smoke go-smoke sample-smoke fuzz fuzz-smoke soak coverage clean
 
 all: build
 
@@ -35,6 +35,13 @@ bench:
 # committed numbers at the paper-scale trace sizes.
 bench-parallel:
 	$(GO) run ./cmd/vft-bench -parallel 1,2,4,8 -quick -iters 3
+
+# The sampling-tier overhead-vs-recall sweep (EXPERIMENTS.md E22);
+# BENCH_sampling.json lands in the repo root. Drop -quick to reproduce the
+# committed numbers. Exits nonzero if any rate violates the soundness
+# gates (subset below 1.0, identity at 1.0).
+bench-sampling:
+	$(GO) run ./cmd/vft-bench -sampling -quick -iters 3
 
 # End-to-end check of the live metrics endpoint: runs vft-bench with
 # -metrics-addr and scrapes /metrics + /debug/vars while it serves.
@@ -89,6 +96,13 @@ chan-smoke:
 go-smoke:
 	$(GO) run ./scripts/go-smoke -v
 
+# End-to-end check of the sampling tier under the Go race detector: a
+# rate sweep over a generated trace plus the conformance corpus, failing
+# on any soundness violation (sampled reports must equal the precise
+# reports filtered to sampled variables) or any rate-1.0 divergence.
+sample-smoke:
+	$(GO) run -race ./scripts/sample-smoke
+
 # The differential fuzzers: the sequential trace fuzzer, the controlled
 # schedule explorer, then a bounded run of each coverage-guided target.
 fuzz:
@@ -103,6 +117,7 @@ fuzz:
 	$(GO) test ./internal/staticrace -run '^$$' -fuzz FuzzStaticNoPanic -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/parcheck -run '^$$' -fuzz FuzzParallelEquivalence -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/ingest -run '^$$' -fuzz FuzzIngestHTTP -fuzztime $(FUZZTIME)
+	$(GO) test . -run '^$$' -fuzz FuzzSamplingSoundness -fuzztime $(FUZZTIME)
 
 # Quick pass over every coverage-guided target's checked-in seed corpus
 # (no fuzzing time budget — just the deterministic seeds, as CI does).
@@ -113,6 +128,7 @@ fuzz-smoke:
 	$(GO) test ./internal/staticrace -run 'FuzzStaticNoPanic' -count 1
 	$(GO) test ./internal/parcheck -run 'FuzzParallelEquivalence' -count 1
 	$(GO) test ./internal/ingest -run 'FuzzIngestHTTP' -count 1
+	$(GO) test . -run 'FuzzSamplingSoundness' -count 1
 
 # Long-running schedule exploration (hundreds of schedules per program).
 soak:

@@ -33,6 +33,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/parcheck"
 	"repro/internal/rtsim"
+	"repro/internal/sample"
 	"repro/internal/sched"
 	"repro/internal/spec"
 	"repro/internal/staticrace"
@@ -158,7 +159,7 @@ func Race(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	raced := false
 	var verdicts []bool
 	for _, v := range variants {
-		d, err := core.New(v, configFor(low))
+		d, err := newDetectorFor(v, configFor(low))
 		if err != nil {
 			fmt.Fprintln(stderr, "vft-race:", err)
 			return 2
@@ -215,6 +216,47 @@ func Race(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// newDetectorFor builds the detector for a variant spelling, accepting
+// the "sampled[:rate]" tier everywhere the precise names are accepted.
+// The inner detector of a sampled tier is pre-sized for the expected
+// sampled population, not the full id space (lazy materialization); the
+// decision table covers the full space at four bytes per variable.
+func newDetectorFor(variant string, cfg core.Config) (core.Detector, error) {
+	base, pol, err := sample.ParseVariant(variant)
+	if err != nil {
+		return nil, err
+	}
+	return newSampled(base, cfg, pol)
+}
+
+// newSampled builds a base-variant detector, wrapped in the sampling tier
+// when pol is non-nil.
+func newSampled(base string, cfg core.Config, pol *sample.Policy) (core.Detector, error) {
+	if pol == nil {
+		return core.New(base, cfg)
+	}
+	innerCfg := cfg
+	innerCfg.Vars = sampledVarsHint(pol.Rate, cfg.Vars)
+	inner, err := core.New(base, innerCfg)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewSampling(inner, *pol, cfg.Vars), nil
+}
+
+// sampledVarsHint sizes a sampled tier's inner shadow tables for the
+// expected sampled population: rate·vars plus slack, clamped to [1, vars].
+func sampledVarsHint(rate float64, vars int) int {
+	hint := int(rate*float64(vars)) + 16
+	if hint > vars {
+		hint = vars
+	}
+	if hint < 1 {
+		hint = 1
+	}
+	return hint
+}
+
 func configFor(tr trace.Trace) core.Config {
 	cfg := core.Config{Threads: 8, Vars: 64, Locks: 16}
 	for _, op := range tr {
@@ -246,6 +288,10 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 		"comma-separated worker counts (e.g. 1,2,4,8): run the parallel-checking benchmark (EXPERIMENTS.md E17) instead of Table 1; 1 is the sequential baseline; uses the -detectors variant when exactly one is named, else vft-v2")
 	fastpath := fs.Bool("fastpath", false,
 		"run the clock-layer benchmark (EXPERIMENTS.md E20) instead of Table 1: same-epoch fast-path latency and allocs per clock representation, plus offline checking of the paper-scale workloads under each representation with a report cross-check")
+	sampling := fs.Bool("sampling", false,
+		"run the sampling-tier benchmark (EXPERIMENTS.md E22) instead of Table 1: per-access cost, trace-checking overhead and conformance recall per sampling rate, with the soundness gates checked")
+	samplingRates := fs.String("rates", "",
+		"comma-separated sampling rates for -sampling (default 1,0.1,0.01,0.001)")
 	clock := fs.String("clock", "",
 		"vector-clock representation for the Table 1 run: dense (default) or tree")
 	traceFile := fs.String("trace", "",
@@ -274,6 +320,13 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 			path = "BENCH_fastpath.json" // the -json default names the other table
 		}
 		return benchFastPath(splitList(*detectors), *programs, *iters, *warmup, *quick, path, stdout, stderr)
+	}
+	if *sampling {
+		path := *jsonPath
+		if path == "BENCH_table1.json" {
+			path = "BENCH_sampling.json" // the -json default names the other table
+		}
+		return benchSampling(*samplingRates, *iters, *warmup, *quick, path, stdout, stderr)
 	}
 	if *parallel != "" {
 		path := *jsonPath
@@ -451,6 +504,55 @@ func benchFastPath(detectors []string, programs string, iters, warmup int, quick
 	}
 	if table.Divergent() {
 		fmt.Fprintln(stderr, "vft-bench: report lists diverged between clock representations")
+		return 1
+	}
+	return 0
+}
+
+// benchSampling is vft-bench -sampling: the overhead-vs-recall sweep of
+// the sampling tier (EXPERIMENTS.md E22), written to BENCH_sampling.json.
+// Exit 1 flags a soundness failure — a rate-1.0 run that was not
+// report-identical to the precise tier, or any rate whose reports were
+// not the precise reports restricted to its sampled variables.
+func benchSampling(rates string, iters, warmup int, quick bool, jsonPath string, stdout, stderr io.Writer) int {
+	opts := harness.SamplingOptions{Iters: iters, Warmup: warmup, Quick: quick}
+	for _, raw := range splitList(rates) {
+		rate, err := sample.ParseRate(raw)
+		if err != nil {
+			fmt.Fprintln(stderr, "vft-bench:", err)
+			return 2
+		}
+		opts.Rates = append(opts.Rates, rate)
+	}
+	table, err := harness.RunSampling(opts)
+	if err != nil {
+		fmt.Fprintln(stderr, "vft-bench:", err)
+		return 2
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "vft-bench:", err)
+			return 2
+		}
+		err = table.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "vft-bench:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "vft-bench: wrote %s\n", jsonPath)
+	}
+	fmt.Fprintln(stdout, "Sampling tier — overhead vs recall (EXPERIMENTS.md E22)")
+	fmt.Fprintln(stdout)
+	if err := table.Format(stdout); err != nil {
+		fmt.Fprintln(stderr, "vft-bench:", err)
+		return 2
+	}
+	if table.Divergent() {
+		fmt.Fprintln(stderr, "vft-bench: sampling soundness gate failed (see the gates column)")
 		return 1
 	}
 	return 0
@@ -907,6 +1009,10 @@ func RunProg(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		"per-channel buffer capacities for trace inputs, comma-separated id:cap pairs (absent channels are unbuffered)")
 	clock := fs.String("clock", "",
 		"vector-clock representation: dense (default) or tree (identical reports, different cost)")
+	sampleRate := fs.Float64("sample", 1,
+		"check through the sampling tier at this per-variable rate (1 = precise unless set explicitly; overrides a -d sampled:<rate> spelling)")
+	sampleSeed := fs.Uint64("sample-seed", 0,
+		"sampling seed (0 = library default); decisions are a pure function of (seed, variable id)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -918,6 +1024,33 @@ func RunProg(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "vft-run:", err)
 		return 2
+	}
+	base, pol, err := sample.ParseVariant(*variant)
+	if err != nil {
+		fmt.Fprintln(stderr, "vft-run:", err)
+		return 2
+	}
+	*variant = base
+	fs.Visit(func(f *flag.Flag) {
+		// An explicit -sample (even -sample 1, the identity gate) selects
+		// the sampling tier and overrides a -d sampled:<rate> spelling.
+		if f.Name == "sample" {
+			pol = &sample.Policy{Rate: *sampleRate}
+		}
+	})
+	if pol != nil {
+		pol.Seed = *sampleSeed
+		if pol.Seed == 0 {
+			pol.Seed = sample.DefaultSeed
+		}
+		if err := pol.Validate(); err != nil {
+			fmt.Fprintln(stderr, "vft-run:", err)
+			return 2
+		}
+		if *variant == "none" {
+			fmt.Fprintln(stderr, "vft-run: -sample needs a detector variant, not 'none'")
+			return 2
+		}
 	}
 	detCfg := core.DefaultConfig()
 	detCfg.ClockImpl = clockImpl
@@ -976,13 +1109,13 @@ func RunProg(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 				fmt.Fprintln(stderr, "vft-run: -parallel needs a detector variant, not 'none'")
 				return 2
 			}
-			return runTraceParallel(br, path, *variant, *parallelN, clockImpl, ext, reg, stdout, stderr)
+			return runTraceParallel(br, path, *variant, *parallelN, clockImpl, ext, reg, pol, stdout, stderr)
 		}
 		if (path == "-" || path == "") && *runs > 1 {
 			fmt.Fprintln(stderr, "vft-run: -runs > 1 needs a re-readable file, not stdin")
 			return 2
 		}
-		return runTrace(path, br, *variant, *runs, detCfg, ext, reg, rtOpts, stdout, stderr)
+		return runTrace(path, br, *variant, *runs, detCfg, ext, reg, rtOpts, pol, stdout, stderr)
 	}
 	if *parallelN != 1 {
 		fmt.Fprintln(stderr, "vft-run: -parallel applies to trace inputs (use -trace for text traces)")
@@ -1010,7 +1143,7 @@ func RunProg(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	for i := 0; i < *runs; i++ {
 		var d core.Detector
 		if *variant != "none" {
-			d, err = core.New(*variant, detCfg)
+			d, err = newSampled(*variant, detCfg, pol)
 			if err != nil {
 				fmt.Fprintln(stderr, "vft-run:", err)
 				return 2
@@ -1056,7 +1189,7 @@ func RunProg(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 // decode → validate → desugar → rtsim.Replay on a fresh runtime, never
 // materializing the trace. The first run consumes in; later runs reopen
 // path (the caller has already ruled out stdin when runs > 1).
-func runTrace(path string, in io.Reader, variant string, runs int, cfg core.Config, ext *trace.Extensions, reg *obs.Registry, rtOpts []rtsim.Option, stdout, stderr io.Writer) int {
+func runTrace(path string, in io.Reader, variant string, runs int, cfg core.Config, ext *trace.Extensions, reg *obs.Registry, rtOpts []rtsim.Option, pol *sample.Policy, stdout, stderr io.Writer) int {
 	raced := false
 	for i := 0; i < runs; i++ {
 		r := in
@@ -1068,7 +1201,7 @@ func runTrace(path string, in io.Reader, variant string, runs int, cfg core.Conf
 			}
 			r = f
 		}
-		racedOnce, code := runTraceOnce(r, path, variant, cfg, ext, reg, rtOpts, stdout, stderr)
+		racedOnce, code := runTraceOnce(r, path, variant, cfg, ext, reg, rtOpts, pol, stdout, stderr)
 		if f, ok := r.(*os.File); ok && i > 0 {
 			f.Close()
 		}
@@ -1092,7 +1225,7 @@ func runTrace(path string, in io.Reader, variant string, runs int, cfg core.Conf
 // (schedule-independent, unlike re-execution), printed deduplicated per
 // variable like the other modes. With -metrics-addr, the checker's
 // "parcheck" source lands in the registry.
-func runTraceParallel(in io.Reader, path, variant string, workers int, clockImpl vc.Impl, ext *trace.Extensions, reg *obs.Registry, stdout, stderr io.Writer) int {
+func runTraceParallel(in io.Reader, path, variant string, workers int, clockImpl vc.Impl, ext *trace.Extensions, reg *obs.Registry, pol *sample.Policy, stdout, stderr io.Writer) int {
 	src, err := trace.NewDecoder(in)
 	if err != nil {
 		fmt.Fprintln(stderr, "vft-run:", err)
@@ -1114,6 +1247,7 @@ func runTraceParallel(in io.Reader, path, variant string, workers int, clockImpl
 			Locks:     clampTableHint(ids.Locks, 1<<20),
 			Metrics:   reg,
 			ClockImpl: clockImpl,
+			Sampling:  pol,
 		})
 	})
 	if err != nil {
@@ -1148,7 +1282,7 @@ func clampTableHint(n, max int) int {
 
 // runTraceOnce re-executes one trace stream as a live concurrent program.
 // Like a program run, reports are deduplicated per variable for printing.
-func runTraceOnce(in io.Reader, path, variant string, cfg core.Config, ext *trace.Extensions, reg *obs.Registry, rtOpts []rtsim.Option, stdout, stderr io.Writer) (bool, int) {
+func runTraceOnce(in io.Reader, path, variant string, cfg core.Config, ext *trace.Extensions, reg *obs.Registry, rtOpts []rtsim.Option, pol *sample.Policy, stdout, stderr io.Writer) (bool, int) {
 	src, err := trace.NewDecoder(in)
 	if err != nil {
 		fmt.Fprintln(stderr, "vft-run:", err)
@@ -1156,7 +1290,7 @@ func runTraceOnce(in io.Reader, path, variant string, cfg core.Config, ext *trac
 	}
 	var d core.Detector
 	if variant != "none" {
-		if d, err = core.New(variant, cfg); err != nil {
+		if d, err = newSampled(variant, cfg, pol); err != nil {
 			fmt.Fprintln(stderr, "vft-run:", err)
 			return false, 2
 		}

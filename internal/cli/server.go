@@ -9,12 +9,35 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/ingest"
 	"repro/internal/obs"
+	"repro/internal/sample"
 )
+
+// parseTenantSamples parses the -tenant-samples grammar: comma-separated
+// tenant:rate pairs, each rate a sampling probability in [0, 1].
+func parseTenantSamples(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	m := make(map[string]float64)
+	for _, pair := range strings.Split(s, ",") {
+		tenant, raw, ok := strings.Cut(pair, ":")
+		if !ok || tenant == "" {
+			return nil, fmt.Errorf("tenant-samples: %q is not a tenant:rate pair", pair)
+		}
+		rate, err := sample.ParseRate(raw)
+		if err != nil {
+			return nil, fmt.Errorf("tenant-samples: tenant %q: %v", tenant, err)
+		}
+		m[tenant] = rate
+	}
+	return m, nil
+}
 
 // serverSignals is the shutdown trigger, a variable so tests can drive a
 // drain without delivering a real signal to the test process.
@@ -58,6 +81,12 @@ func Server(args []string, stdout, stderr io.Writer) int {
 		"cumulative upload quota per tenant (0 = unlimited)")
 	retention := fs.Int("upload-retention", 0,
 		"per-upload verbatim report lists retained per tenant (0 = 64)")
+	sampleRate := fs.Float64("sample", 0,
+		"default per-variable sampling rate for uploads (0 = precise; requests override with ?sample=)")
+	sampleSeed := fs.Uint64("sample-seed", 0,
+		"sampling seed for uploads without ?sample_seed= (0 = library default)")
+	tenantSamples := fs.String("tenant-samples", "",
+		"per-tenant sampling rates as comma-separated tenant:rate pairs (\"prod:0.01,staging:1\")")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second,
 		"how long to wait for in-flight uploads on shutdown")
 	if err := fs.Parse(args); err != nil {
@@ -65,6 +94,15 @@ func Server(args []string, stdout, stderr io.Writer) int {
 	}
 	if fs.NArg() != 0 {
 		fmt.Fprintln(stderr, "vft-server: usage: vft-server [flags] (no arguments)")
+		return 2
+	}
+	tenantRates, err := parseTenantSamples(*tenantSamples)
+	if err != nil {
+		fmt.Fprintln(stderr, "vft-server:", err)
+		return 2
+	}
+	if *sampleRate < 0 || *sampleRate > 1 {
+		fmt.Fprintf(stderr, "vft-server: -sample must be in [0, 1], got %v\n", *sampleRate)
 		return 2
 	}
 
@@ -82,6 +120,9 @@ func Server(args []string, stdout, stderr io.Writer) int {
 		TenantMaxBytes:    *tenantBytes,
 		TenantMaxStreams:  *tenantStreams,
 		UploadRetention:   *retention,
+		DefaultSampleRate: *sampleRate,
+		TenantSampleRates: tenantRates,
+		SampleSeed:        *sampleSeed,
 		Metrics:           reg,
 	})
 

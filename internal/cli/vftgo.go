@@ -10,11 +10,14 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 
+	verifiedft "repro"
 	"repro/internal/goinstr"
 	"repro/internal/ingest"
 	"repro/internal/obs"
+	"repro/internal/sample"
 )
 
 // RunVftGo implements vft-go: instrument a real Go package, execute it
@@ -36,9 +39,27 @@ func RunVftGo(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		"vft-server base URL: also upload the trace and diff its reports against the local check")
 	tenant := fs.String("tenant", "vft-go", "tenant name for -server uploads")
 	metricsAddr := fs.String("metrics-addr", "", "serve instrumentation counters on this address")
+	sampleRate := fs.Float64("sample", 1,
+		"check the captured trace through the sampling tier at this per-variable rate (1 = precise unless set explicitly)")
+	sampleSeed := fs.Uint64("sample-seed", 0, "sampling seed (0 = library default)")
 	verbose := fs.Bool("v", false, "per-phase detail")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	var pol *sample.Policy
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "sample" {
+			pol = &sample.Policy{Rate: *sampleRate, Seed: *sampleSeed}
+		}
+	})
+	if pol != nil {
+		if pol.Seed == 0 {
+			pol.Seed = sample.DefaultSeed
+		}
+		if err := pol.Validate(); err != nil {
+			fmt.Fprintln(stderr, "vft-go:", err)
+			return 2
+		}
 	}
 	rest := fs.Args()
 	if len(rest) < 2 {
@@ -136,7 +157,12 @@ func RunVftGo(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 	}
 
-	cr, err := goinstr.Check(tracePath, metaPath)
+	var checkOpts []verifiedft.CheckOption
+	if pol != nil {
+		checkOpts = append(checkOpts,
+			verifiedft.WithSampling(pol.Rate, verifiedft.WithSamplingSeed(pol.Seed)))
+	}
+	cr, err := goinstr.Check(tracePath, metaPath, checkOpts...)
 	if err != nil {
 		fmt.Fprintln(stderr, "vft-go:", err)
 		return 2
@@ -156,7 +182,7 @@ func RunVftGo(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 
 	if *server != "" {
-		serverLines, err := uploadAndRender(*server, *tenant, tracePath, cr)
+		serverLines, err := uploadAndRender(*server, *tenant, tracePath, cr, pol)
 		if err != nil {
 			fmt.Fprintln(stderr, "vft-go:", err)
 			return 2
@@ -177,9 +203,16 @@ func RunVftGo(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 
 // uploadAndRender POSTs the captured trace to a vft-server with the
 // sidecar's channel capacities and renders the server's reports with the
-// same canonical naming the local check used.
-func uploadAndRender(base, tenant, tracePath string, cr *goinstr.CheckResult) ([]string, error) {
+// same canonical naming the local check used. A local sampling policy is
+// forwarded as ?sample=/&sample_seed= so the server's decisions (a pure
+// function of seed and variable id) match the local check's exactly and
+// the report diff stays meaningful.
+func uploadAndRender(base, tenant, tracePath string, cr *goinstr.CheckResult, pol *sample.Policy) ([]string, error) {
 	q := url.Values{"tenant": {tenant}}
+	if pol != nil {
+		q.Set("sample", strconv.FormatFloat(pol.Rate, 'g', -1, 64))
+		q.Set("sample_seed", strconv.FormatUint(pol.Seed, 10))
+	}
 	if cr.Meta != nil {
 		var pairs []string
 		for id, c := range cr.Meta.ChanCaps() {

@@ -24,8 +24,9 @@ type CheckResult struct {
 
 // Check decodes the binary trace at tracePath, loads the meta sidecar,
 // and replays the trace through the verified detector with the channel
-// capacities the shim recorded.
-func Check(tracePath, metaPath string) (*CheckResult, error) {
+// capacities the shim recorded. Extra options (a sampling tier, a clock
+// implementation) are appended after the defaults, so they win.
+func Check(tracePath, metaPath string, extra ...verifiedft.CheckOption) (*CheckResult, error) {
 	f, err := os.Open(tracePath)
 	if err != nil {
 		return nil, fmt.Errorf("goinstr: %w", err)
@@ -51,6 +52,7 @@ func Check(tracePath, metaPath string) (*CheckResult, error) {
 	if len(caps) > 0 {
 		opts = append(opts, verifiedft.WithChanCapacities(caps))
 	}
+	opts = append(opts, extra...)
 	reports, err := verifiedft.CheckTrace(tr, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("goinstr: checking trace: %w", err)

@@ -400,15 +400,16 @@ func (t *FastPathTable) Divergent() bool {
 // jsonFastPathTable is the stable machine-readable shape of
 // BENCH_fastpath.json.
 type jsonFastPathTable struct {
-	Impls     []string                            `json:"impls"`
-	Detectors []string                            `json:"detectors"`
-	Iters     int                                 `json:"iters"`
-	Warmup    int                                 `json:"warmup"`
-	Workers   int                                 `json:"workers"`
-	Quick     bool                                `json:"quick"`
-	Micro     map[string]map[string]jsonMicroCell `json:"micro"`
-	Rows      []jsonFastPathRow                   `json:"rows"`
-	GeoMean   map[string]map[string]float64       `json:"geo_mean,omitempty"`
+	Provenance Provenance                          `json:"provenance"`
+	Impls      []string                            `json:"impls"`
+	Detectors  []string                            `json:"detectors"`
+	Iters      int                                 `json:"iters"`
+	Warmup     int                                 `json:"warmup"`
+	Workers    int                                 `json:"workers"`
+	Quick      bool                                `json:"quick"`
+	Micro      map[string]map[string]jsonMicroCell `json:"micro"`
+	Rows       []jsonFastPathRow                   `json:"rows"`
+	GeoMean    map[string]map[string]float64       `json:"geo_mean,omitempty"`
 }
 
 type jsonMicroCell struct {
@@ -430,14 +431,15 @@ type jsonFastPathRow struct {
 // WriteJSON renders the table as indented JSON.
 func (t *FastPathTable) WriteJSON(w io.Writer) error {
 	out := jsonFastPathTable{
-		Impls:     t.Options.Impls,
-		Detectors: t.Options.Detectors,
-		Iters:     t.Options.Iters,
-		Warmup:    t.Options.Warmup,
-		Workers:   t.Options.Workers,
-		Quick:     t.Options.Quick,
-		Micro:     map[string]map[string]jsonMicroCell{},
-		GeoMean:   t.GeoMean,
+		Provenance: CollectProvenance(),
+		Impls:      t.Options.Impls,
+		Detectors:  t.Options.Detectors,
+		Iters:      t.Options.Iters,
+		Warmup:     t.Options.Warmup,
+		Workers:    t.Options.Workers,
+		Quick:      t.Options.Quick,
+		Micro:      map[string]map[string]jsonMicroCell{},
+		GeoMean:    t.GeoMean,
 	}
 	for impl, cells := range t.Micro {
 		jc := map[string]jsonMicroCell{}

@@ -11,11 +11,12 @@ import (
 // for downstream tooling (plotting, regression tracking) regardless of how
 // the text formatting evolves.
 type jsonTable struct {
-	Detectors []string  `json:"detectors"`
-	Iters     int       `json:"iters"`
-	Warmup    int       `json:"warmup"`
-	Quick     bool      `json:"quick"`
-	Rows      []jsonRow `json:"rows"`
+	Provenance Provenance `json:"provenance"`
+	Detectors  []string   `json:"detectors"`
+	Iters      int        `json:"iters"`
+	Warmup     int        `json:"warmup"`
+	Quick      bool       `json:"quick"`
+	Rows       []jsonRow  `json:"rows"`
 	// GeoMean maps detector name to the geometric mean of its overheads —
 	// the summary line of Table 1.
 	GeoMean map[string]float64 `json:"geo_mean"`
@@ -40,11 +41,12 @@ type jsonRow struct {
 // WriteJSON renders the table as indented JSON.
 func (t *Table) WriteJSON(w io.Writer) error {
 	out := jsonTable{
-		Detectors: t.Options.Detectors,
-		Iters:     t.Options.Iters,
-		Warmup:    t.Options.Warmup,
-		Quick:     t.Options.Quick,
-		GeoMean:   t.GeoMean,
+		Provenance: CollectProvenance(),
+		Detectors:  t.Options.Detectors,
+		Iters:      t.Options.Iters,
+		Warmup:     t.Options.Warmup,
+		Quick:      t.Options.Quick,
+		GeoMean:    t.GeoMean,
 	}
 	for _, r := range t.Rows {
 		out.Rows = append(out.Rows, jsonRow{

@@ -213,12 +213,13 @@ func (t *ParallelTable) Format(w io.Writer) error {
 // BENCH_parallel.json. Worker counts become string keys, the JSON idiom
 // for integer-keyed maps.
 type jsonParallelTable struct {
-	Variant string            `json:"variant"`
-	Iters   int               `json:"iters"`
-	Warmup  int               `json:"warmup"`
-	Quick   bool              `json:"quick"`
-	Workers []int             `json:"workers"`
-	Rows    []jsonParallelRow `json:"rows"`
+	Provenance Provenance        `json:"provenance"`
+	Variant    string            `json:"variant"`
+	Iters      int               `json:"iters"`
+	Warmup     int               `json:"warmup"`
+	Quick      bool              `json:"quick"`
+	Workers    []int             `json:"workers"`
+	Rows       []jsonParallelRow `json:"rows"`
 }
 
 type jsonParallelRow struct {
@@ -233,11 +234,12 @@ type jsonParallelRow struct {
 // WriteJSON renders the table as indented JSON.
 func (t *ParallelTable) WriteJSON(w io.Writer) error {
 	out := jsonParallelTable{
-		Variant: t.Options.Variant,
-		Iters:   t.Options.Iters,
-		Warmup:  t.Options.Warmup,
-		Quick:   t.Options.Quick,
-		Workers: append([]int(nil), t.Options.Workers...),
+		Provenance: CollectProvenance(),
+		Variant:    t.Options.Variant,
+		Iters:      t.Options.Iters,
+		Warmup:     t.Options.Warmup,
+		Quick:      t.Options.Quick,
+		Workers:    append([]int(nil), t.Options.Workers...),
 	}
 	sort.Ints(out.Workers)
 	for _, r := range t.Rows {

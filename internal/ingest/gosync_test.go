@@ -21,7 +21,7 @@ func bufferedChanTrace() trace.Trace {
 		trace.Wr(0, 0),
 		trace.SendOp(0, 0), trace.SendOp(0, 0),
 		trace.RecvOp(1, 0),
-		trace.Rd(1, 0), // ordered by the channel: no race
+		trace.Rd(1, 0),                 // ordered by the channel: no race
 		trace.Wr(1, 1), trace.Wr(0, 1), // racy pair
 		trace.RecvOp(1, 0),
 		trace.JoinOp(0, 1),

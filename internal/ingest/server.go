@@ -49,6 +49,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/parcheck"
+	"repro/internal/sample"
 	"repro/internal/trace"
 )
 
@@ -102,6 +103,24 @@ type Config struct {
 	// the aggregated depot view is unaffected by eviction).
 	UploadRetention int
 
+	// DefaultSampleRate, when positive, checks every upload through the
+	// sampling tier at this per-variable rate unless the request says
+	// otherwise. Zero (the default) means uploads are checked precisely.
+	// The per-upload precedence is: ?sample= query parameter, then a
+	// "sampled:<rate>" variant spelling, then TenantSampleRates, then
+	// this field.
+	DefaultSampleRate float64
+	// TenantSampleRates overrides DefaultSampleRate per tenant. An entry
+	// applies sampling at that rate (including an explicit 0, which
+	// suppresses every access, and 1, which is report-identical to the
+	// precise tier).
+	TenantSampleRates map[string]float64
+	// SampleSeed keys the per-variable sampling hash for uploads that do
+	// not carry a ?sample_seed= parameter. Zero means sample.DefaultSeed,
+	// keeping server-side decisions byte-identical to an offline
+	// CheckTrace of the same bytes at the same rate.
+	SampleSeed uint64
+
 	// Metrics receives the service's instruments; nil creates a private
 	// registry (reachable via Registry).
 	Metrics *obs.Registry
@@ -152,6 +171,9 @@ type UploadResult struct {
 	Bytes   int64    `json:"bytes"`
 	Races   int      `json:"races"`
 	Reports []Report `json:"reports"`
+	// SampleRate is the per-variable sampling rate the upload was checked
+	// under; absent when the upload was checked precisely.
+	SampleRate *float64 `json:"sample_rate,omitempty"`
 }
 
 // TenantReport is the aggregated per-tenant view served by GET
@@ -441,10 +463,22 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	if variant == "" {
 		variant = "vft-v2"
 	}
+	variant, pol, err := sample.ParseVariant(variant)
+	if err != nil {
+		s.cRejInvalid.Inc(0)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	if !variantKnown(variant) {
 		s.cRejInvalid.Inc(0)
 		s.writeError(w, http.StatusBadRequest,
-			"unknown detector variant %q (one of %v)", variant, core.Variants())
+			"unknown detector variant %q (one of %v, or sampled[:rate])", variant, core.Variants())
+		return
+	}
+	pol, err = s.resolveSampling(q, name, pol)
+	if err != nil {
+		s.cRejInvalid.Inc(0)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	ext, err := parseExtensions(q.Get("parties"), q.Get("chancap"))
@@ -485,7 +519,7 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 
 	start := time.Now()
 	body := &bodyReader{r: r.Body, max: s.cfg.MaxBodyBytes}
-	res, herr := s.check(body, variant, ext)
+	res, herr := s.check(body, variant, ext, pol)
 	s.cBytes.Add(slot, uint64(body.n))
 	ten.mu.Lock()
 	ten.bytes += body.n
@@ -587,9 +621,62 @@ func parseIntPairs(s, name string, min int) (map[trace.Lock]int, error) {
 	return m, nil
 }
 
+// resolveSampling resolves the per-upload sampling policy: the ?sample=
+// query parameter wins, then a "sampled:<rate>" variant spelling (pol),
+// then the tenant's configured rate, then the server default. The seed is
+// ?sample_seed= when present, else Config.SampleSeed, else the library
+// default — so a server-side check stays byte-identical to an offline
+// CheckTrace of the same bytes at the same rate and seed.
+func (s *Server) resolveSampling(q map[string][]string, tenant string, pol *sample.Policy) (*sample.Policy, error) {
+	get := func(key string) string {
+		if v := q[key]; len(v) > 0 {
+			return v[0]
+		}
+		return ""
+	}
+	if raw := get("sample"); raw != "" {
+		rate, err := sample.ParseRate(raw) // its errors already carry the "sample:" prefix
+		if err != nil {
+			return nil, err
+		}
+		pol = &sample.Policy{Rate: rate}
+	}
+	if pol == nil {
+		if rate, ok := s.cfg.TenantSampleRates[tenant]; ok {
+			pol = &sample.Policy{Rate: rate}
+		} else if s.cfg.DefaultSampleRate > 0 {
+			pol = &sample.Policy{Rate: s.cfg.DefaultSampleRate}
+		}
+	}
+	if pol == nil {
+		return nil, nil
+	}
+	p := *pol // never alias the caller's (or config's) policy
+	if p.Seed == 0 {
+		p.Seed = s.cfg.SampleSeed
+	}
+	if raw := get("sample_seed"); raw != "" {
+		seed, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sample_seed: bad seed %q", raw)
+		}
+		p.Seed = seed
+	}
+	if p.Seed == 0 {
+		p.Seed = sample.DefaultSeed
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
 // check runs one stream through decode → limit → validate → desugar →
 // parcheck and returns the upload result (Tenant/Upload/Bytes unset).
-func (s *Server) check(body io.Reader, variant string, ext *trace.Extensions) (*UploadResult, error) {
+// A non-nil pol checks the upload through the sampling tier; the
+// decisions are a pure function of (seed, variable id), so the reports
+// are exactly what an offline sampled check of the same bytes returns.
+func (s *Server) check(body io.Reader, variant string, ext *trace.Extensions, pol *sample.Policy) (*UploadResult, error) {
 	dec, err := trace.NewDecoder(body)
 	if err != nil {
 		return nil, err
@@ -601,16 +688,22 @@ func (s *Server) check(body io.Reader, variant string, ext *trace.Extensions) (*
 		Workers:          s.cfg.ShardWorkers,
 		MaxReportsPerVar: s.cfg.MaxReportsPerVar,
 		StatsSink:        s.foldParcheck,
+		Sampling:         pol,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &UploadResult{
+	res := &UploadResult{
 		Variant: variant,
 		Ops:     counted.n,
 		Races:   len(reports),
 		Reports: FromCoreAll(reports),
-	}, nil
+	}
+	if pol != nil {
+		rate := pol.Rate
+		res.SampleRate = &rate
+	}
+	return res, nil
 }
 
 // foldParcheck accumulates one check's parcheck stats into the service

@@ -43,6 +43,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/epoch"
 	"repro/internal/obs"
+	"repro/internal/sample"
 	"repro/internal/trace"
 	"repro/internal/vc"
 )
@@ -78,6 +79,14 @@ type Options struct {
 	// DisablePool turns off backing-array recycling for the prepass's
 	// clocks and snapshots (the seed allocation behavior).
 	DisablePool bool
+	// Sampling, when non-nil, enables the per-variable sampling tier:
+	// accesses to variables the policy rejects are dropped in the prepass
+	// (counted in the stats as sampling.suppressed_*) before they reach a
+	// shard. The policy is a pure function of (seed, variable id), so the
+	// sharded run and the sequential sampled replay drop exactly the same
+	// accesses and their report lists stay byte-identical; see
+	// internal/sample for the soundness argument.
+	Sampling *sample.Policy
 }
 
 // batchSize is the shard-queue granularity: large enough to amortize
@@ -242,6 +251,7 @@ func run(opts Options, streamFn func(*prepassState) error) ([]core.Report, error
 	p := &prepassState{
 		mode:     mode,
 		impl:     opts.ClockImpl,
+		sampler:  opts.Sampling,
 		vcPool:   vcPool,
 		joinInc:  vs.joinInc,
 		intern:   vc.NewInterner(),
@@ -317,6 +327,13 @@ type prepassState struct {
 	joinInc bool
 	intern  *vc.Interner
 
+	// sampler is the optional per-variable sampling policy; decisions is
+	// its dense cache (0 undecided, 1 sampled, 2 suppressed), plain bytes
+	// because the prepass is the single serial phase — the hot check is
+	// one slice load and a compare.
+	sampler   *sample.Policy
+	decisions []uint8
+
 	threads []*threadState
 	locks   []*vc.Frozen // release clocks by lowered lock id (clock modes)
 
@@ -345,6 +362,32 @@ type prepassState struct {
 	ops, accesses, syncs, batchesSent uint64
 	fusedRuns, fusedOps               uint64
 	maxQueueDepth                     int
+
+	suppressedReads, suppressedWrites uint64
+	sampledVars, suppressedVars       uint64
+}
+
+// sampledVar answers the sampling decision for x through the dense cache,
+// consulting the policy hash only on a variable's first access.
+func (p *prepassState) sampledVar(x trace.Var) bool {
+	i := int(uint32(x))
+	if i >= len(p.decisions) {
+		p.decisions = append(p.decisions, make([]uint8, i+1-len(p.decisions))...)
+	}
+	switch p.decisions[i] {
+	case 1:
+		return true
+	case 2:
+		return false
+	}
+	if p.sampler.Sampled(x) {
+		p.decisions[i] = 1
+		p.sampledVars++
+		return true
+	}
+	p.decisions[i] = 2
+	p.suppressedVars++
+	return false
 }
 
 func (p *prepassState) thread(t epoch.Tid) *threadState {
@@ -422,6 +465,19 @@ func (p *prepassState) send(shard int, batch []access) {
 // heavier than plain routing. A batch boundary splits a run into two
 // records, which replay identically.
 func (p *prepassState) emitAccess(idx int, t epoch.Tid, x trace.Var, write bool) {
+	// Sampling filters here, before run fusion and routing: a suppressed
+	// access neither ends the open fused run nor reaches a shard, exactly
+	// as if the filtered trace had never contained it — which is what
+	// keeps the sharded sampled run byte-identical to the sequential
+	// sampled replay (both equal the precise check of the filtered trace).
+	if p.sampler != nil && !p.sampledVar(x) {
+		if write {
+			p.suppressedWrites++
+		} else {
+			p.suppressedReads++
+		}
+		return
+	}
 	p.accesses++
 	if a := p.last; a != nil && a.t == t && a.x == x && int(a.n) < fuseMax {
 		if write {
@@ -646,6 +702,17 @@ func (p *prepassState) stats(ws []*shardWorker, reports uint64) obs.Snapshot {
 		s.Counters["vc.pool.gets"] = ps.Gets
 		s.Counters["vc.pool.fresh"] = ps.Fresh
 		s.Counters["vc.pool.recycled"] = ps.Gets - ps.Fresh
+	}
+
+	if p.sampler != nil {
+		s.Counters["sampling.suppressed_reads"] = p.suppressedReads
+		s.Counters["sampling.suppressed_writes"] = p.suppressedWrites
+		s.Gauges["sampling.vars.sampled"] = p.sampledVars
+		s.Gauges["sampling.vars.suppressed"] = p.suppressedVars
+		s.Gauges["sampling.rate_ppm"] = core.RatePPM(p.sampler.Rate)
+		if total := p.sampledVars + p.suppressedVars; total > 0 {
+			s.Gauges["sampling.effective_rate_ppm"] = p.sampledVars * 1_000_000 / total
+		}
 	}
 
 	s.Gauges["workers"] = uint64(len(ws))

@@ -3,6 +3,7 @@ package verifiedft
 import (
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/sample"
 	"repro/internal/trace"
 	"repro/internal/vc"
 )
@@ -44,6 +45,9 @@ type settings struct {
 	// clock is the WithClockImpl spelling, parsed by resolveClock at the
 	// error-returning entry points ("" = dense).
 	clock string
+	// sampling is the WithSampling policy; nil is the precise tier. The
+	// "sampled[:rate]" variant spelling also sets it, via resolveSampling.
+	sampling *sample.Policy
 }
 
 // resolveClock parses the WithClockImpl selection into the Config, so an
@@ -55,6 +59,40 @@ func (s *settings) resolveClock() error {
 	}
 	s.cfg.ClockImpl = impl
 	return nil
+}
+
+// resolveSampling folds the "sampled[:rate]" variant spelling into the
+// base variant plus a sampling policy and validates the resulting rate,
+// erroring at the New/CheckTrace entry points. An explicit WithSampling
+// wins over a rate embedded in the variant name.
+func (s *settings) resolveSampling() error {
+	base, pol, err := sample.ParseVariant(s.variant)
+	if err != nil {
+		return err
+	}
+	s.variant = base
+	if s.sampling == nil {
+		s.sampling = pol
+	}
+	if s.sampling != nil {
+		return s.sampling.Validate()
+	}
+	return nil
+}
+
+// samplingVarHint scales a variable-table hint down to the expected
+// sampled population (plus slack for the hash's variance), so the inner
+// detector of the sampling tier pre-sizes for the variables it will
+// actually materialize rather than the whole id space.
+func samplingVarHint(rate float64, vars int) int {
+	h := int(rate*float64(vars)) + 16
+	if h > vars {
+		h = vars
+	}
+	if h < 1 {
+		h = 1
+	}
+	return h
 }
 
 // extensions folds the out-of-band trace parameters into the form the
@@ -166,6 +204,50 @@ func WithClockImpl(impl string) CommonOption {
 // the configuration to benchmark.
 func WithMetrics(m *Metrics) CommonOption {
 	return commonOption(func(s *settings) { s.metrics = m })
+}
+
+// samplingConfig aggregates what SamplingOption can tune.
+type samplingConfig struct {
+	seed uint64
+}
+
+// SamplingOption tunes WithSampling.
+type SamplingOption func(*samplingConfig)
+
+// WithSamplingSeed sets the sampling seed (default sample.DefaultSeed's
+// fixed value, 1). The per-variable decision is a pure function of
+// (seed, variable id), so two runs with the same seed and rate — on one
+// machine or across a fleet, sequential or sharded — sample the same
+// variables and report identically; distinct seeds give independent
+// samples, which is how repeated deployments accumulate coverage.
+func WithSamplingSeed(seed uint64) SamplingOption {
+	return func(c *samplingConfig) { c.seed = seed }
+}
+
+// WithSampling selects the production-overhead sampling tier: each
+// variable is kept with probability rate (decided once, deterministically
+// from the seed), full epoch/vector-clock bookkeeping applies only to the
+// kept variables, and an access to any other variable costs one
+// shadow-word check — no clock is ever materialized for it. Reported
+// races are always a subset of the precise tier's (at rate 1 exactly its
+// report list, byte for byte); the tier trades recall for overhead, never
+// precision. Rates outside [0, 1] error at New/CheckTrace time.
+//
+//	reports, err := verifiedft.CheckTrace(tr, verifiedft.WithSampling(0.01))
+//	d, err := verifiedft.New(verifiedft.V2,
+//		verifiedft.WithSampling(0.01, verifiedft.WithSamplingSeed(7)))
+//
+// The variant spelling "sampled" (vft-v2 at the 0.01 default rate) and
+// "sampled:<rate>" select the same tier wherever variant names are
+// parsed (WithVariant, vft-run -d, the server's ?variant=).
+func WithSampling(rate float64, opts ...SamplingOption) CommonOption {
+	return commonOption(func(s *settings) {
+		c := samplingConfig{seed: sample.DefaultSeed}
+		for _, o := range opts {
+			o(&c)
+		}
+		s.sampling = &sample.Policy{Rate: rate, Seed: c.seed}
+	})
 }
 
 // WithParallelism sets the number of shard workers CheckTrace and

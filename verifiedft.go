@@ -222,14 +222,17 @@ const metricsSampleInterval = 64
 //		verifiedft.WithMaxReportsPerVar(1),
 //		verifiedft.WithMetrics(m))
 func New(variant string, opts ...Option) (Detector, error) {
-	s := settings{cfg: core.DefaultConfig()}
+	s := settings{variant: variant, cfg: core.DefaultConfig()}
 	for _, o := range opts {
 		o.applyNew(&s)
 	}
 	if err := s.resolveClock(); err != nil {
 		return nil, err
 	}
-	d, err := core.New(variant, s.cfg)
+	if err := s.resolveSampling(); err != nil {
+		return nil, err
+	}
+	d, err := newDetector(s)
 	if err != nil {
 		return nil, err
 	}
@@ -237,6 +240,24 @@ func New(variant string, opts ...Option) (Detector, error) {
 		return core.InstrumentLatency(d, s.metrics, metricsSampleInterval), nil
 	}
 	return d, nil
+}
+
+// newDetector builds the resolved settings' detector: the precise variant,
+// wrapped in the sampling tier when one is configured. The inner
+// detector's variable table is pre-sized for the expected sampled
+// population only — the full id space is covered by the wrapper's
+// four-byte decision words, which is the tier's lazy-materialization rule.
+func newDetector(s settings) (Detector, error) {
+	if s.sampling == nil {
+		return core.New(s.variant, s.cfg)
+	}
+	innerCfg := s.cfg
+	innerCfg.Vars = samplingVarHint(s.sampling.Rate, s.cfg.Vars)
+	inner, err := core.New(s.variant, innerCfg)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewSampling(inner, *s.sampling, s.cfg.Vars), nil
 }
 
 // Variants lists all detector variant names.
@@ -278,10 +299,13 @@ func CheckSource(src Source, opts ...CheckOption) ([]Report, error) {
 	if err := s.resolveClock(); err != nil {
 		return nil, err
 	}
+	if err := s.resolveSampling(); err != nil {
+		return nil, err
+	}
 	if s.parallel != 1 {
 		return checkParallel(src, s)
 	}
-	d, err := core.New(s.variant, s.cfg)
+	d, err := newDetector(s)
 	if err != nil {
 		return nil, err
 	}
@@ -335,6 +359,7 @@ func parcheckOptions(s settings) parcheck.Options {
 		Metrics:          s.metrics,
 		ClockImpl:        s.cfg.ClockImpl,
 		DisablePool:      s.cfg.DisablePool,
+		Sampling:         s.sampling,
 	}
 }
 
@@ -379,6 +404,9 @@ func CheckTrace(tr Trace, opts ...CheckOption) ([]Report, error) {
 	}
 	if s.parallel != 1 {
 		if err := s.resolveClock(); err != nil {
+			return nil, err
+		}
+		if err := s.resolveSampling(); err != nil {
 			return nil, err
 		}
 		return parcheck.CheckTrace(tr, s.extensions(), parcheckOptions(s))
